@@ -1,0 +1,155 @@
+// Benchmarks that regenerate every table and figure of the RISC I
+// evaluation. Each BenchmarkE<n> reruns the corresponding experiment from a
+// cold simulator and reports its headline number as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper end to end. The rendered tables themselves come from
+// `go run ./cmd/riscbench` (or risc1.Experiment); EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package risc1_test
+
+import (
+	"testing"
+
+	"risc1/internal/exp"
+)
+
+// BenchmarkE1InstructionMix regenerates the dynamic instruction-usage table
+// (the paper's motivation: simple instructions dominate compiled C).
+func BenchmarkE1InstructionMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.E1InstructionMix(exp.NewLab())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mix := res.Total.CategoryMix()
+		b.ReportMetric(mix[0].Pct, "top-category-%")
+		b.ReportMetric(float64(res.Total.Instructions), "instructions")
+	}
+}
+
+// BenchmarkE2Characteristics regenerates the processor-comparison table.
+func BenchmarkE2Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := exp.E2Characteristics().Render(); out == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkE3ProgramSize regenerates the relative-program-size table
+// (paper: RISC code ~0.9-1.5x the CISC's).
+func BenchmarkE3ProgramSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.E3ProgramSize(exp.NewLab())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GeoMean, "size-ratio")
+	}
+}
+
+// BenchmarkE4ExecutionTime regenerates the execution-time table
+// (paper: RISC I beats the CISC despite executing more instructions).
+func BenchmarkE4ExecutionTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.E4ExecutionTime(exp.NewLab())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GeoMean, "speedup-geomean")
+	}
+}
+
+// BenchmarkE5CallTraffic regenerates the procedure-call traffic comparison
+// (the register-window headline).
+func BenchmarkE5CallTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.E5CallTraffic(exp.NewLab())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			if r.Name == "hanoi" {
+				b.ReportMetric(r.WindowedPer, "win-B/call")
+				b.ReportMetric(r.FlatPer, "flat-B/call")
+				b.ReportMetric(r.CiscPer, "cisc-B/call")
+			}
+		}
+	}
+}
+
+// BenchmarkE6WindowDepth regenerates the window-sizing study
+// (paper: 8 windows make overflow rare).
+func BenchmarkE6WindowDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.E6WindowDepth(exp.NewLab())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			if r.Windows == 8 {
+				b.ReportMetric(r.TrapPct, "trap-%-at-8win")
+			}
+		}
+	}
+}
+
+// BenchmarkE7DelaySlots regenerates the delayed-jump optimization study.
+func BenchmarkE7DelaySlots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.E7DelaySlots(exp.NewLab())
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving := 0.0
+		for _, r := range res.Rows {
+			saving += r.SavingPct
+		}
+		b.ReportMetric(saving/float64(len(res.Rows)), "avg-cycle-saving-%")
+	}
+}
+
+// BenchmarkE8AreaModel regenerates the transistor-budget figure
+// (paper: control ~6% of RISC I vs ~half of a microcoded CISC).
+func BenchmarkE8AreaModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.E8AreaModel()
+		b.ReportMetric(100*res.Risc.ControlFraction(), "risc-control-%")
+		b.ReportMetric(100*res.Cisc.ControlFraction(), "cisc-control-%")
+	}
+}
+
+// BenchmarkE10PipelineModels regenerates the pipeline-organization ablation
+// (this repository's extension: sequential vs squashing vs delayed jumps).
+func BenchmarkE10PipelineModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.E10PipelineModels(exp.NewLab())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain := 0.0
+		for _, r := range res.Rows {
+			gain += r.DlSpeed
+		}
+		b.ReportMetric(gain/float64(len(res.Rows)), "avg-overlap-gain-x")
+	}
+}
+
+// BenchmarkE9MemoryTraffic regenerates the memory-traffic comparison.
+func BenchmarkE9MemoryTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.E9MemoryTraffic(exp.NewLab())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, r := range res.Rows {
+			if r.TotalRatio > worst && r.Name != "matmul" {
+				worst = r.TotalRatio
+			}
+		}
+		b.ReportMetric(worst, "worst-traffic-ratio")
+	}
+}

@@ -1,0 +1,64 @@
+// Ccm is the Cm compiler driver: it compiles a Cm source file and prints
+// the generated assembly for the chosen target machine.
+//
+// Usage:
+//
+//	ccm [-target windowed|flat|cisc] [-noopt] [-widedata] file.cm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"risc1"
+)
+
+func main() {
+	target := flag.String("target", "windowed", "code generator: windowed, flat or cisc")
+	noopt := flag.Bool("noopt", false, "leave NOPs in delay slots (RISC targets)")
+	wide := flag.Bool("widedata", false, "full 32-bit global addressing (RISC targets)")
+	dis := flag.Bool("dis", false, "print the encoded listing instead of assembly source")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ccm [-target windowed|flat|cisc] file.cm")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	t, err := parseTarget(*target)
+	if err != nil {
+		fatal(err)
+	}
+	var out string
+	if *dis {
+		out, err = risc1.CompileAndDisassemble(string(src), t)
+	} else {
+		out, err = risc1.CompileCm(string(src), t, risc1.CompileOptions{
+			NoDelaySlotFill: *noopt, WideData: *wide,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+}
+
+func parseTarget(s string) (risc1.Target, error) {
+	switch s {
+	case "windowed", "risc":
+		return risc1.RISCWindowed, nil
+	case "flat":
+		return risc1.RISCFlat, nil
+	case "cisc", "cx":
+		return risc1.CISC, nil
+	}
+	return 0, fmt.Errorf("unknown target %q (want windowed, flat or cisc)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Riscasm assembles RISC I assembly. By default it prints a listing with
+// addresses and encodings; -o writes a loadable binary image (a small
+// header followed by the raw bytes) that riscrun and riscdis accept.
+//
+// Usage:
+//
+//	riscasm [-o prog.bin] prog.s
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"risc1/internal/asm"
+)
+
+// Magic identifies riscasm image files.
+const Magic = "RISC1IMG"
+
+func main() {
+	out := flag.String("o", "", "write a binary image instead of a listing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: riscasm [-o out.bin] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	img, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Print(asm.Disassemble(img))
+		fmt.Printf("; %d bytes, org %#x, entry %#x\n", img.Size(), img.Org, img.Entry)
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	header := make([]byte, 16)
+	copy(header, Magic)
+	binary.BigEndian.PutUint32(header[8:], img.Org)
+	binary.BigEndian.PutUint32(header[12:], img.Entry)
+	if _, err := f.Write(header); err != nil {
+		fatal(err)
+	}
+	if _, err := f.Write(img.Bytes); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d bytes, org %#x, entry %#x\n", *out, img.Size(), img.Org, img.Entry)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "riscasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+// Riscbench regenerates the tables and figures of the RISC I evaluation.
+//
+// Usage:
+//
+//	riscbench            # run every experiment, E1..E9
+//	riscbench -exp E4    # just the execution-time comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"risc1"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment id (E1..E9) or all")
+	flag.Parse()
+
+	ids := risc1.ExperimentIDs()
+	if *which != "all" {
+		ids = []string{*which}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := risc1.Experiment(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "riscbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

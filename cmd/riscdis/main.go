@@ -1,0 +1,46 @@
+// Riscdis disassembles a riscasm binary image back to RISC I assembly.
+//
+// Usage:
+//
+//	riscdis prog.bin
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"risc1/internal/isa"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: riscdis prog.bin")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	if len(data) < 16 || string(data[:8]) != "RISC1IMG" {
+		fatal(fmt.Errorf("%s is not a riscasm image", os.Args[1]))
+	}
+	org := binary.BigEndian.Uint32(data[8:12])
+	entry := binary.BigEndian.Uint32(data[12:16])
+	body := data[16:]
+	fmt.Printf("; org %#x, entry %#x\n", org, entry)
+	for off := 0; off+4 <= len(body); off += 4 {
+		w := binary.BigEndian.Uint32(body[off:])
+		addr := org + uint32(off)
+		marker := "  "
+		if addr == entry {
+			marker = "=>"
+		}
+		fmt.Printf("%s%08x:  %08x  %s\n", marker, addr, w, isa.DisasmWord(w))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "riscdis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Riscrun compiles (for .cm sources) or assembles (for .s sources) a
+// program, runs it to completion on the selected machine, and prints its
+// console output, optionally followed by execution statistics.
+//
+// Usage:
+//
+//	riscrun [-target windowed|flat|cisc] [-windows N] [-stats] prog.cm
+//	riscrun [-windows N] [-flat] [-stats] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"risc1"
+)
+
+func main() {
+	target := flag.String("target", "windowed", "machine for .cm sources: windowed, flat or cisc")
+	windows := flag.Int("windows", 0, "register windows for .s sources (0 = 8)")
+	flat := flag.Bool("flat", false, "disable register windows for .s sources")
+	stats := flag.Bool("stats", false, "print execution statistics")
+	trace := flag.Int("trace", 0, "print the first N executed instructions (.s sources)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: riscrun [-target T] [-stats] prog.cm|prog.s")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	srcBytes, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	src := string(srcBytes)
+
+	var info *risc1.RunInfo
+	if strings.HasSuffix(path, ".s") {
+		m := risc1.NewMachine(risc1.MachineConfig{Windows: *windows, Flat: *flat})
+		if err := m.LoadAssembly(src); err != nil {
+			fatal(err)
+		}
+		if *trace > 0 {
+			left := *trace
+			m.SetTrace(func(pc uint32, disasm string) {
+				if left > 0 {
+					fmt.Fprintf(os.Stderr, "%08x: %s\n", pc, disasm)
+					left--
+				}
+			})
+		}
+		if err := m.Run(); err != nil {
+			fatal(err)
+		}
+		info = m.Info()
+		info.Console = m.Console()
+	} else {
+		t := risc1.RISCWindowed
+		switch *target {
+		case "windowed", "risc":
+		case "flat":
+			t = risc1.RISCFlat
+		case "cisc", "cx":
+			t = risc1.CISC
+		default:
+			fatal(fmt.Errorf("unknown target %q", *target))
+		}
+		info, err = risc1.BuildAndRun(src, t)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Println(info.Console)
+	if *stats {
+		fmt.Printf("instructions: %d\ncycles:       %d\nsim time:     %v\n",
+			info.Instructions, info.Cycles, info.Time)
+		fmt.Printf("calls: %d  max depth: %d  window ovf/unf: %d/%d\n",
+			info.Calls, info.MaxCallDepth, info.WindowOverflows, info.WindowUnderflows)
+		fmt.Printf("memory: %d fetch B, %d read B, %d write B\n",
+			info.FetchBytes, info.DataReadBytes, info.DataWriteBytes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "riscrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+package risc1_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runTool invokes one of the repository's commands via `go run` and returns
+// its stdout (diagnostics and traces go to stderr).
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, stderr.String())
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests compile the tools")
+	}
+	dir := t.TempDir()
+
+	// ccm: compile a Cm program for each target.
+	cm := filepath.Join(dir, "p.cm")
+	if err := os.WriteFile(cm, []byte(`
+int twice(int x) { return x + x; }
+int main() { putint(twice(21)); return 0; }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	asmText := runTool(t, "./cmd/ccm", "-target", "windowed", cm)
+	if !strings.Contains(asmText, "twice:") {
+		t.Fatalf("ccm output missing function label:\n%s", asmText)
+	}
+	if out := runTool(t, "./cmd/ccm", "-target", "cisc", cm); !strings.Contains(out, ".mask") {
+		t.Fatalf("cisc output missing mask:\n%s", out)
+	}
+
+	// riscrun on the Cm source, all three targets.
+	for _, target := range []string{"windowed", "flat", "cisc"} {
+		out := runTool(t, "./cmd/riscrun", "-target", target, "-stats", cm)
+		if !strings.HasPrefix(out, "42\n") {
+			t.Fatalf("riscrun -target %s printed %q", target, out)
+		}
+		if !strings.Contains(out, "instructions:") {
+			t.Fatalf("riscrun -stats missing statistics:\n%s", out)
+		}
+	}
+
+	// riscasm: assemble the compiler's output; then riscdis round trip.
+	s := filepath.Join(dir, "p.s")
+	if err := os.WriteFile(s, []byte(asmText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	listing := runTool(t, "./cmd/riscasm", s)
+	if !strings.Contains(listing, "callr") {
+		t.Fatalf("listing missing call:\n%s", listing)
+	}
+	bin := filepath.Join(dir, "p.bin")
+	runTool(t, "./cmd/riscasm", "-o", bin, s)
+	dis := runTool(t, "./cmd/riscdis", bin)
+	if !strings.Contains(dis, "ret r25,#8") {
+		t.Fatalf("riscdis output missing epilogue:\n%s", dis)
+	}
+
+	// riscrun on assembly with a trace.
+	out := runTool(t, "./cmd/riscrun", "-trace", "3", "-stats", s)
+	if !strings.HasPrefix(out, "42\n") {
+		t.Fatalf("riscrun on .s printed %q", out)
+	}
+
+	// riscbench: one static experiment end to end.
+	bench := runTool(t, "./cmd/riscbench", "-exp", "E2")
+	if !strings.Contains(bench, "RISC I (this repo)") {
+		t.Fatalf("riscbench E2 output:\n%s", bench)
+	}
+}

@@ -1,0 +1,46 @@
+// Hanoi: the procedure-call story of the RISC I paper in one program.
+// Towers of Hanoi is nothing but procedure calls, so it shows exactly what
+// the overlapping register windows buy — and what a conventional calling
+// convention (flat RISC) or a microcoded CALLS instruction (CX) costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"risc1"
+)
+
+func main() {
+	src, ok := risc1.BenchmarkSource("hanoi")
+	if !ok {
+		log.Fatal("hanoi benchmark missing")
+	}
+
+	fmt.Println("Towers of Hanoi (14 discs = 16383 moves, ~32k calls):")
+	fmt.Println()
+	fmt.Printf("%-12s %12s %12s %14s %12s\n",
+		"machine", "sim time", "calls", "data traffic", "B/call")
+	for _, tgt := range []struct {
+		name string
+		t    risc1.Target
+	}{
+		{"windows", risc1.RISCWindowed},
+		{"flat", risc1.RISCFlat},
+		{"cisc", risc1.CISC},
+	} {
+		out, err := risc1.BuildAndRun(src, tgt.t)
+		if err != nil {
+			log.Fatalf("%s: %v", tgt.name, err)
+		}
+		traffic := out.DataReadBytes + out.DataWriteBytes
+		perCall := float64(traffic) / float64(out.Calls)
+		fmt.Printf("%-12s %12v %12d %13dB %12.1f\n",
+			tgt.name, out.Time, out.Calls, traffic, perCall)
+	}
+	fmt.Println()
+	fmt.Println("The windowed machine slides a register window on each call —")
+	fmt.Println("no saves, no restores, almost no data-memory traffic. The flat")
+	fmt.Println("convention stores and reloads registers around every call; the")
+	fmt.Println("CISC's CALLS pushes a whole frame through memory each time.")
+}

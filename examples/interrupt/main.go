@@ -1,0 +1,67 @@
+// Interrupt: the trap architecture of RISC I in miniature. An external
+// interrupt arrives mid-computation; the handler enters through CALLINT —
+// which slides to a fresh register window (so the interrupted procedure's
+// registers are untouched without saving a single one) and captures the
+// restart PC — does its work, and resumes with RETINT.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"risc1"
+)
+
+const source = `
+	.entry main
+; main counts upward forever in r1 (a global would also work); the
+; interrupt handler snapshots the count and rings the console.
+main:
+	add r0,#0,r1
+loop:
+	add r1,#1,r1
+	b loop
+	nop
+
+handler:
+	callint r16          ; fresh window; r16 := PC of the interrupted inst
+	getpsw r17           ; look around: PSW of the interrupted context
+	stl r1,(r0)#-252     ; r1 is a global: print the count so far
+	add r0,#'!',r18
+	stl r18,(r0)#-256
+	retint r16,#0        ; resume exactly where the interrupt hit
+	nop
+`
+
+func main() {
+	m := risc1.NewMachine(risc1.MachineConfig{})
+	if err := m.LoadAssembly(source); err != nil {
+		log.Fatal(err)
+	}
+	vec, ok := m.Symbol("handler")
+	if !ok {
+		log.Fatal("no handler symbol")
+	}
+
+	// Let the main loop run a while, interrupt it, run some more...
+	for round := 1; round <= 3; round++ {
+		for i := 0; i < 1000*round; i++ {
+			if err := m.Step(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		m.Interrupt(vec)
+	}
+	for i := 0; i < 100; i++ {
+		if err := m.Step(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("console after three interrupts:", m.Console())
+	fmt.Printf("counter kept counting: r1 = %d\n", m.Reg(1))
+	fmt.Println()
+	fmt.Println("Each interrupt entered through CALLINT: a window slide gave the")
+	fmt.Println("handler fresh registers with zero save/restore traffic, and the")
+	fmt.Println("interrupted loop resumed exactly where it left off via RETINT.")
+}

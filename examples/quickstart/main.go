@@ -1,0 +1,48 @@
+// Quickstart: compile one Cm program for all three machines of the RISC I
+// evaluation and compare what each one did.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"risc1"
+)
+
+const program = `
+// binomial(n, k) by Pascal's rule: all procedure calls and additions,
+// exactly the workload the RISC I design targets.
+int binom(int n, int k) {
+	if (k == 0 || k == n) return 1;
+	return binom(n - 1, k - 1) + binom(n - 1, k);
+}
+int main() {
+	putint(binom(16, 8));
+	return 0;
+}`
+
+func main() {
+	targets := []struct {
+		name string
+		t    risc1.Target
+	}{
+		{"RISC I (register windows)", risc1.RISCWindowed},
+		{"RISC I (flat, no windows)", risc1.RISCFlat},
+		{"CX (microcoded CISC)", risc1.CISC},
+	}
+	fmt.Println("binom(16, 8) on the three machines of the RISC I evaluation:")
+	fmt.Println()
+	for _, tgt := range targets {
+		out, err := risc1.BuildAndRun(program, tgt.t)
+		if err != nil {
+			log.Fatalf("%s: %v", tgt.name, err)
+		}
+		fmt.Printf("%-28s -> %s\n", tgt.name, out.Console)
+		fmt.Printf("   %d instructions, %d cycles, %v simulated, %d code bytes\n",
+			out.Instructions, out.Cycles, out.Time, out.CodeBytes)
+	}
+	fmt.Println()
+	fmt.Println("Note the cycle counts: RISC I executes more instructions but")
+	fmt.Println("each takes one or two 400ns cycles; CX executes fewer, each")
+	fmt.Println("microcoded over many 200ns microcycles.")
+}

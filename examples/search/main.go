@@ -1,0 +1,96 @@
+// Search: assembly-level programming of the RISC I machine. A hand-written
+// string-search routine shows the ISA in action — delayed branches with
+// useful instructions in the slots, the LOW/HIGH parameter overlap, and the
+// load/store discipline — then the program is disassembled and run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"risc1"
+)
+
+// find(text, pat) returns the index of pat in text or -1. Arguments arrive
+// in the HIGH registers (r26, r27) through the window overlap; the result
+// returns through the same registers. Note the delay slots: several hold
+// real work rather than NOPs.
+const source = `
+	.entry main
+main:
+	la text,r10          ; outgoing arg 0 (our LOW = callee's HIGH)
+	la pat,r11           ; outgoing arg 1
+	callr r25,find
+	nop
+	stl r10,(r0)#-252    ; putint(result)
+	add r0,#'\n',r16
+	stl r16,(r0)#-256    ; putchar
+	ret r25,#8
+	nop
+
+find:                        ; r26 = text, r27 = pat
+	add r0,#0,r16        ; i = 0
+outer:
+	add r26,r16,r17      ; &text[i]
+	ldbu (r17)#0,r18
+	cmp r18,#0           ; end of text: not found
+	beq fail
+	add r0,#0,r19        ; j = 0  (delay slot: always safe here)
+inner:
+	add r27,r19,r20      ; &pat[j]
+	ldbu (r20)#0,r21
+	cmp r21,#0           ; end of pattern: match at i
+	beq found
+	add r17,r19,r22      ; &text[i+j]  (delay slot does real work)
+	ldbu (r22)#0,r22
+	cmp r22,r21
+	bne next             ; mismatch: advance i
+	nop
+	b inner
+	add r19,#1,r19       ; j++ in the delay slot
+next:
+	b outer
+	add r16,#1,r16       ; i++ in the delay slot
+found:
+	mov r16,r26          ; return i
+	ret r25,#8
+	nop
+fail:
+	add r0,#-1,r26       ; return -1
+	ret r25,#8
+	nop
+
+	.align 4
+text:	.asciz "the quick brown fox jumps over the lazy dog"
+	.align 4
+pat:	.asciz "jumps"
+`
+
+func main() {
+	fmt.Println("--- disassembly (first lines) ---")
+	listing, err := risc1.Disassemble(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, line := 0, 0; i < len(listing) && line < 12; i++ {
+		fmt.Print(string(listing[i]))
+		if listing[i] == '\n' {
+			line++
+		}
+	}
+	fmt.Println("...")
+
+	m := risc1.NewMachine(risc1.MachineConfig{})
+	if err := m.LoadAssembly(source); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- output ---\nindex of \"jumps\": %s", m.Console())
+
+	info := m.Info()
+	fmt.Printf("--- statistics ---\n%d instructions in %d cycles (%.2f CPI), %v simulated\n",
+		info.Instructions, info.Cycles,
+		float64(info.Cycles)/float64(info.Instructions), info.Time)
+}

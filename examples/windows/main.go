@@ -1,0 +1,48 @@
+// Windows: how many register windows are enough? This example sweeps the
+// hardware window count against a deeply recursive workload and prints the
+// overflow-trap behaviour — the study behind the paper's choice of 8.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"risc1"
+)
+
+// Fibonacci's call tree oscillates across the whole depth range, making it
+// a demanding (but fair) window workload.
+const program = `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main() { putint(fib(17)); return 0; }`
+
+func main() {
+	asmText, err := risc1.CompileCm(program, risc1.RISCWindowed, risc1.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("fib(17): register-window sweep (depth reaches 17)")
+	fmt.Println()
+	fmt.Printf("%8s %14s %12s %12s %12s\n",
+		"windows", "phys regs", "calls", "overflows", "sim time")
+	for _, n := range []int{3, 4, 6, 8, 12, 16, 20} {
+		m := risc1.NewMachine(risc1.MachineConfig{Windows: n})
+		if err := m.LoadAssembly(asmText); err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			log.Fatal(err)
+		}
+		info := m.Info()
+		fmt.Printf("%8d %14d %12d %12d %12v\n",
+			n, 10+16*n, info.Calls, info.WindowOverflows, info.Time)
+	}
+	fmt.Println()
+	fmt.Println("Overflows collapse as windows are added; past the workload's")
+	fmt.Println("stack depth they vanish entirely. The paper chose 8 windows —")
+	fmt.Println("138 registers — as the knee of this curve for real C programs.")
+}

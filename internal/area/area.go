@@ -1,0 +1,120 @@
+// Package area models the silicon budget of the two machines at the
+// transistor-count level, reproducing the paper's VLSI argument: a reduced
+// instruction set needs so little control logic that the transistors saved
+// can be spent on a large windowed register file, whereas a microcoded CISC
+// spends half its chip on control.
+//
+// The RISC I numbers are calibrated to the published chip (about 44,000
+// transistors, register file dominant, control around 6%); the CISC column
+// is calibrated to a 68000-class microcoded design (control store around
+// half the device). The model is deliberately simple — cell counts times
+// transistors per cell — because that is the granularity of the paper's
+// own floorplan figure.
+package area
+
+import "risc1/internal/isa"
+
+// Transistor costs per cell, NMOS-era.
+const (
+	regCellT     = 6 // static dual-ported register bit
+	aluBitT      = 160
+	shifterBitT  = 60  // barrel shifter column
+	pcUnitT      = 1500
+	pswT         = 600
+	padsT        = 2000
+	romBitT      = 1 // microcode ROM bit
+	plaMinterm   = 2 // PLA product-term transistor cost per output
+)
+
+// Block is one floorplan region.
+type Block struct {
+	Name        string
+	Transistors int
+	Control     bool // counts toward the control fraction
+}
+
+// Model is a machine's transistor budget.
+type Model struct {
+	Machine string
+	Blocks  []Block
+}
+
+// Total sums the budget.
+func (m Model) Total() int {
+	t := 0
+	for _, b := range m.Blocks {
+		t += b.Transistors
+	}
+	return t
+}
+
+// ControlFraction returns the share of transistors spent on control.
+func (m Model) ControlFraction() float64 {
+	c := 0
+	for _, b := range m.Blocks {
+		if b.Control {
+			c += b.Transistors
+		}
+	}
+	return float64(c) / float64(m.Total())
+}
+
+// RegisterFileFraction returns the share spent on the register file.
+func (m Model) RegisterFileFraction() float64 {
+	for _, b := range m.Blocks {
+		if b.Name == "register file" {
+			return float64(b.Transistors) / float64(m.Total())
+		}
+	}
+	return 0
+}
+
+// RISC1 models the RISC I chip with the given number of register windows
+// (8 reproduces the published 138-register, ~44k-transistor design).
+func RISC1(windows int) Model {
+	physRegs := isa.NumGlobalRegs + isa.WindowRegs*windows
+	return Model{
+		Machine: "RISC I",
+		Blocks: []Block{
+			{Name: "register file", Transistors: physRegs * 32 * regCellT},
+			{Name: "ALU", Transistors: 32 * aluBitT},
+			{Name: "shifter", Transistors: 32 * shifterBitT},
+			{Name: "PC unit (3 PCs + incr)", Transistors: pcUnitT},
+			{Name: "PSW and misc datapath", Transistors: pswT},
+			// 31 fixed-format instructions decode in a small PLA: this
+			// is the whole point.
+			{Name: "instruction decode PLA", Transistors: 31 * 32 * plaMinterm, Control: true},
+			{Name: "control sequencing", Transistors: 900, Control: true},
+			{Name: "pads and buffers", Transistors: padsT},
+		},
+	}
+}
+
+// CX models a 68000-class microcoded CISC: a small register file and a
+// control store that dwarfs it.
+func CX() Model {
+	const (
+		microWords = 640 // microinstructions
+		microBits  = 17
+		nanoWords  = 336
+		nanoBits   = 68
+	)
+	return Model{
+		Machine: "CX (microcoded CISC)",
+		Blocks: []Block{
+			{Name: "register file", Transistors: 16 * 32 * regCellT},
+			{Name: "ALU", Transistors: 32 * aluBitT},
+			{Name: "shifter", Transistors: 32 * shifterBitT},
+			{Name: "PC unit", Transistors: pcUnitT},
+			{Name: "PSW and misc datapath", Transistors: pswT},
+			// Variable-length decode and general operand specifiers need
+			// a wide execution-unit datapath: temporaries, extra buses,
+			// byte rotators.
+			{Name: "execution-unit datapath", Transistors: 13000},
+			{Name: "microcode ROM", Transistors: (microWords*microBits + nanoWords*nanoBits) * romBitT, Control: true},
+			{Name: "microsequencer", Transistors: 3500, Control: true},
+			{Name: "instruction decode", Transistors: 4500, Control: true},
+			{Name: "pads and buffers", Transistors: padsT},
+		},
+	}
+}

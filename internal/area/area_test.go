@@ -1,0 +1,46 @@
+package area
+
+import "testing"
+
+func TestRISC1Calibration(t *testing.T) {
+	m := RISC1(8)
+	total := m.Total()
+	// The published chip is about 44k transistors; the model should land
+	// in the same ballpark.
+	if total < 35000 || total > 55000 {
+		t.Errorf("RISC I model total = %d transistors, want ~44k", total)
+	}
+	if f := m.ControlFraction(); f > 0.12 {
+		t.Errorf("RISC I control fraction = %.1f%%, paper says ~6%%", 100*f)
+	}
+	if f := m.RegisterFileFraction(); f < 0.4 {
+		t.Errorf("register file fraction = %.1f%%, should dominate", 100*f)
+	}
+}
+
+func TestCXControlDominates(t *testing.T) {
+	m := CX()
+	if f := m.ControlFraction(); f < 0.35 {
+		t.Errorf("CISC control fraction = %.1f%%, should be roughly half", 100*f)
+	}
+}
+
+func TestPaperContrast(t *testing.T) {
+	// The headline claim: RISC control fraction is several times smaller.
+	r, c := RISC1(8).ControlFraction(), CX().ControlFraction()
+	if c/r < 3 {
+		t.Errorf("control contrast only %.1fx (risc %.1f%%, cisc %.1f%%)", c/r, 100*r, 100*c)
+	}
+}
+
+func TestWindowScaling(t *testing.T) {
+	// More windows, more register file, monotonically.
+	prev := 0
+	for _, w := range []int{4, 8, 16} {
+		tot := RISC1(w).Total()
+		if tot <= prev {
+			t.Errorf("total with %d windows = %d, not increasing", w, tot)
+		}
+		prev = tot
+	}
+}

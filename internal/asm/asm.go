@@ -1,0 +1,486 @@
+// Package asm implements a two-pass assembler for the RISC I instruction
+// set, in the syntax printed by the isa disassembler, plus labels, data
+// directives and a small set of pseudo-instructions (nop, mov, li, la, cmp,
+// b<cond>). It is the assembly layer both for hand-written programs and for
+// the Cm compiler's RISC back ends.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"risc1/internal/isa"
+)
+
+// Image is an assembled program: a contiguous byte image placed at Org, an
+// entry point, and the symbol table.
+type Image struct {
+	Org     uint32
+	Bytes   []byte
+	Entry   uint32
+	Symbols map[string]uint32
+}
+
+// Size returns the image size in bytes.
+func (img *Image) Size() int { return len(img.Bytes) }
+
+// Symbol looks up a label's address.
+func (img *Image) Symbol(name string) (uint32, bool) {
+	v, ok := img.Symbols[name]
+	return v, ok
+}
+
+// Error is an assembly diagnostic tied to a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// ErrorList aggregates diagnostics so callers see every problem at once.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 1 {
+		return l[0].Error()
+	}
+	msgs := make([]string, len(l))
+	for i, e := range l {
+		msgs[i] = e.Error()
+	}
+	return fmt.Sprintf("%d assembly errors:\n%s", len(l), strings.Join(msgs, "\n"))
+}
+
+// expr is a (possibly symbolic) constant: sym + off, or just off.
+type expr struct {
+	sym string
+	off int64
+}
+
+func (e expr) isNum() bool { return e.sym == "" }
+
+// operand is one parsed instruction operand.
+type operand struct {
+	isReg  bool
+	reg    uint8
+	isImm  bool // written with '#' or a bare expression
+	imm    expr
+	isAddr bool // (rN)S2 effective-address form
+	base   uint8
+	index  operand2
+}
+
+// operand2 is the S2 part of an address: register or immediate.
+type operand2 struct {
+	isReg bool
+	reg   uint8
+	imm   expr
+}
+
+// item is anything that occupies space in the image.
+type item struct {
+	line int
+	addr uint32
+	// one of:
+	inst  *protoInst
+	data  []byte   // literal bytes (.byte/.half/.word with numeric values)
+	words []expr   // .word with symbolic values, 4 bytes each
+	space int      // .space
+}
+
+// protoInst is an instruction before symbol resolution.
+type protoInst struct {
+	op      isa.Op
+	scc     bool
+	rd      uint8
+	cond    isa.Cond
+	hasCond bool
+	rs1     uint8
+	s2      operand2
+	useS2   bool
+	imm19   expr
+	// relative marks imm19 as a PC-relative target (label or absolute
+	// address expression): the encoder subtracts the instruction address.
+	relative bool
+	// hiPart/loPart mark the two halves of li/la expansions: the encoder
+	// computes the ldhi/add split of the resolved 32-bit value.
+	hiPart bool
+	loPart bool
+}
+
+type assembler struct {
+	items   []item
+	symbols map[string]uint32
+	equs    map[string]int64
+	entry   string
+	org     uint32
+	orgSet  bool
+	pc      uint32
+	errs    ErrorList
+	line    int
+}
+
+// Assemble runs both passes over src and returns the linked image.
+func Assemble(src string) (*Image, error) {
+	a := &assembler{symbols: map[string]uint32{}, equs: map[string]int64{}}
+	a.parse(src)
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+	img, err := a.encode()
+	if err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// MustAssemble is Assemble for tests and fixed internal programs.
+func MustAssemble(src string) *Image {
+	img, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+func (a *assembler) errorf(format string, args ...any) {
+	a.errs = append(a.errs, &Error{Line: a.line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ---------- pass 1: parse ----------
+
+func (a *assembler) parse(src string) {
+	for n, raw := range strings.Split(src, "\n") {
+		a.line = n + 1
+		line := raw
+		if i := indexOutsideQuotes(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		// Strip comments beginning with "//" too, but not inside quotes.
+		if i := indexOutsideQuotes(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for line != "" {
+			// Labels: one or more "name:" prefixes.
+			i := indexOutsideQuotes(line, ":")
+			head := ""
+			if i >= 0 {
+				head = strings.TrimSpace(line[:i])
+			}
+			if i >= 0 && isIdent(head) {
+				a.defineLabel(head)
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			a.statement(line)
+			break
+		}
+	}
+}
+
+func (a *assembler) defineLabel(name string) {
+	if _, dup := a.symbols[name]; dup {
+		a.errorf("label %q redefined", name)
+		return
+	}
+	if _, dup := a.equs[name]; dup {
+		a.errorf("label %q conflicts with .equ", name)
+		return
+	}
+	a.symbols[name] = a.pc
+}
+
+func (a *assembler) add(it item) {
+	it.line = a.line
+	it.addr = a.pc
+	switch {
+	case it.inst != nil:
+		a.pc += isa.InstBytes
+	case it.words != nil:
+		a.pc += uint32(4 * len(it.words))
+	case it.data != nil:
+		a.pc += uint32(len(it.data))
+	default:
+		a.pc += uint32(it.space)
+	}
+	a.items = append(a.items, it)
+}
+
+func (a *assembler) statement(line string) {
+	mnemonic, rest := splitMnemonic(line)
+	if strings.HasPrefix(mnemonic, ".") {
+		a.directive(mnemonic, rest)
+		return
+	}
+	scc := false
+	if strings.HasSuffix(mnemonic, "!") {
+		scc = true
+		mnemonic = mnemonic[:len(mnemonic)-1]
+	}
+	ops, ok := a.parseOperands(rest)
+	if !ok {
+		return
+	}
+	if op, isReal := isa.ByName(mnemonic); isReal {
+		a.realInst(op, scc, ops)
+		return
+	}
+	a.pseudo(mnemonic, scc, ops)
+}
+
+func splitMnemonic(line string) (string, string) {
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return strings.ToLower(line), ""
+	}
+	return strings.ToLower(line[:i]), strings.TrimSpace(line[i+1:])
+}
+
+// parseOperands splits on top-level commas and parses each operand.
+func (a *assembler) parseOperands(rest string) ([]operand, bool) {
+	if rest == "" {
+		return nil, true
+	}
+	parts, err := splitCommas(rest)
+	if err != nil {
+		a.errorf("%v", err)
+		return nil, false
+	}
+	ops := make([]operand, 0, len(parts))
+	for _, p := range parts {
+		op, err := a.parseOperand(p)
+		if err != nil {
+			a.errorf("%v", err)
+			return nil, false
+		}
+		ops = append(ops, op)
+	}
+	return ops, true
+}
+
+func (a *assembler) parseOperand(s string) (operand, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return operand{}, fmt.Errorf("empty operand")
+	}
+	if s[0] == '(' {
+		// (rN)S2 address form.
+		close := strings.IndexByte(s, ')')
+		if close < 0 {
+			return operand{}, fmt.Errorf("missing ')' in %q", s)
+		}
+		base, ok := regNum(strings.TrimSpace(s[1:close]))
+		if !ok {
+			return operand{}, fmt.Errorf("bad base register in %q", s)
+		}
+		idx, err := a.parseS2(strings.TrimSpace(s[close+1:]))
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{isAddr: true, base: base, index: idx}, nil
+	}
+	if r, ok := regNum(s); ok {
+		return operand{isReg: true, reg: r}, nil
+	}
+	e, err := a.parseExpr(strings.TrimPrefix(s, "#"))
+	if err != nil {
+		return operand{}, err
+	}
+	return operand{isImm: true, imm: e}, nil
+}
+
+func (a *assembler) parseS2(s string) (operand2, error) {
+	if s == "" {
+		return operand2{}, fmt.Errorf("missing offset after ')'")
+	}
+	if r, ok := regNum(s); ok {
+		return operand2{isReg: true, reg: r}, nil
+	}
+	e, err := a.parseExpr(strings.TrimPrefix(s, "#"))
+	if err != nil {
+		return operand2{}, err
+	}
+	return operand2{imm: e}, nil
+}
+
+// parseExpr accepts NUM, 'c', SYM, SYM+NUM, SYM-NUM.
+func (a *assembler) parseExpr(s string) (expr, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return expr{}, fmt.Errorf("empty expression")
+	}
+	if s[0] == '\'' {
+		v, err := charLit(s)
+		return expr{off: v}, err
+	}
+	if v, err := parseInt(s); err == nil {
+		return expr{off: v}, nil
+	}
+	// SYM, SYM+N, SYM-N
+	for _, sep := range []byte{'+', '-'} {
+		if i := strings.LastIndexByte(s, sep); i > 0 {
+			sym := strings.TrimSpace(s[:i])
+			if !isIdent(sym) {
+				continue
+			}
+			n, err := parseInt(strings.TrimSpace(s[i+1:]))
+			if err != nil {
+				return expr{}, fmt.Errorf("bad offset in %q", s)
+			}
+			if sep == '-' {
+				n = -n
+			}
+			return a.symExpr(sym, n)
+		}
+	}
+	if isIdent(s) {
+		return a.symExpr(s, 0)
+	}
+	return expr{}, fmt.Errorf("cannot parse expression %q", s)
+}
+
+func (a *assembler) symExpr(sym string, off int64) (expr, error) {
+	if v, ok := a.equs[sym]; ok {
+		return expr{off: v + off}, nil
+	}
+	return expr{sym: sym, off: off}, nil
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 32)
+	if err != nil {
+		// Also allow full-range negative decimals like -2147483648.
+		if w, err2 := strconv.ParseInt(s, 0, 64); err2 == nil && w <= 1<<32 {
+			v = uint64(w)
+		} else {
+			return 0, err
+		}
+	}
+	n := int64(v)
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+func charLit(s string) (int64, error) {
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body := s[1 : len(s)-1]
+		if body == `\n` {
+			return '\n', nil
+		}
+		if body == `\t` {
+			return '\t', nil
+		}
+		if body == `\\` {
+			return '\\', nil
+		}
+		if body == `\'` {
+			return '\'', nil
+		}
+		if len(body) == 1 {
+			return int64(body[0]), nil
+		}
+	}
+	return 0, fmt.Errorf("bad character literal %s", s)
+}
+
+func regNum(s string) (uint8, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, false
+	}
+	return uint8(n), true
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_' || c == '.':
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	// Avoid treating register names as symbols.
+	if _, isReg := regNum(s); isReg {
+		return false
+	}
+	return true
+}
+
+func splitCommas(s string) ([]string, error) {
+	var parts []string
+	depth, start, inQuote := 0, 0, byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote != 0:
+			if c == '\\' {
+				i++
+			} else if c == inQuote {
+				inQuote = 0
+			}
+		case c == '"' || c == '\'':
+			inQuote = c
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced ')'")
+			}
+		case c == ',' && depth == 0:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	if depth != 0 || inQuote != 0 {
+		return nil, fmt.Errorf("unbalanced delimiter in %q", s)
+	}
+	parts = append(parts, s[start:])
+	return parts, nil
+}
+
+func indexOutsideQuotes(s, sub string) int {
+	inQuote := byte(0)
+	for i := 0; i+len(sub) <= len(s); i++ {
+		c := s[i]
+		if inQuote != 0 {
+			if c == '\\' {
+				i++
+			} else if c == inQuote {
+				inQuote = 0
+			}
+			continue
+		}
+		if c == '"' || c == '\'' {
+			inQuote = c
+			continue
+		}
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

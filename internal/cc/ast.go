@@ -1,0 +1,276 @@
+package cc
+
+import "fmt"
+
+// Type describes a Cm type.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // Ptr and Array element
+	Len  int   // Array length
+}
+
+// TypeKind enumerates Cm's types.
+type TypeKind uint8
+
+// Cm type kinds.
+const (
+	TypeInt TypeKind = iota
+	TypeChar
+	TypeVoid
+	TypePtr
+	TypeArray
+)
+
+var (
+	intType  = &Type{Kind: TypeInt}
+	charType = &Type{Kind: TypeChar}
+	voidType = &Type{Kind: TypeVoid}
+)
+
+func ptrTo(e *Type) *Type { return &Type{Kind: TypePtr, Elem: e} }
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TypeChar:
+		return 1
+	case TypeArray:
+		return t.Len * t.Elem.Size()
+	case TypeVoid:
+		return 0
+	default:
+		return 4
+	}
+}
+
+// IsScalar reports whether values of t fit in a register.
+func (t *Type) IsScalar() bool {
+	return t.Kind == TypeInt || t.Kind == TypeChar || t.Kind == TypePtr
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeInt:
+		return "int"
+	case TypeChar:
+		return "char"
+	case TypeVoid:
+		return "void"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	}
+	return "?"
+}
+
+// equalTypes compares structurally.
+func equalTypes(a, b *Type) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case TypePtr:
+		return equalTypes(a.Elem, b.Elem)
+	case TypeArray:
+		return a.Len == b.Len && equalTypes(a.Elem, b.Elem)
+	}
+	return true
+}
+
+// Program is a checked Cm translation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+	Strings []string // interned string literals, indexed by StrLit.Index
+}
+
+// VarDecl is a global or local variable.
+type VarDecl struct {
+	Name string
+	Type *Type
+	Line int
+
+	// Global initialization.
+	InitInts   []int64 // scalar (len 1) or int-array initializer
+	InitString string  // char-array initializer
+	HasInit    bool
+
+	// Storage assignment, filled by the back ends / sema.
+	IsGlobal  bool
+	AddrTaken bool // &x used, or type is an array: must live in memory
+	Seq       int  // declaration order within its function
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*VarDecl
+	Body   *Block
+	Line   int
+
+	Locals  []*VarDecl // all block-scope declarations, in order
+	IsLeaf  bool       // calls nothing (backend hint)
+	MaxArgs int        // largest call arity inside
+
+	hasCalls bool // set by the parser when any Call appears in the body
+}
+
+// Statements.
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Block is a { ... } statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local, optionally initialized.
+type DeclStmt struct {
+	Var  *VarDecl
+	Init Expr // nil if none
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct{ X Expr }
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil if absent
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	Init Stmt // DeclStmt or ExprStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	X    Expr // nil for bare return
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Line int }
+
+func (*Block) stmtNode()        {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expressions. Every expression carries its checked type after sema.
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	TypeOf() *Type
+}
+
+type exprBase struct{ typ *Type }
+
+func (e *exprBase) exprNode()     {}
+func (e *exprBase) TypeOf() *Type { return e.typ }
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// StrLit is a string literal (char* to interned storage).
+type StrLit struct {
+	exprBase
+	Index int
+}
+
+// VarRef names a variable.
+type VarRef struct {
+	exprBase
+	Decl *VarDecl
+}
+
+// Unary is -x, !x, ~x, *p, &lv.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is any binary operator except assignment and short-circuits.
+type Binary struct {
+	exprBase
+	Op   string
+	X, Y Expr
+	// Scale is the pointer-arithmetic multiplier applied to Y (for p+i)
+	// or to the difference (p-q), set by sema.
+	Scale int
+}
+
+// Logic is && or || with short-circuit evaluation.
+type Logic struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// Assign stores Y into lvalue X and yields the stored value.
+type Assign struct {
+	exprBase
+	X, Y Expr
+}
+
+// Index is X[i]; sema also rewrites *p to Index(p, 0) form? No: kept as Unary("*").
+type Index struct {
+	exprBase
+	Arr, Idx Expr
+}
+
+// Call invokes a function or builtin.
+type Call struct {
+	exprBase
+	Func    *FuncDecl // nil for builtins
+	Builtin string    // "putint", "putchar" or ""
+	Args    []Expr
+	Line    int
+
+	// runtimeName names a compiler-runtime routine (__mulsi, __divsi,
+	// __modsi) when the back end lowers an operator to a call.
+	runtimeName string
+}
+
+// Cond is c ? a : b.
+type Cond struct {
+	exprBase
+	C, A, B Expr
+}
+
+// IncDec is ++x, --x, x++ or x--; X is an lvalue. The value of the
+// expression is the new value (prefix) or the original value (postfix).
+// Delta is +1 or -1 scaled for pointer arithmetic by sema.
+type IncDec struct {
+	exprBase
+	X     Expr
+	Delta int
+	Post  bool
+}

@@ -1,0 +1,159 @@
+package cc
+
+import (
+	"strings"
+)
+
+// OptimizeDelaySlots rewrites RISC assembly text, moving the instruction
+// preceding a branch into the branch's delay slot when that is provably
+// safe, and returns the rewritten text plus the number of slots filled.
+// This is the paper's post-pass: RISC I relied on a simple reorganizer to
+// make delayed jumps cheap instead of building branch prediction hardware.
+//
+// A candidate pattern is
+//
+//	<inst X>
+//	<branch B>     (b, b<cond>, jmpr, jmp — never call/ret: their slots
+//	nop             execute in the callee's/caller's register window)
+//
+// X may move when it is a single real instruction (no li/la pseudos, which
+// can expand to two words), does not set the condition codes (the branch
+// may read them), and does not write a register the branch reads.
+func OptimizeDelaySlots(src string) (string, int) {
+	lines := strings.Split(src, "\n")
+	filled := 0
+	for i := 0; i+2 < len(lines); i++ {
+		x := strings.TrimSpace(lines[i])
+		b := strings.TrimSpace(lines[i+1])
+		nop := strings.TrimSpace(lines[i+2])
+		if nop != "nop" || !isBranch(b) || !movable(x) {
+			continue
+		}
+		if writesAny(x, branchReads(b)) {
+			continue
+		}
+		// Swap X into the slot.
+		lines[i], lines[i+1], lines[i+2] = lines[i+1], lines[i], ""
+		copy(lines[i+2:], lines[i+3:])
+		lines = lines[:len(lines)-1]
+		filled++
+		i++ // skip past the branch+slot we just built
+	}
+	return strings.Join(lines, "\n"), filled
+}
+
+func mnemonicOf(line string) string {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return ""
+	}
+	return f[0]
+}
+
+// isBranch recognizes the transfers whose slots we fill.
+func isBranch(line string) bool {
+	m := mnemonicOf(line)
+	if m == "jmpr" || m == "jmp" {
+		return true
+	}
+	// b and b<cond>.
+	if m == "b" {
+		return true
+	}
+	if strings.HasPrefix(m, "b") {
+		_, ok := condNamesSet[m[1:]]
+		return ok
+	}
+	return false
+}
+
+var condNamesSet = func() map[string]struct{} {
+	s := map[string]struct{}{}
+	for _, n := range []string{"nev", "alw", "eq", "ne", "gt", "le", "ge",
+		"lt", "hi", "los", "lo", "his", "pl", "mi", "nv", "v"} {
+		s[n] = struct{}{}
+	}
+	return s
+}()
+
+// movable instructions: plain ALU ops, loads and stores that neither set
+// flags nor expand to multiple words.
+var movableOps = map[string]bool{
+	"add": true, "sub": true, "and": true, "or": true, "xor": true,
+	"sll": true, "srl": true, "sra": true, "mov": true,
+	"ldl": true, "ldbu": true, "ldbs": true, "ldsu": true, "ldss": true,
+	"stl": true, "stb": true, "sts": true, "ldhi": true,
+}
+
+func movable(line string) bool {
+	if line == "" || strings.HasSuffix(strings.Fields(line+" x")[0], ":") {
+		return false
+	}
+	m := mnemonicOf(line)
+	if strings.HasSuffix(m, "!") || strings.HasPrefix(m, ".") {
+		return false
+	}
+	return movableOps[m]
+}
+
+// branchReads returns the registers a branch reads (for `jmp cond,(rx)s2`
+// the base and a possible index register; relative branches read none).
+func branchReads(line string) []string {
+	if mnemonicOf(line) != "jmp" {
+		return nil
+	}
+	var regs []string
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "jmp"))
+	if i := strings.IndexByte(rest, ','); i >= 0 {
+		rest = rest[i+1:]
+	}
+	// rest is like "(r3)#0" or "(r3)r4".
+	rest = strings.TrimSpace(rest)
+	if strings.HasPrefix(rest, "(") {
+		if j := strings.IndexByte(rest, ')'); j > 1 {
+			regs = append(regs, rest[1:j])
+			tail := strings.TrimSpace(rest[j+1:])
+			if strings.HasPrefix(tail, "r") {
+				regs = append(regs, tail)
+			}
+		}
+	}
+	return regs
+}
+
+// writesAny reports whether instruction line writes any of regs.
+func writesAny(line string, regs []string) bool {
+	if len(regs) == 0 {
+		return false
+	}
+	dst := destReg(line)
+	if dst == "" {
+		return false
+	}
+	for _, r := range regs {
+		if r == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// destReg extracts the destination register of a movable instruction
+// (always the last comma-separated operand for ALU/loads; stores write
+// memory only).
+func destReg(line string) string {
+	m := mnemonicOf(line)
+	switch m {
+	case "stl", "stb", "sts":
+		return ""
+	}
+	i := strings.LastIndexByte(line, ',')
+	if i < 0 {
+		return ""
+	}
+	dst := strings.TrimSpace(line[i+1:])
+	if strings.HasPrefix(dst, "r") {
+		return dst
+	}
+	return ""
+}

@@ -1,0 +1,77 @@
+package cc_test
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestOperatorPrecedence pins the C precedence table with expressions whose
+// value differs under wrong associativity or binding.
+func TestOperatorPrecedence(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int32
+	}{
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"10 - 4 - 3", 3},          // left associative
+		{"100 / 10 / 2", 5},        // left associative
+		{"1 << 2 + 1", 8},          // shift binds looser than +
+		{"4 & 2 | 1", 1},           // & binds tighter than |
+		{"1 | 2 ^ 2", 1},           // ^ between | and &
+		{"6 & 3 == 3", 6 & 1},      // comparison tighter than & (C's famous gotcha)
+		{"1 + 2 < 2 + 2", 1},       // + tighter than <
+		{"0 || 1 && 0", 0},         // && tighter than ||
+		{"1 ? 2 : 0 ? 3 : 4", 2},   // ?: right associative
+		{"0 ? 2 : 1 ? 3 : 4", 3},
+		{"-2 * -3", 6},
+		{"~0 & 15", 15},
+		{"!3 + 1", 1},
+		{"10 % 4 * 2", 4},          // % and * same level, left assoc
+	}
+	for _, c := range cases {
+		src := fmt.Sprintf("int main() { putint(%s); return 0; }", c.expr)
+		want := fmt.Sprintf("%d", c.want)
+		for _, target := range allTargets {
+			if got := runTarget(t, src, target); got != want {
+				t.Errorf("%q on %v = %s, want %s", c.expr, target, got, want)
+			}
+		}
+	}
+}
+
+// TestCommentsAndFormatting exercises lexer corners.
+func TestCommentsAndFormatting(t *testing.T) {
+	src := `
+/* block
+   comment */ int main() {
+	int x; // line comment
+	x = 1; /* inline */ x += 2;
+	putint(x);
+	return 0; // done
+}`
+	for _, target := range allTargets {
+		if got := runTarget(t, src, target); got != "3" {
+			t.Errorf("%v: %q", target, got)
+		}
+	}
+}
+
+// TestCharEscapes covers character and string escape handling end to end.
+func TestCharEscapes(t *testing.T) {
+	src := `
+char s[] = "a\tb\\c\"d";
+int main() {
+	int i;
+	for (i = 0; s[i]; i++) putchar(s[i]);
+	putchar('\n');
+	putint('\t');
+	return 0;
+}`
+	want := "a\tb\\c\"d\n9"
+	for _, target := range allTargets {
+		if got := runTarget(t, src, target); got != want {
+			t.Errorf("%v: %q, want %q", target, got, want)
+		}
+	}
+}

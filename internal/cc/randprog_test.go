@@ -1,0 +1,139 @@
+package cc_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestDifferentialRandomPrograms generates random structured Cm programs —
+// globals, arrays, helper functions, bounded loops, conditionals — and
+// requires all three targets to print identical output. Unlike the
+// expression test this exercises control flow, memory and calls together.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		src := randomProgram(r)
+		outputs := map[string]bool{}
+		var first string
+		for _, target := range allTargets {
+			got := runTarget(t, src, target)
+			outputs[got] = true
+			first = got
+		}
+		if len(outputs) != 1 {
+			t.Fatalf("trial %d: targets disagree: %v\nprogram:\n%s",
+				trial, outputs, src)
+		}
+		if first == "" {
+			t.Fatalf("trial %d: program printed nothing:\n%s", trial, src)
+		}
+	}
+}
+
+// randomProgram builds a terminating Cm program with deterministic output.
+type progGen struct {
+	r        *rand.Rand
+	b        strings.Builder
+	locals   []string // assignable variables
+	readable []string // additionally readable (loop iterators)
+	depth    int
+}
+
+func randomProgram(r *rand.Rand) string {
+	g := &progGen{r: r}
+	g.b.WriteString("int g0; int g1; int arr[16];\n")
+	g.b.WriteString("int helper(int a, int b) { return a * 3 - b + g0; }\n")
+	g.b.WriteString("int main() {\n")
+	g.b.WriteString("\tint i; int x; int y;\n\tx = 1; y = 2; g0 = 3; g1 = 4;\n")
+	g.b.WriteString("\tfor (i = 0; i < 16; i++) arr[i] = i * i - 5;\n")
+	g.locals = []string{"x", "y", "g0", "g1"}
+	for s := 0; s < 6; s++ {
+		g.stmt(1)
+	}
+	g.b.WriteString("\tputint(x); putchar(' '); putint(y); putchar(' ');\n")
+	g.b.WriteString("\tputint(g0 + g1);\n")
+	g.b.WriteString("\tfor (i = 0; i < 16; i++) { putchar(' '); putint(arr[i]); }\n")
+	g.b.WriteString("\treturn 0;\n}\n")
+	return g.b.String()
+}
+
+// v picks an assignable variable; rv picks any readable one.
+func (g *progGen) v() string { return g.locals[g.r.Intn(len(g.locals))] }
+
+func (g *progGen) rv() string {
+	all := append(append([]string{}, g.locals...), g.readable...)
+	return all[g.r.Intn(len(all))]
+}
+
+// expr builds a side-effect-free expression over the tracked variables.
+func (g *progGen) expr(depth int) string {
+	if depth == 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(41)-20)
+		case 1:
+			return g.rv()
+		default:
+			return fmt.Sprintf("arr[%d]", g.r.Intn(16))
+		}
+	}
+	a, b := g.expr(depth-1), g.expr(depth-1)
+	switch g.r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case 3:
+		// Division by a guaranteed-nonzero value.
+		return fmt.Sprintf("(%s / (1 + ((%s) & 7)))", a, b)
+	case 4:
+		return fmt.Sprintf("(%s %% (2 + ((%s) & 3)))", a, b)
+	case 5:
+		return fmt.Sprintf("(%s ^ %s)", a, b)
+	case 6:
+		return fmt.Sprintf("(%s < %s)", a, b)
+	default:
+		return fmt.Sprintf("helper(%s, %s)", a, b)
+	}
+}
+
+func (g *progGen) stmt(indent int) {
+	pad := strings.Repeat("\t", indent)
+	if g.depth > 2 {
+		fmt.Fprintf(&g.b, "%s%s = %s;\n", pad, g.v(), g.expr(2))
+		return
+	}
+	switch g.r.Intn(5) {
+	case 0: // assignment
+		fmt.Fprintf(&g.b, "%s%s = %s;\n", pad, g.v(), g.expr(2))
+	case 1: // array store with a safe index
+		fmt.Fprintf(&g.b, "%sarr[(%s) & 15] = %s;\n", pad, g.expr(1), g.expr(2))
+	case 2: // bounded loop over a fresh iterator (readable, never assigned)
+		it := fmt.Sprintf("t%d", g.r.Intn(1000000))
+		fmt.Fprintf(&g.b, "%sfor (int %s = 0; %s < %d; %s++) {\n",
+			pad, it, it, 2+g.r.Intn(6), it)
+		g.depth++
+		g.readable = append(g.readable, it)
+		g.stmt(indent + 1)
+		g.readable = g.readable[:len(g.readable)-1]
+		g.depth--
+		fmt.Fprintf(&g.b, "%s}\n", pad)
+	case 3: // conditional
+		fmt.Fprintf(&g.b, "%sif (%s) {\n", pad, g.expr(2))
+		g.depth++
+		g.stmt(indent + 1)
+		g.depth--
+		fmt.Fprintf(&g.b, "%s} else {\n", pad)
+		g.depth++
+		g.stmt(indent + 1)
+		g.depth--
+		fmt.Fprintf(&g.b, "%s}\n", pad)
+	default: // compound update
+		ops := []string{"+=", "-=", "^=", "|="}
+		fmt.Fprintf(&g.b, "%s%s %s %s;\n", pad, g.v(), ops[g.r.Intn(len(ops))], g.expr(2))
+	}
+}

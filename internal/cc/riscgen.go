@@ -1,0 +1,383 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// fmt2 is a short alias used by the emitters.
+func fmt2(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// GenerateRISC compiles a checked program to RISC I assembly (package asm
+// syntax). windowed selects the register-window calling convention; false
+// selects the flat-register ablation, whose compiler must save and restore
+// registers around calls like any conventional machine.
+//
+// The emitted code leaves a NOP in every delayed-transfer slot;
+// OptimizeDelaySlots rewrites the text to fill the slots it can.
+func GenerateRISC(prog *Program, windowed bool) (string, error) {
+	return generateRISC(prog, windowed, true)
+}
+
+func generateRISC(prog *Program, windowed, useGP bool) (string, error) {
+	g := &riscGen{prog: prog, windowed: windowed, useGP: useGP}
+	return g.generate()
+}
+
+// GPReg is the global-pointer register: anchored at address 4096 by the
+// startup stub so any symbol in the first 8 KiB is one signed-13-bit
+// displacement away — the classic small-data trick, matching the CISC's
+// absolute addressing with a single instruction instead of an ldhi pair.
+const GPReg = 8
+
+// gpAnchor is the value the startup stub loads into GPReg.
+const gpAnchor = 4096
+
+// Calling-convention register assignments.
+type riscConv struct {
+	argIn    uint8 // first incoming-parameter register
+	argOut   uint8 // first outgoing-argument register
+	retIn    uint8 // where the caller finds the return value
+	retOut   uint8 // where the callee leaves the return value
+	link     uint8
+	sp       uint8
+	localLo  uint8 // local-variable register range
+	localHi  uint8
+	scratch  []uint8 // expression temporaries (clobbered by calls)
+	saveUsed bool    // callee must save/restore its local registers
+}
+
+func conventionFor(windowed bool) riscConv {
+	if windowed {
+		// Outgoing arguments in LOW (r10..r15) become the callee's HIGH
+		// (r26..r31); the return value travels back through the same
+		// overlap. The link register is a LOCAL so every activation
+		// keeps its own. No register is ever saved by software unless
+		// the hardware runs out of windows.
+		return riscConv{
+			argIn: 26, argOut: 10, retIn: 10, retOut: 26,
+			link: 25, sp: 9, localLo: 16, localHi: 24,
+			scratch: []uint8{10, 11, 12, 13, 14, 15},
+		}
+	}
+	// Flat: a conventional RISC convention. r1..r6 carry arguments and
+	// are caller-saved; r16..r24 are callee-saved locals; r25 holds the
+	// return address and must be saved by non-leaf procedures.
+	return riscConv{
+		argIn: 1, argOut: 1, retIn: 1, retOut: 1,
+		link: 25, sp: 9, localLo: 16, localHi: 24,
+		scratch:  []uint8{10, 11, 12, 13, 14, 15},
+		saveUsed: true,
+	}
+}
+
+// rtemp is one entry of the expression-temporary stack.
+type rtemp struct {
+	reg  int16 // register, or -1 when spilled
+	slot int   // frame spill slot when spilled
+}
+
+type riscGen struct {
+	prog     *Program
+	windowed bool
+	useGP    bool
+	conv     riscConv
+	out      strings.Builder
+
+	// per-function state
+	fn        *FuncDecl
+	body      []string
+	localReg  map[*VarDecl]uint8
+	localOff  map[*VarDecl]int
+	memBytes  int // frame bytes used by memory locals
+	temps     []rtemp
+	freeRegs  []uint8
+	pinned    map[uint8]bool
+	freeSlots []int
+	spillMax  int // total spill slots ever allocated
+	labelN    int
+	breakL    []string
+	contL     []string
+	savedRegs []uint8
+
+	usesMul, usesDiv, usesMod bool
+}
+
+type tref int
+
+func (g *riscGen) emit(format string, args ...any) {
+	g.body = append(g.body, "\t"+fmt.Sprintf(format, args...))
+}
+
+func (g *riscGen) label(l string) { g.body = append(g.body, l+":") }
+
+func (g *riscGen) newLabel(hint string) string {
+	g.labelN++
+	return fmt.Sprintf(".L%s_%s%d", g.fn.Name, hint, g.labelN)
+}
+
+func (g *riscGen) generate() (string, error) {
+	g.conv = conventionFor(g.windowed)
+	fmt.Fprintf(&g.out, "; Cm compiler output, target: RISC I (%s)\n",
+		map[bool]string{true: "register windows", false: "flat registers"}[g.windowed])
+	if g.useGP {
+		// Startup stub: anchor the global pointer, then fall into main
+		// with a plain branch so the halt linkage set at reset survives.
+		g.out.WriteString("\t.entry __start\n__start:\n")
+		fmt.Fprintf(&g.out, "\tli #%d,r%d\n", gpAnchor, GPReg)
+		g.out.WriteString("\tb main\n\tnop\n")
+	} else {
+		g.out.WriteString("\t.entry main\n")
+	}
+	for _, fn := range g.prog.Funcs {
+		if err := g.genFunc(fn); err != nil {
+			return "", err
+		}
+	}
+	if g.usesMul {
+		g.out.WriteString(g.runtimeMul())
+	}
+	if g.usesDiv {
+		g.out.WriteString(g.runtimeDivMod("__divsi", true))
+	}
+	if g.usesMod {
+		g.out.WriteString(g.runtimeDivMod("__modsi", false))
+	}
+	g.genData()
+	return g.out.String(), nil
+}
+
+// errorAt builds a backend diagnostic.
+func errorAt(line int, format string, args ...any) error {
+	return &CompileError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---------- function framework ----------
+
+func (g *riscGen) genFunc(fn *FuncDecl) error {
+	g.fn = fn
+	g.body = nil
+	g.localReg = map[*VarDecl]uint8{}
+	g.localOff = map[*VarDecl]int{}
+	g.memBytes = 0
+	g.temps = nil
+	g.pinned = map[uint8]bool{}
+	g.freeSlots, g.spillMax = nil, 0
+	g.labelN = 0
+	g.breakL, g.contL = nil, nil
+	g.savedRegs = nil
+
+	// Assign storage: parameters first, then locals.
+	nextLocal := g.conv.localLo
+	if !g.windowed {
+		nextLocal = g.conv.localLo // parameters also consume local registers
+	}
+	usedLocal := map[uint8]bool{}
+	takeLocalReg := func() (uint8, bool) {
+		for r := nextLocal; r <= g.conv.localHi; r++ {
+			if !usedLocal[r] && r != g.conv.link {
+				usedLocal[r] = true
+				return r, true
+			}
+		}
+		return 0, false
+	}
+	frameAlloc := func(size int) int {
+		off := g.memBytes
+		g.memBytes += (size + 3) &^ 3
+		return off
+	}
+
+	for i, p := range fn.Params {
+		if p.AddrTaken {
+			g.localOff[p] = frameAlloc(4)
+			continue
+		}
+		if g.windowed {
+			// Parameters live where they arrive: the HIGH registers.
+			g.localReg[p] = g.conv.argIn + uint8(i)
+			continue
+		}
+		r, ok := takeLocalReg()
+		if !ok {
+			g.localOff[p] = frameAlloc(4)
+			continue
+		}
+		g.localReg[p] = r
+	}
+	for _, v := range fn.Locals {
+		if v.AddrTaken || !v.Type.IsScalar() {
+			g.localOff[v] = frameAlloc(v.Type.Size())
+			continue
+		}
+		if r, ok := takeLocalReg(); ok {
+			g.localReg[v] = r
+		} else {
+			g.localOff[v] = frameAlloc(4)
+		}
+	}
+
+	// Scratch pool: the convention's scratch registers plus any local
+	// registers this function left unused (windowed only — in flat mode
+	// unused locals would have to be saved to be usable).
+	g.freeRegs = append([]uint8(nil), g.conv.scratch...)
+	if g.windowed {
+		for r := g.conv.localLo; r <= g.conv.localHi; r++ {
+			if !usedLocal[r] && r != g.conv.link {
+				g.freeRegs = append(g.freeRegs, r)
+			}
+		}
+	}
+
+	// Generate the body.
+	retLabel := fmt.Sprintf(".Lret_%s", fn.Name)
+	if err := g.genBlock(fn.Body); err != nil {
+		return err
+	}
+	g.label(retLabel)
+
+	// Assemble prologue / body / epilogue now that the frame is known.
+	if !g.windowed {
+		for _, v := range fn.Locals {
+			if r, ok := g.localReg[v]; ok {
+				g.savedRegs = append(g.savedRegs, r)
+			}
+		}
+		for _, p := range fn.Params {
+			if r, ok := g.localReg[p]; ok {
+				g.savedRegs = append(g.savedRegs, r)
+			}
+		}
+		if !fn.IsLeaf {
+			g.savedRegs = append(g.savedRegs, g.conv.link)
+		}
+	}
+	frame := g.memBytes + 4*g.spillMax + 4*len(g.savedRegs)
+	sp := g.conv.sp
+
+	fmt.Fprintf(&g.out, "\n; ---- %s ----\n%s:\n", fn.Name, fn.Name)
+	if frame > 0 {
+		fmt.Fprintf(&g.out, "\tsub r%d,#%d,r%d\n", sp, frame, sp)
+	}
+	saveBase := g.memBytes + 4*g.spillMax
+	for i, r := range g.savedRegs {
+		fmt.Fprintf(&g.out, "\tstl r%d,(r%d)#%d\n", r, sp, saveBase+4*i)
+	}
+	// Flat mode: move incoming arguments to their homes.
+	if !g.windowed {
+		for i, p := range fn.Params {
+			in := g.conv.argIn + uint8(i)
+			if r, ok := g.localReg[p]; ok {
+				fmt.Fprintf(&g.out, "\tmov r%d,r%d\n", in, r)
+			} else if off, ok := g.localOff[p]; ok {
+				fmt.Fprintf(&g.out, "\tstl r%d,(r%d)#%d\n", in, sp, off)
+			}
+		}
+	} else {
+		for i, p := range fn.Params {
+			if off, ok := g.localOff[p]; ok { // address-taken parameter
+				fmt.Fprintf(&g.out, "\tstl r%d,(r%d)#%d\n",
+					g.conv.argIn+uint8(i), sp, off)
+			}
+		}
+	}
+	for _, line := range g.body {
+		g.out.WriteString(line)
+		g.out.WriteByte('\n')
+	}
+	// Epilogue.
+	for i, r := range g.savedRegs {
+		fmt.Fprintf(&g.out, "\tldl (r%d)#%d,r%d\n", sp, saveBase+4*i, r)
+	}
+	if frame > 0 {
+		fmt.Fprintf(&g.out, "\tadd r%d,#%d,r%d\n", sp, frame, sp)
+	}
+	fmt.Fprintf(&g.out, "\tret r%d,#8\n\tnop\n", g.conv.link)
+	return nil
+}
+
+// ---------- temporaries ----------
+
+func (g *riscGen) takeReg() uint8 {
+	if len(g.freeRegs) > 0 {
+		r := g.freeRegs[0]
+		g.freeRegs = g.freeRegs[1:]
+		return r
+	}
+	// Spill the oldest unpinned in-register temporary.
+	for i := range g.temps {
+		t := &g.temps[i]
+		if t.reg >= 0 && !g.pinned[uint8(t.reg)] {
+			r := uint8(t.reg)
+			t.slot = g.allocSlot()
+			g.emit("stl r%d,(r%d)#%d", r, g.conv.sp, g.slotOff(t.slot))
+			t.reg = -1
+			return r
+		}
+	}
+	panic("cc: expression too complex: out of temporary registers")
+}
+
+func (g *riscGen) allocSlot() int {
+	if n := len(g.freeSlots); n > 0 {
+		s := g.freeSlots[n-1]
+		g.freeSlots = g.freeSlots[:n-1]
+		return s
+	}
+	g.spillMax++
+	return g.spillMax - 1
+}
+
+func (g *riscGen) slotOff(slot int) int { return g.memBytes + 4*slot }
+
+func (g *riscGen) pushTemp() tref {
+	r := g.takeReg()
+	g.temps = append(g.temps, rtemp{reg: int16(r)})
+	return tref(len(g.temps) - 1)
+}
+
+// reg ensures the temp is register-resident and returns its register.
+func (g *riscGen) reg(t tref) uint8 {
+	tm := &g.temps[t]
+	if tm.reg >= 0 {
+		return uint8(tm.reg)
+	}
+	r := g.takeReg()
+	g.emit("ldl (r%d)#%d,r%d", g.conv.sp, g.slotOff(tm.slot), r)
+	g.freeSlots = append(g.freeSlots, tm.slot)
+	tm.reg = int16(r)
+	return r
+}
+
+// pop releases the top temporary, which must be t.
+func (g *riscGen) pop(t tref) {
+	if int(t) != len(g.temps)-1 {
+		panic("cc: temp stack discipline violated")
+	}
+	tm := g.temps[t]
+	if tm.reg >= 0 {
+		g.freeRegs = append(g.freeRegs, uint8(tm.reg))
+		delete(g.pinned, uint8(tm.reg))
+	} else {
+		g.freeSlots = append(g.freeSlots, tm.slot)
+	}
+	g.temps = g.temps[:t]
+}
+
+// spillAllTemps forces every live temporary to its frame slot (before a
+// call clobbers the scratch registers).
+func (g *riscGen) spillAllTemps() {
+	for i := range g.temps {
+		t := &g.temps[i]
+		if t.reg >= 0 {
+			t.slot = g.allocSlot()
+			g.emit("stl r%d,(r%d)#%d", uint8(t.reg), g.conv.sp, g.slotOff(t.slot))
+			g.freeRegs = append(g.freeRegs, uint8(t.reg))
+			delete(g.pinned, uint8(t.reg))
+			t.reg = -1
+		}
+	}
+}
+
+func (g *riscGen) pin(r uint8)   { g.pinned[r] = true }
+func (g *riscGen) unpin(r uint8) { delete(g.pinned, r) }

@@ -1,0 +1,55 @@
+package cisc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleListing(t *testing.T) {
+	img := MustAssemble(`
+	main:	.mask r2, r3
+		movl #5, r1
+		movl #100000, r2
+		addl3 r1, 4(fp), r3
+		movl (r1)[r2], r4
+		movzbl (r1)[r2.b], r5
+		cmpl r1, @cell
+		beq done
+		pushl r1
+		calls #1, main
+	done:	ret
+		.align 4
+	cell:	.word 7
+	`)
+	out := Disassemble(img)
+	for _, want := range []string{
+		"main:", ".mask r2, r3",
+		"movl #5, r1", "movl #100000, r2",
+		"addl3 r1, 4(fp), r3",
+		"movl (r1)[r2], r4",
+		"movzbl (r1)[r2.b], r5",
+		"beq", "calls #1,", "ret",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisassembleUnknownBytes(t *testing.T) {
+	// Entry mask, then an undefined opcode, then RET.
+	img := &Image{Org: 0, Bytes: []byte{0, 0, 0xEE, 0x61}, Symbols: map[string]uint32{}}
+	out := Disassemble(img)
+	if !strings.Contains(out, ".byte 0xee") || !strings.Contains(out, "ret") {
+		t.Errorf("listing: %s", out)
+	}
+}
+
+func TestDisassembleTruncated(t *testing.T) {
+	// MOVL opcode with no operand bytes must not panic.
+	img := &Image{Org: 0, Bytes: []byte{byte(OpMOVL)}, Symbols: map[string]uint32{}}
+	out := Disassemble(img)
+	if !strings.Contains(out, ".byte") {
+		t.Errorf("listing: %s", out)
+	}
+}

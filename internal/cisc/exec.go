@@ -1,0 +1,505 @@
+package cisc
+
+import (
+	"fmt"
+)
+
+// category buckets for the instruction-mix statistics, chosen to be
+// comparable with the RISC I categories.
+func category(op Op) string {
+	switch {
+	case op == OpHALT:
+		return "misc"
+	case op >= OpMOVL && op <= OpCLRL:
+		return "move"
+	case op >= OpADDL2 && op <= OpDECL:
+		return "alu"
+	case op >= OpCMPL && op <= OpTSTL:
+		return "compare"
+	case op == OpCALLS || op == OpRET:
+		return "call"
+	default:
+		return "control"
+	}
+}
+
+// Step executes one CX instruction.
+func (c *CPU) Step() error {
+	if c.halted {
+		return ErrHalted
+	}
+	start := c.pc
+	c.cursor = c.pc
+	opByte, err := c.fetchByte()
+	if err != nil {
+		return &Error{PC: start, Err: err}
+	}
+	op := Op(opByte)
+	info, ok := opTable[op]
+	if !ok {
+		return &Error{PC: start, Err: fmt.Errorf("undefined opcode %#02x", opByte)}
+	}
+	c.stat.Instructions++
+	c.opCounts[op]++
+	c.stat.Cycles += info.base
+
+	if err := c.exec(op); err != nil {
+		return &Error{PC: start, Err: err}
+	}
+	if !c.halted {
+		// Control transfers set pc themselves by moving the cursor.
+		c.pc = c.cursor
+	}
+	return nil
+}
+
+func (c *CPU) exec(op Op) error {
+	switch op {
+	case OpHALT:
+		c.halted = true
+		return nil
+
+	case OpMOVL, OpMOVAL, OpPUSHL, OpPOPL, OpCLRL, OpTSTL:
+		return c.execMove(op)
+
+	case OpMOVB, OpCVTBL, OpMOVZBL, OpCMPB:
+		return c.execByte(op)
+
+	case OpADDL2, OpADDL3, OpSUBL2, OpSUBL3, OpMULL2, OpMULL3,
+		OpDIVL2, OpDIVL3, OpANDL3, OpORL3, OpXORL3, OpASHL,
+		OpINCL, OpDECL, OpCMPL:
+		return c.execALU(op)
+
+	case OpBR, OpBEQ, OpBNE, OpBGT, OpBLE, OpBGE, OpBLT,
+		OpBHI, OpBLOS, OpBHIS, OpBLO, OpJMP:
+		return c.execBranch(op)
+
+	case OpCALLS:
+		return c.execCalls()
+	case OpRET:
+		return c.execRet()
+	}
+	return fmt.Errorf("unimplemented opcode %v", op)
+}
+
+func (c *CPU) execMove(op Op) error {
+	switch op {
+	case OpMOVL:
+		src, err := c.decodeSpec()
+		if err != nil {
+			return err
+		}
+		v, err := c.read32(src)
+		if err != nil {
+			return err
+		}
+		dst, err := c.decodeSpec()
+		if err != nil {
+			return err
+		}
+		c.setNZ(v)
+		return c.write32(dst, v)
+	case OpMOVAL:
+		src, err := c.decodeSpec()
+		if err != nil {
+			return err
+		}
+		if src.isReg || src.isImm {
+			return fmt.Errorf("moval needs a memory operand")
+		}
+		dst, err := c.decodeSpec()
+		if err != nil {
+			return err
+		}
+		return c.write32(dst, src.addr)
+	case OpPUSHL:
+		src, err := c.decodeSpec()
+		if err != nil {
+			return err
+		}
+		v, err := c.read32(src)
+		if err != nil {
+			return err
+		}
+		return c.push(v)
+	case OpPOPL:
+		dst, err := c.decodeSpec()
+		if err != nil {
+			return err
+		}
+		v, err := c.pop()
+		if err != nil {
+			return err
+		}
+		return c.write32(dst, v)
+	case OpCLRL:
+		dst, err := c.decodeSpec()
+		if err != nil {
+			return err
+		}
+		c.setNZ(0)
+		return c.write32(dst, 0)
+	case OpTSTL:
+		src, err := c.decodeSpec()
+		if err != nil {
+			return err
+		}
+		v, err := c.read32(src)
+		if err != nil {
+			return err
+		}
+		c.setNZ(v)
+		return nil
+	}
+	return fmt.Errorf("bad move op %v", op)
+}
+
+func (c *CPU) execByte(op Op) error {
+	src, err := c.decodeSpec()
+	if err != nil {
+		return err
+	}
+	b, err := c.read8(src)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case OpCMPB:
+		src2, err := c.decodeSpec()
+		if err != nil {
+			return err
+		}
+		b2, err := c.read8(src2)
+		if err != nil {
+			return err
+		}
+		c.subFlags(uint32(int32(int8(b))), uint32(int32(int8(b2))))
+		return nil
+	}
+	dst, err := c.decodeSpec()
+	if err != nil {
+		return err
+	}
+	switch op {
+	case OpMOVB:
+		c.setNZ(uint32(b))
+		return c.write8(dst, b)
+	case OpCVTBL:
+		v := uint32(int32(int8(b)))
+		c.setNZ(v)
+		return c.write32(dst, v)
+	default: // MOVZBL
+		v := uint32(b)
+		c.setNZ(v)
+		return c.write32(dst, v)
+	}
+}
+
+func (c *CPU) execALU(op Op) error {
+	switch op {
+	case OpINCL, OpDECL:
+		dst, err := c.decodeSpec()
+		if err != nil {
+			return err
+		}
+		v, err := c.read32(dst)
+		if err != nil {
+			return err
+		}
+		var r uint32
+		if op == OpINCL {
+			r = c.addFlags(v, 1)
+		} else {
+			r = c.subFlags(v, 1)
+		}
+		return c.write32(dst, r)
+	case OpCMPL:
+		a, err := c.readOperand()
+		if err != nil {
+			return err
+		}
+		b, err := c.readOperand()
+		if err != nil {
+			return err
+		}
+		c.subFlags(a, b)
+		return nil
+	}
+
+	// Binary ops: 2-operand forms read+write their second operand,
+	// 3-operand forms have a separate destination.
+	a, err := c.readOperand()
+	if err != nil {
+		return err
+	}
+	two := op == OpADDL2 || op == OpSUBL2 || op == OpMULL2 || op == OpDIVL2
+	var b uint32
+	var dst loc
+	if two {
+		dst, err = c.decodeSpec()
+		if err != nil {
+			return err
+		}
+		b, err = c.read32(dst)
+		if err != nil {
+			return err
+		}
+	} else {
+		b, err = c.readOperand()
+		if err != nil {
+			return err
+		}
+		dst, err = c.decodeSpec()
+		if err != nil {
+			return err
+		}
+	}
+
+	var r uint32
+	switch op {
+	case OpADDL2, OpADDL3:
+		r = c.addFlags(b, a)
+	case OpSUBL2:
+		r = c.subFlags(b, a) // subl2 src,dst: dst -= src
+	case OpSUBL3:
+		r = c.subFlags(a, b) // subl3 a,b,dst: dst = a - b
+	case OpMULL2, OpMULL3:
+		r = uint32(int32(a) * int32(b))
+		c.setNZ(r)
+	case OpDIVL2, OpDIVL3:
+		// divl2 src,dst: dst /= src.  divl3 a,b,dst: dst = a / b.
+		num, den := int32(b), int32(a)
+		if !two {
+			num, den = int32(a), int32(b)
+		}
+		if den == 0 {
+			return fmt.Errorf("divide by zero")
+		}
+		r = uint32(num / den)
+		c.setNZ(r)
+	case OpANDL3:
+		r = a & b
+		c.setNZ(r)
+	case OpORL3:
+		r = a | b
+		c.setNZ(r)
+	case OpXORL3:
+		r = a ^ b
+		c.setNZ(r)
+	case OpASHL:
+		// ashl count,src,dst: positive count shifts left, negative right
+		// (arithmetic). a = count, b = src.
+		cnt := int32(a)
+		switch {
+		case cnt >= 0:
+			r = b << (uint32(cnt) & 31)
+		default:
+			r = uint32(int32(b) >> (uint32(-cnt) & 31))
+		}
+		c.setNZ(r)
+	}
+	return c.write32(dst, r)
+}
+
+func (c *CPU) readOperand() (uint32, error) {
+	l, err := c.decodeSpec()
+	if err != nil {
+		return 0, err
+	}
+	return c.read32(l)
+}
+
+func (c *CPU) addFlags(a, b uint32) uint32 {
+	full := uint64(a) + uint64(b)
+	r := uint32(full)
+	c.flags.Z = r == 0
+	c.flags.N = int32(r) < 0
+	c.flags.C = full > 0xFFFFFFFF
+	c.flags.V = (a^b)&0x80000000 == 0 && (a^r)&0x80000000 != 0
+	return r
+}
+
+// subFlags computes a-b with the same carry convention as the RISC side:
+// C set means no borrow (a >= b unsigned).
+func (c *CPU) subFlags(a, b uint32) uint32 {
+	full := uint64(a) - uint64(b)
+	r := uint32(full)
+	c.flags.Z = r == 0
+	c.flags.N = int32(r) < 0
+	c.flags.C = full <= 0xFFFFFFFF
+	c.flags.V = (a^b)&0x80000000 != 0 && (a^r)&0x80000000 != 0
+	return r
+}
+
+func (c *CPU) execBranch(op Op) error {
+	if op == OpJMP {
+		dst, err := c.decodeSpec()
+		if err != nil {
+			return err
+		}
+		if dst.isReg || dst.isImm {
+			return fmt.Errorf("jmp needs an address operand")
+		}
+		c.cursor = dst.addr
+		c.stat.Transfers++
+		return nil
+	}
+	d, err := c.fetch16()
+	if err != nil {
+		return err
+	}
+	taken := false
+	f := c.flags
+	switch op {
+	case OpBR:
+		taken = true
+	case OpBEQ:
+		taken = f.Z
+	case OpBNE:
+		taken = !f.Z
+	case OpBGT:
+		taken = !f.Z && f.N == f.V
+	case OpBLE:
+		taken = f.Z || f.N != f.V
+	case OpBGE:
+		taken = f.N == f.V
+	case OpBLT:
+		taken = f.N != f.V
+	case OpBHI:
+		taken = f.C && !f.Z
+	case OpBLOS:
+		taken = !f.C || f.Z
+	case OpBHIS:
+		taken = f.C
+	case OpBLO:
+		taken = !f.C
+	}
+	c.stat.Transfers++
+	if taken {
+		c.cursor += uint32(int32(int16(d)))
+		c.stat.Cycles++ // taken branches refill the microsequencer
+	}
+	return nil
+}
+
+// execCalls implements the heavyweight CISC procedure call: push the
+// argument count, linkage (return PC, FP, AP), the callee's masked
+// registers and the mask word itself, then enter the callee past its mask.
+func (c *CPU) execCalls() error {
+	n, err := c.fetchByte()
+	if err != nil {
+		return err
+	}
+	dst, err := c.decodeSpec()
+	if err != nil {
+		return err
+	}
+	if dst.isReg || dst.isImm {
+		return fmt.Errorf("calls needs an address operand")
+	}
+	return c.callTo(uint32(n), dst.addr, c.cursor)
+}
+
+// callTo performs the CALLS stack build; retPC is where RET will resume.
+func (c *CPU) callTo(n, target, retPC uint32) error {
+	return c.doCallsCounted(n, target, retPC, true)
+}
+
+// doCalls is the uncounted variant used by Load to enter the program.
+func (c *CPU) doCalls(n, target, retPC uint32) error {
+	return c.doCallsCounted(n, target, retPC, false)
+}
+
+func (c *CPU) doCallsCounted(n, target, retPC uint32, counted bool) error {
+	if err := c.push(n); err != nil {
+		return err
+	}
+	apNew := c.regs[SP]
+	for _, v := range []uint32{retPC, c.regs[FP], c.regs[AP]} {
+		if err := c.push(v); err != nil {
+			return err
+		}
+	}
+	// The register-save mask is the first two bytes of the procedure.
+	hi, err := c.Mem.FetchByte(target)
+	if err != nil {
+		return err
+	}
+	lo, err := c.Mem.FetchByte(target + 1)
+	if err != nil {
+		return err
+	}
+	mask := uint32(hi)<<8 | uint32(lo)
+	for r := uint8(0); r < 12; r++ {
+		if mask&(1<<r) != 0 {
+			if err := c.push(c.regs[r]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := c.push(mask); err != nil {
+		return err
+	}
+	c.regs[FP] = c.regs[SP]
+	c.regs[AP] = apNew
+	c.cursor = target + 2
+	c.pc = target + 2
+	if counted {
+		c.stat.Calls++
+		c.stat.Transfers++
+		c.callDepth++
+		if c.callDepth > c.stat.MaxCallDepth {
+			c.stat.MaxCallDepth = c.callDepth
+		}
+	}
+	return nil
+}
+
+// execRet unwinds the CALLS frame: restore masked registers, AP, FP, resume
+// PC, and pop the arguments.
+func (c *CPU) execRet() error {
+	fp := c.regs[FP]
+	mask, err := c.dataRead32(fp)
+	if err != nil {
+		return err
+	}
+	off := uint32(4)
+	for r := 11; r >= 0; r-- {
+		if mask&(1<<uint(r)) != 0 {
+			v, err := c.dataRead32(fp + off)
+			if err != nil {
+				return err
+			}
+			c.regs[r] = v
+			off += 4
+		}
+	}
+	ap, err := c.dataRead32(fp + off)
+	if err != nil {
+		return err
+	}
+	oldFP, err := c.dataRead32(fp + off + 4)
+	if err != nil {
+		return err
+	}
+	retPC, err := c.dataRead32(fp + off + 8)
+	if err != nil {
+		return err
+	}
+	n, err := c.dataRead32(fp + off + 12)
+	if err != nil {
+		return err
+	}
+	c.regs[SP] = fp + off + 16 + 4*n
+	c.regs[FP] = oldFP
+	c.regs[AP] = ap
+	c.stat.Returns++
+	c.stat.Transfers++
+	c.callDepth--
+	if retPC == HaltPC {
+		c.halted = true
+		return nil
+	}
+	c.cursor = retPC
+	return nil
+}

@@ -1,0 +1,63 @@
+package cisc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandomBytesNeverPanic feeds CX random byte streams as code. The
+// variable-length decoder must reject or execute every byte sequence
+// without ever panicking — wild specifiers, truncated instructions,
+// corrupted CALLS frames included.
+func TestRandomBytesNeverPanic(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 400; trial++ {
+		c := New(Config{MemSize: 1 << 16, MaxCycles: 20000})
+		code := make([]byte, 512)
+		r.Read(code)
+		// A plausible entry: mask word then random bytes.
+		code[0], code[1] = 0, 0
+		if err := c.Mem.LoadProgram(0, code); err != nil {
+			t.Fatal(err)
+		}
+		img := &Image{Org: 0, Bytes: nil, Entry: 0, Symbols: map[string]uint32{}}
+		if err := c.Load(img); err != nil {
+			t.Fatal(err)
+		}
+		// Load cleared memory contents? No: Load only copies img.Bytes
+		// (empty) — re-place the random code afterwards.
+		if err := c.Mem.LoadProgram(0, code); err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d: panic: %v\ncode: % x", trial, p, code[:32])
+				}
+			}()
+			_ = c.Run() // faults fine; panics not
+		}()
+	}
+}
+
+// TestRandomFramePointerRET corrupts FP before a RET: the unwinder walks
+// attacker-controlled memory and must fault cleanly.
+func TestRandomFramePointerRET(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		img := MustAssemble("main: .mask\n ret\n")
+		c := New(Config{MemSize: 1 << 16})
+		if err := c.Load(img); err != nil {
+			t.Fatal(err)
+		}
+		c.SetReg(FP, r.Uint32())
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d: panic on corrupted FP: %v", trial, p)
+				}
+			}()
+			_ = c.Run()
+		}()
+	}
+}

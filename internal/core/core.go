@@ -1,0 +1,620 @@
+// Package core implements the RISC I processor itself: the paper's primary
+// contribution. It executes the 31-instruction ISA with delayed control
+// transfers, optional condition-code setting, and the overlapping register
+// windows of package regwin, including the window overflow/underflow traps
+// that spill to a register-save stack in memory.
+//
+// The processor can also run in a "flat" configuration (Config.Flat) with
+// the same ISA but no window sliding. That configuration is not part of the
+// paper's hardware — it is the ablation the evaluation needs: a RISC without
+// register windows whose compiler must save and restore registers around
+// calls, exactly the comparison behind the paper's procedure-call argument.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"risc1/internal/asm"
+	"risc1/internal/isa"
+	"risc1/internal/mem"
+	"risc1/internal/regwin"
+	"risc1/internal/stats"
+	"risc1/internal/timing"
+)
+
+// Software conventions baked into Reset and the compiler.
+const (
+	// HaltAddr is the magic address whose fetch halts the machine. Reset
+	// points the initial return linkage here, so a `ret r25,#8` from the
+	// entry procedure stops the simulation cleanly.
+	HaltAddr = 0xFFFF0000
+
+	// LinkReg receives the return address on calls (a LOCAL register, so
+	// each windowed activation keeps its own).
+	LinkReg = 25
+
+	// SPReg is the data stack pointer, a global so all windows share it.
+	SPReg = 9
+)
+
+// Config selects a processor configuration.
+type Config struct {
+	// Windows is the number of register windows (default
+	// regwin.DefaultWindows = 8, the paper's configuration).
+	Windows int
+	// Flat disables register-window sliding: calls and returns keep CWP
+	// fixed, as on a conventional flat-register machine.
+	Flat bool
+	// MemSize is RAM size in bytes (default 1 MiB).
+	MemSize int
+	// SaveStackBytes reserves the top of RAM for spilled windows
+	// (default 16 KiB; 64 bytes per spilled window).
+	SaveStackBytes int
+	// SpillBatch is how many windows one overflow trap spills (default 1,
+	// clamped to 4). Spilling extra windows amortizes trap overhead and
+	// adds hysteresis against call-depth oscillation — the policy question
+	// studied by Halbert & Kessler and measured by experiment E6b.
+	SpillBatch int
+	// MaxCycles aborts runaway programs (default 1e9).
+	MaxCycles uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Windows == 0 {
+		c.Windows = regwin.DefaultWindows
+	}
+	if c.MemSize == 0 {
+		c.MemSize = 1 << 20
+	}
+	if c.SaveStackBytes == 0 {
+		c.SaveStackBytes = 16 << 10
+	}
+	if c.SpillBatch < 1 {
+		c.SpillBatch = 1
+	}
+	if c.SpillBatch > 4 {
+		c.SpillBatch = 4
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 1e9
+	}
+	return c
+}
+
+// Sentinel errors from Run and Step.
+var (
+	ErrMaxCycles     = errors.New("core: cycle limit exceeded")
+	ErrSaveStackFull = errors.New("core: register save stack overflow")
+	ErrHalted        = errors.New("core: machine is halted")
+)
+
+// Error wraps an execution fault with its program counter.
+type Error struct {
+	PC  uint32
+	Err error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("core: at pc %#08x: %v", e.PC, e.Err) }
+func (e *Error) Unwrap() error { return e.Err }
+
+// CPU is one RISC I processor with its memory.
+type CPU struct {
+	cfg  Config
+	Mem  *mem.Memory
+	Regs *regwin.File
+
+	pc, npc uint32 // delayed-branch PC pair
+	lastPC  uint32 // previously executed instruction (GTLPC)
+	flags   isa.Flags
+	ie      bool // interrupts enabled
+	halted  bool
+
+	savePtr  uint32 // register-save stack, grows down from top of RAM
+	saveBase uint32
+
+	stat      *stats.Stats
+	opCounts  [128]uint64 // per-opcode execution counts (hot path)
+	inDelay   bool        // next instruction occupies a delay slot
+	callDepth int
+	pendIRQ   []uint32 // pending interrupt vectors
+
+	// Trace, when non-nil, is called after every executed instruction
+	// with its address and decoded form (before the PC advances).
+	Trace func(pc uint32, inst isa.Inst)
+}
+
+// New builds a CPU. Call Load before stepping.
+func New(cfg Config) *CPU {
+	cfg = cfg.withDefaults()
+	c := &CPU{
+		cfg:  cfg,
+		Mem:  mem.New(cfg.MemSize),
+		Regs: regwin.New(cfg.Windows),
+		stat: stats.New(),
+	}
+	c.reset()
+	return c
+}
+
+func (c *CPU) reset() {
+	c.Regs.Reset()
+	c.stat = stats.New()
+	c.opCounts = [128]uint64{}
+	c.Mem.ResetCounters()
+	c.flags = isa.Flags{}
+	c.ie = true
+	c.halted = false
+	c.inDelay = false
+	c.callDepth = 0
+	c.pendIRQ = nil
+	top := uint32(c.cfg.MemSize)
+	c.savePtr = top
+	c.saveBase = top - uint32(c.cfg.SaveStackBytes)
+	// Data stack grows down from below the save area.
+	c.Regs.Set(SPReg, c.saveBase&^7)
+	// Entry linkage: returning from the entry procedure halts.
+	c.Regs.Set(LinkReg, HaltAddr-8)
+}
+
+// Load places an assembled image in memory and resets the processor to its
+// entry point.
+func (c *CPU) Load(img *asm.Image) error {
+	c.reset()
+	if err := c.Mem.LoadProgram(img.Org, img.Bytes); err != nil {
+		return err
+	}
+	c.pc = img.Entry
+	c.npc = img.Entry + 4
+	c.lastPC = img.Entry
+	return nil
+}
+
+// Accessors.
+
+// PC returns the address of the next instruction to execute.
+func (c *CPU) PC() uint32 { return c.pc }
+
+// Halted reports whether the machine has reached HaltAddr.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Flags returns the current condition codes.
+func (c *CPU) Flags() isa.Flags { return c.flags }
+
+// Reg reads a visible register in the current window.
+func (c *CPU) Reg(r uint8) uint32 { return c.Regs.Get(r) }
+
+// SetReg writes a visible register in the current window (test harness use).
+func (c *CPU) SetReg(r uint8, v uint32) { c.Regs.Set(r, v) }
+
+// Console returns the program's console output so far.
+func (c *CPU) Console() string { return c.Mem.Console() }
+
+// CallDepth returns the current procedure nesting depth.
+func (c *CPU) CallDepth() int { return c.callDepth }
+
+// Stats returns the execution statistics, with memory traffic synced and
+// the instruction-mix maps materialized from the hot-path counters.
+func (c *CPU) Stats() *stats.Stats {
+	c.stat.DataReads = c.Mem.Reads
+	c.stat.DataWrites = c.Mem.Writes
+	c.stat.ByName = map[string]uint64{}
+	c.stat.ByCategory = map[string]uint64{}
+	for opv, n := range c.opCounts {
+		if n == 0 {
+			continue
+		}
+		op := isa.Op(opv)
+		c.stat.ByName[op.Name()] = n
+		c.stat.ByCategory[op.Cat().String()] += n
+	}
+	return c.stat
+}
+
+// Time returns the simulated elapsed time at the paper's 400 ns cycle.
+func (c *CPU) Time() float64 {
+	return float64(c.stat.Cycles) * timing.RiscCycleNS * 1e-9
+}
+
+// Interrupt queues an external interrupt that will redirect execution to
+// vector once interrupts are enabled and the processor is between
+// instructions (never between a transfer and its delay slot).
+func (c *CPU) Interrupt(vector uint32) {
+	c.pendIRQ = append(c.pendIRQ, vector)
+}
+
+// Run steps the processor until it halts, faults, or exceeds MaxCycles.
+func (c *CPU) Run() error {
+	for !c.halted {
+		if err := c.Step(); err != nil {
+			return err
+		}
+		if c.stat.Cycles > c.cfg.MaxCycles {
+			return &Error{PC: c.pc, Err: ErrMaxCycles}
+		}
+	}
+	return nil
+}
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if c.halted {
+		return ErrHalted
+	}
+	// Deliver a pending interrupt at an interruptible boundary. Never
+	// between a transfer and its delay slot: there the PC pair is
+	// discontinuous and a single restart address could not represent it.
+	// Outside a delay slot npc == pc+4 always holds, so the PC of the
+	// not-yet-executed instruction fully captures the resume point; the
+	// hardware latches it where CALLINT reads it (the "last PC" latch —
+	// this is why the chip carries multiple PCs).
+	if len(c.pendIRQ) > 0 && c.ie && !c.inDelay {
+		vec := c.pendIRQ[0]
+		c.pendIRQ = c.pendIRQ[1:]
+		c.lastPC = c.pc
+		c.pc, c.npc = vec, vec+4
+	}
+	if c.pc == HaltAddr {
+		c.halted = true
+		return nil
+	}
+
+	word, err := c.Mem.Fetch32(c.pc)
+	if err != nil {
+		return &Error{PC: c.pc, Err: err}
+	}
+	inst, err := isa.Decode(word)
+	if err != nil {
+		return &Error{PC: c.pc, Err: err}
+	}
+	c.stat.FetchBytes += isa.InstBytes
+	// Hot path: bare counters here; Stats() materializes the mix maps.
+	c.stat.Instructions++
+	c.opCounts[inst.Op&0x7F]++
+
+	// Delay-slot accounting: this instruction sits in the slot of the
+	// previous transfer.
+	if c.inDelay {
+		if isNop(inst) {
+			c.stat.DelaySlotNops++
+		} else {
+			c.stat.DelaySlotUseful++
+		}
+		c.inDelay = false
+	}
+
+	execPC := c.pc
+	target, transferred, err := c.execute(inst, execPC)
+	if err != nil {
+		return &Error{PC: execPC, Err: err}
+	}
+	if c.Trace != nil {
+		c.Trace(execPC, inst)
+	}
+
+	c.lastPC = execPC
+	c.pc = c.npc
+	if transferred {
+		c.npc = target
+		c.inDelay = true
+		c.stat.Transfers++
+		c.stat.TakenTransfers++
+	} else {
+		c.npc += isa.InstBytes
+		if inst.Op.Transfers() && inst.Op != isa.OpCALLINT {
+			// Untaken conditional jump still owns a delay slot.
+			c.inDelay = true
+			c.stat.Transfers++
+		}
+	}
+	return nil
+}
+
+// isNop recognizes effect-free instructions for delay-slot accounting: any
+// non-flag-setting ALU instruction writing r0.
+func isNop(i isa.Inst) bool {
+	return i.Op.Cat() == isa.CatALU && i.Rd == 0 && !i.SCC
+}
+
+// s2 evaluates the second operand.
+func (c *CPU) s2(i isa.Inst) uint32 {
+	if i.Imm {
+		return uint32(i.Imm13)
+	}
+	return c.Regs.Get(i.Rs2)
+}
+
+// execute performs one decoded instruction at pc. It returns the transfer
+// target if the instruction redirects control.
+func (c *CPU) execute(i isa.Inst, pc uint32) (target uint32, transferred bool, err error) {
+	switch i.Op.Cat() {
+	case isa.CatALU:
+		c.stat.Cycles += timing.RiscALUCycles
+		c.alu(i)
+		return 0, false, nil
+	case isa.CatLoad:
+		c.stat.Cycles += timing.RiscLoadCycles
+		return 0, false, c.load(i)
+	case isa.CatStore:
+		c.stat.Cycles += timing.RiscStoreCycles
+		return 0, false, c.store(i)
+	case isa.CatControl:
+		c.stat.Cycles += timing.RiscTransferCycles
+		return c.control(i, pc)
+	default:
+		c.stat.Cycles += timing.RiscMiscCycles
+		return c.misc(i, pc)
+	}
+}
+
+func (c *CPU) alu(i isa.Inst) {
+	a := c.Regs.Get(i.Rs1)
+	b := c.s2(i)
+	var r uint32
+	f := c.flags
+	switch i.Op {
+	case isa.OpADD, isa.OpADDC:
+		carry := uint64(0)
+		if i.Op == isa.OpADDC && c.flags.C {
+			carry = 1
+		}
+		full := uint64(a) + uint64(b) + carry
+		r = uint32(full)
+		f.C = full > 0xFFFFFFFF
+		f.V = (a^b)&0x80000000 == 0 && (a^r)&0x80000000 != 0
+	case isa.OpSUB, isa.OpSUBC, isa.OpSUBR, isa.OpSUBCR:
+		x, y := a, b
+		if i.Op == isa.OpSUBR || i.Op == isa.OpSUBCR {
+			x, y = b, a
+		}
+		borrow := uint64(0)
+		if (i.Op == isa.OpSUBC || i.Op == isa.OpSUBCR) && !c.flags.C {
+			borrow = 1
+		}
+		full := uint64(x) - uint64(y) - borrow
+		r = uint32(full)
+		f.C = full <= 0xFFFFFFFF // carry = no borrow
+		f.V = (x^y)&0x80000000 != 0 && (x^r)&0x80000000 != 0
+	case isa.OpAND:
+		r = a & b
+		f.C, f.V = false, false
+	case isa.OpOR:
+		r = a | b
+		f.C, f.V = false, false
+	case isa.OpXOR:
+		r = a ^ b
+		f.C, f.V = false, false
+	case isa.OpSLL:
+		r = a << (b & 31)
+		f.C, f.V = false, false
+	case isa.OpSRL:
+		r = a >> (b & 31)
+		f.C, f.V = false, false
+	case isa.OpSRA:
+		r = uint32(int32(a) >> (b & 31))
+		f.C, f.V = false, false
+	}
+	c.Regs.Set(i.Rd, r)
+	if i.SCC {
+		f.Z = r == 0
+		f.N = int32(r) < 0
+		c.flags = f
+	}
+}
+
+func (c *CPU) load(i isa.Inst) error {
+	addr := c.Regs.Get(i.Rs1) + c.s2(i)
+	var v uint32
+	var err error
+	switch i.Op {
+	case isa.OpLDL:
+		v, err = c.Mem.Load32(addr)
+	case isa.OpLDSU:
+		var h uint16
+		h, err = c.Mem.Load16(addr)
+		v = uint32(h)
+	case isa.OpLDSS:
+		var h uint16
+		h, err = c.Mem.Load16(addr)
+		v = uint32(int32(int16(h)))
+	case isa.OpLDBU:
+		var b uint8
+		b, err = c.Mem.Load8(addr)
+		v = uint32(b)
+	case isa.OpLDBS:
+		var b uint8
+		b, err = c.Mem.Load8(addr)
+		v = uint32(int32(int8(b)))
+	}
+	if err != nil {
+		return err
+	}
+	c.Regs.Set(i.Rd, v)
+	if i.SCC {
+		c.flags.Z = v == 0
+		c.flags.N = int32(v) < 0
+		c.flags.C, c.flags.V = false, false
+	}
+	return nil
+}
+
+func (c *CPU) store(i isa.Inst) error {
+	addr := c.Regs.Get(i.Rs1) + c.s2(i)
+	v := c.Regs.Get(i.Rd)
+	switch i.Op {
+	case isa.OpSTL:
+		return c.Mem.Store32(addr, v)
+	case isa.OpSTS:
+		return c.Mem.Store16(addr, uint16(v))
+	default:
+		return c.Mem.Store8(addr, uint8(v))
+	}
+}
+
+func (c *CPU) control(i isa.Inst, pc uint32) (uint32, bool, error) {
+	switch i.Op {
+	case isa.OpJMP:
+		if !i.Cond().Holds(c.flags) {
+			return 0, false, nil
+		}
+		return c.Regs.Get(i.Rs1) + c.s2(i), true, nil
+	case isa.OpJMPR:
+		if !i.Cond().Holds(c.flags) {
+			return 0, false, nil
+		}
+		return pc + uint32(i.Imm19), true, nil
+	case isa.OpCALL, isa.OpCALLR:
+		var target uint32
+		if i.Op == isa.OpCALL {
+			target = c.Regs.Get(i.Rs1) + c.s2(i)
+		} else {
+			target = pc + uint32(i.Imm19)
+		}
+		if err := c.enterWindow(); err != nil {
+			return 0, false, err
+		}
+		c.Regs.Set(i.Rd, pc) // return linkage, in the callee's window
+		c.stat.Calls++
+		c.callDepth++
+		c.stat.RecordDepth(c.callDepth)
+		if c.callDepth > c.stat.MaxCallDepth {
+			c.stat.MaxCallDepth = c.callDepth
+		}
+		return target, true, nil
+	case isa.OpRET, isa.OpRETINT:
+		target := c.Regs.Get(i.Rd) + c.s2(i)
+		if target == HaltAddr {
+			// Returning from the entry procedure: stop cleanly
+			// without unwinding below window 0.
+			c.halted = true
+			return 0, false, nil
+		}
+		if err := c.exitWindow(); err != nil {
+			return 0, false, err
+		}
+		c.stat.Returns++
+		c.callDepth--
+		if i.Op == isa.OpRETINT {
+			c.ie = true
+		}
+		return target, true, nil
+	case isa.OpCALLINT:
+		// Trap/interrupt entry: slide to a fresh window, capture the
+		// restart PC, disable further interrupts. Not a transfer.
+		if err := c.enterWindow(); err != nil {
+			return 0, false, err
+		}
+		c.Regs.Set(i.Rd, c.lastPC)
+		c.ie = false
+		return 0, false, nil
+	}
+	return 0, false, fmt.Errorf("core: unhandled control op %v", i.Op)
+}
+
+// enterWindow slides the register window for a call, spilling the oldest
+// window to the save stack if the hardware is full.
+func (c *CPU) enterWindow() error {
+	if c.cfg.Flat {
+		return nil
+	}
+	if c.Regs.NeedSpill() {
+		c.stat.WindowOverflow++
+		c.stat.Cycles += timing.RiscSpillCycles
+		// The trap handler spills at least one window; SpillBatch > 1
+		// spills extras (while any remain) at the marginal cost of the
+		// stores alone — the trap entry/exit overhead is already paid.
+		for i := 0; i < c.cfg.SpillBatch; i++ {
+			if i > 0 {
+				if c.Regs.Spilled() >= c.Regs.CWP() {
+					break // nothing older left to spill
+				}
+				c.stat.Cycles += 16 * timing.RiscStoreCycles
+			}
+			if c.savePtr-regwin.SaveBytes < c.saveBase {
+				return ErrSaveStackFull
+			}
+			save := c.Regs.SpillOldest()
+			c.savePtr -= regwin.SaveBytes
+			for k, v := range save {
+				if err := c.Mem.Store32(c.savePtr+uint32(4*k), v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	c.Regs.PushWindow()
+	return nil
+}
+
+// exitWindow slides back for a return, refilling a spilled window if needed.
+func (c *CPU) exitWindow() error {
+	if c.cfg.Flat {
+		return nil
+	}
+	if c.Regs.NeedFill() {
+		if c.Regs.Spilled() == 0 {
+			return errors.New("core: return below the initial window")
+		}
+		var save regwin.WindowSave
+		for k := range save {
+			v, err := c.Mem.Load32(c.savePtr + uint32(4*k))
+			if err != nil {
+				return err
+			}
+			save[k] = v
+		}
+		c.savePtr += regwin.SaveBytes
+		c.Regs.FillNewest(save)
+		c.stat.WindowUnderflow++
+		c.stat.Cycles += timing.RiscFillCycles
+	}
+	c.Regs.PopWindow()
+	return nil
+}
+
+// PSW layout for GETPSW/PUTPSW: C, V, N, Z in bits 0..3; interrupt-enable in
+// bit 8; the current window pointer (read-only here: the simulator manages
+// CWP through calls and returns) in bits 16..23.
+const (
+	pswC  = 1 << 0
+	pswV  = 1 << 1
+	pswN  = 1 << 2
+	pswZ  = 1 << 3
+	pswIE = 1 << 8
+)
+
+func (c *CPU) misc(i isa.Inst, pc uint32) (uint32, bool, error) {
+	switch i.Op {
+	case isa.OpLDHI:
+		c.Regs.Set(i.Rd, uint32(i.Imm19&0x7FFFF)<<13)
+	case isa.OpGTLPC:
+		c.Regs.Set(i.Rd, c.lastPC)
+	case isa.OpGETPSW:
+		var v uint32
+		if c.flags.C {
+			v |= pswC
+		}
+		if c.flags.V {
+			v |= pswV
+		}
+		if c.flags.N {
+			v |= pswN
+		}
+		if c.flags.Z {
+			v |= pswZ
+		}
+		if c.ie {
+			v |= pswIE
+		}
+		v |= uint32(c.Regs.CWP()&0xFF) << 16
+		c.Regs.Set(i.Rd, v)
+	case isa.OpPUTPSW:
+		v := c.Regs.Get(i.Rs1) + c.s2(i)
+		c.flags = isa.Flags{
+			C: v&pswC != 0, V: v&pswV != 0,
+			N: v&pswN != 0, Z: v&pswZ != 0,
+		}
+		c.ie = v&pswIE != 0
+	}
+	return 0, false, nil
+}

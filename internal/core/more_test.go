@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"risc1/internal/asm"
+)
+
+// TestProgramAtNonZeroOrigin runs a program assembled away from address 0:
+// entry, relative branches and gp-free data references must all be
+// position-correct.
+func TestProgramAtNonZeroOrigin(t *testing.T) {
+	c := run(t, Config{}, `
+		.org 0x4000
+		.entry main
+	main:	la value,r1
+		ldl (r1)#0,r2
+		cmp r2,#77
+		bne bad
+		nop
+		stl r2,(r0)#-252
+		ret r25,#8
+		nop
+	bad:	add r0,#0,r3
+		stl r3,(r0)#-252
+		ret r25,#8
+		nop
+		.align 4
+	value:	.word 77
+	`)
+	if c.Console() != "77" {
+		t.Errorf("printed %q, want 77", c.Console())
+	}
+}
+
+// TestLoadSetsConditionCodes covers the SCC bit on memory loads: a load may
+// set Z/N directly, saving the explicit compare (the `while (s[i])` idiom).
+func TestLoadSetsConditionCodes(t *testing.T) {
+	c := run(t, Config{}, `
+	main:	la data,r1
+		ldl! (r1)#0,r2      ; loads 0: Z set
+		beq iszero
+		nop
+		add r0,#9,r3
+		ret r25,#8
+		nop
+	iszero:	ldl! (r1)#4,r4      ; loads -5: N set
+		bmi isneg
+		nop
+		add r0,#8,r3
+		ret r25,#8
+		nop
+	isneg:	add r0,#1,r3
+		ret r25,#8
+		nop
+		.align 4
+	data:	.word 0, -5
+	`)
+	if c.Reg(3) != 1 {
+		t.Errorf("r3 = %d, want 1 (both SCC loads honored)", c.Reg(3))
+	}
+}
+
+// TestSubWithCarryChain verifies ADDC/SUBC multi-word arithmetic: a 64-bit
+// add implemented as two 32-bit operations.
+func TestSubWithCarryChain(t *testing.T) {
+	c := run(t, Config{}, `
+	main:	li #0xFFFFFFFF,r1   ; low word of A = 2^32-1
+		add r0,#1,r2        ; high word of A = 1
+		add r0,#1,r3        ; low word of B = 1
+		add r0,#0,r4        ; high word of B = 0
+		add! r1,r3,r5       ; low sum: carries out
+		addc r2,r4,r6       ; high sum: 1 + 0 + carry = 2
+		ret r25,#8
+		nop
+	`)
+	if c.Reg(5) != 0 || c.Reg(6) != 2 {
+		t.Errorf("64-bit add: low=%#x high=%d, want 0 and 2", c.Reg(5), c.Reg(6))
+	}
+}
+
+// TestReverseSubtract covers SUBR/SUBCR, the ALU ops that let a compiler
+// subtract a register from an immediate in one instruction.
+func TestReverseSubtract(t *testing.T) {
+	c := run(t, Config{}, `
+	main:	add r0,#10,r1
+		subr r1,#3,r2       ; 3 - 10 = -7
+		sub! r0,r0,r0       ; set carry (no borrow)
+		subcr r1,#100,r3    ; 100 - 10 - 0 = 90
+		ret r25,#8
+		nop
+	`)
+	if int32(c.Reg(2)) != -7 || c.Reg(3) != 90 {
+		t.Errorf("subr=%d subcr=%d, want -7 and 90", int32(c.Reg(2)), c.Reg(3))
+	}
+}
+
+// TestWindowTrapTrafficAccounting pins down the memory accounting of one
+// spill/fill pair: exactly 64 bytes written and 64 read.
+func TestWindowTrapTrafficAccounting(t *testing.T) {
+	img := asm.MustAssemble(`
+	main:	callr r25,f1
+		nop
+		ret r25,#8
+		nop
+	f1:	callr r25,f2
+		nop
+		ret r25,#8
+		nop
+	f2:	ret r25,#8
+		nop
+	`)
+	c := New(Config{Windows: 3}) // depth 3 forces exactly one spill
+	if err := c.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.WindowOverflow != 1 || s.WindowUnderflow != 1 {
+		t.Fatalf("ovf=%d unf=%d, want 1 each", s.WindowOverflow, s.WindowUnderflow)
+	}
+	if s.DataWrites != 64 || s.DataReads != 64 {
+		t.Errorf("trap traffic: %dW/%dR bytes, want 64/64", s.DataWrites, s.DataReads)
+	}
+}

@@ -1,0 +1,162 @@
+// Package exp implements the experiment harnesses that regenerate every
+// table and figure of the RISC I evaluation: instruction mix (E1), machine
+// characteristics (E2), program size (E3), execution time (E4), procedure
+// call traffic (E5), register-window sizing with the spill-policy ablation
+// (E6/E6b), delayed-jump optimization (E7), silicon area (E8), memory
+// traffic (E9) and the pipeline-organization ablation (E10). Each
+// experiment returns structured results plus a rendered table;
+// cmd/riscbench prints them and bench_test.go regenerates them under
+// `go test -bench`.
+package exp
+
+import (
+	"fmt"
+
+	"risc1/internal/asm"
+	"risc1/internal/cc"
+	"risc1/internal/cisc"
+	"risc1/internal/core"
+	"risc1/internal/prog"
+	"risc1/internal/stats"
+	"risc1/internal/timing"
+)
+
+// Run is one benchmark execution on one machine configuration.
+type Run struct {
+	Bench       prog.Benchmark
+	Target      cc.Target
+	CodeBytes   int // instruction bytes (excludes data)
+	DataBytes   int
+	Stats       *stats.Stats
+	Seconds     float64 // simulated wall time at the machine's clock
+	Console     string
+	SlotsFilled int
+}
+
+// Options configures a run.
+type Options struct {
+	Windows     int  // register windows (0 = the paper's 8)
+	SpillBatch  int  // windows spilled per overflow trap (0 = 1)
+	NoDelayFill bool // leave NOPs in delay slots
+}
+
+// Execute compiles, assembles and runs one benchmark on one target.
+// The console output is verified against the Go reference: an experiment
+// on a miscomputing simulator would be worthless.
+func Execute(b prog.Benchmark, target cc.Target, opt Options) (*Run, error) {
+	res, err := cc.Compile(b.Source, cc.Options{Target: target, NoDelaySlotFill: opt.NoDelayFill})
+	if err != nil {
+		return nil, fmt.Errorf("%s on %v: %w", b.Name, target, err)
+	}
+	run := &Run{Bench: b, Target: target, SlotsFilled: res.SlotsFilled}
+
+	switch target {
+	case cc.CISC:
+		img, err := cisc.Assemble(res.Asm)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %v: %w", b.Name, target, err)
+		}
+		run.CodeBytes, run.DataBytes = split(img.Symbols, img.Org, len(img.Bytes))
+		m := cisc.New(cisc.Config{})
+		if err := m.Load(img); err != nil {
+			return nil, err
+		}
+		if err := m.Run(); err != nil {
+			return nil, fmt.Errorf("%s on %v: %w", b.Name, target, err)
+		}
+		run.Stats = m.Stats()
+		run.Seconds = m.Time()
+		run.Console = m.Console()
+	default:
+		img, err := asm.Assemble(res.Asm)
+		if err != nil {
+			// Programs whose data exceeds the global pointer's 8 KiB
+			// window fail the 13-bit range check; recompile with full
+			// 32-bit addressing.
+			res, err = cc.Compile(b.Source, cc.Options{
+				Target: target, NoDelaySlotFill: opt.NoDelayFill, WideData: true})
+			if err != nil {
+				return nil, fmt.Errorf("%s on %v: %w", b.Name, target, err)
+			}
+			run.SlotsFilled = res.SlotsFilled
+			img, err = asm.Assemble(res.Asm)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %v: %w", b.Name, target, err)
+			}
+		}
+		run.CodeBytes, run.DataBytes = split(img.Symbols, img.Org, len(img.Bytes))
+		m := core.New(core.Config{
+			Flat:           target == cc.RISCFlat,
+			Windows:        opt.Windows,
+			SpillBatch:     opt.SpillBatch,
+			SaveStackBytes: 64 << 10,
+		})
+		if err := m.Load(img); err != nil {
+			return nil, err
+		}
+		if err := m.Run(); err != nil {
+			return nil, fmt.Errorf("%s on %v: %w", b.Name, target, err)
+		}
+		run.Stats = m.Stats()
+		run.Seconds = m.Time()
+		run.Console = m.Console()
+	}
+	if want := prog.Expected(b.Name); run.Console != want {
+		return nil, fmt.Errorf("%s on %v: produced %q, want %q",
+			b.Name, target, run.Console, want)
+	}
+	return run, nil
+}
+
+func split(symbols map[string]uint32, org uint32, size int) (code, data int) {
+	if ds, ok := symbols["__data_start"]; ok {
+		code = int(ds - org)
+		return code, size - code
+	}
+	return size, 0
+}
+
+// Lab caches benchmark runs so experiments sharing a configuration do not
+// re-simulate.
+type Lab struct {
+	cache map[labKey]*Run
+}
+
+type labKey struct {
+	bench  string
+	target cc.Target
+	opt    Options
+}
+
+// NewLab builds an empty lab.
+func NewLab() *Lab { return &Lab{cache: map[labKey]*Run{}} }
+
+// Run executes (or recalls) one benchmark run.
+func (l *Lab) Run(b prog.Benchmark, target cc.Target, opt Options) (*Run, error) {
+	k := labKey{b.Name, target, opt}
+	if r, ok := l.cache[k]; ok {
+		return r, nil
+	}
+	r, err := Execute(b, target, opt)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[k] = r
+	return r, nil
+}
+
+// Suite runs every benchmark on one target.
+func (l *Lab) Suite(target cc.Target, opt Options) ([]*Run, error) {
+	var out []*Run
+	for _, b := range prog.All() {
+		r, err := l.Run(b, target, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RiscCycleNS re-exports the clock for callers assembling their own tables.
+const RiscCycleNS = timing.RiscCycleNS

@@ -1,0 +1,138 @@
+package isa
+
+import "fmt"
+
+// Flags holds the four RISC I condition-code bits. Any instruction may set
+// them (the SCC bit); only JMP/JMPR read them.
+type Flags struct {
+	Z bool // zero
+	N bool // negative
+	V bool // signed overflow
+	C bool // carry out
+}
+
+// Cond is a 4-bit jump condition carried in the Rd field of JMP and JMPR.
+type Cond uint8
+
+// The sixteen RISC I jump conditions.
+const (
+	CondNEV Cond = iota // never (used to encode no-ops in the jump unit)
+	CondALW             // always
+	CondEQ              // equal (Z)
+	CondNE              // not equal (!Z)
+	CondGT              // signed greater
+	CondLE              // signed less or equal
+	CondGE              // signed greater or equal
+	CondLT              // signed less
+	CondHI              // unsigned higher
+	CondLOS             // unsigned lower or same
+	CondLO              // unsigned lower (no carry)
+	CondHIS             // unsigned higher or same (carry)
+	CondPL              // plus (!N)
+	CondMI              // minus (N)
+	CondNV              // no overflow (!V)
+	CondV               // overflow (V)
+)
+
+var condNames = [16]string{
+	"nev", "alw", "eq", "ne", "gt", "le", "ge", "lt",
+	"hi", "los", "lo", "his", "pl", "mi", "nv", "v",
+}
+
+func (c Cond) String() string {
+	if c < 16 {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond%d", uint8(c))
+}
+
+// CondByName maps an assembler condition name to its encoding.
+func CondByName(name string) (Cond, bool) {
+	for i, n := range condNames {
+		if n == name {
+			return Cond(i), true
+		}
+	}
+	return 0, false
+}
+
+// Holds reports whether the condition is satisfied by the given flags.
+// The carry convention follows the paper's subtract-sets-carry-on-no-borrow
+// rule, so after `sub! a,b,r0`: HIS means a >= b unsigned.
+func (c Cond) Holds(f Flags) bool {
+	switch c {
+	case CondNEV:
+		return false
+	case CondALW:
+		return true
+	case CondEQ:
+		return f.Z
+	case CondNE:
+		return !f.Z
+	case CondGT:
+		return !f.Z && f.N == f.V
+	case CondLE:
+		return f.Z || f.N != f.V
+	case CondGE:
+		return f.N == f.V
+	case CondLT:
+		return f.N != f.V
+	case CondHI:
+		return f.C && !f.Z
+	case CondLOS:
+		return !f.C || f.Z
+	case CondLO:
+		return !f.C
+	case CondHIS:
+		return f.C
+	case CondPL:
+		return !f.N
+	case CondMI:
+		return f.N
+	case CondNV:
+		return !f.V
+	case CondV:
+		return f.V
+	}
+	return false
+}
+
+// Negate returns the complementary condition (CondALW <-> CondNEV, etc.).
+// The compiler's branch lowering relies on Negate(c).Holds == !c.Holds.
+func (c Cond) Negate() Cond {
+	switch c {
+	case CondNEV:
+		return CondALW
+	case CondALW:
+		return CondNEV
+	case CondEQ:
+		return CondNE
+	case CondNE:
+		return CondEQ
+	case CondGT:
+		return CondLE
+	case CondLE:
+		return CondGT
+	case CondGE:
+		return CondLT
+	case CondLT:
+		return CondGE
+	case CondHI:
+		return CondLOS
+	case CondLOS:
+		return CondHI
+	case CondLO:
+		return CondHIS
+	case CondHIS:
+		return CondLO
+	case CondPL:
+		return CondMI
+	case CondMI:
+		return CondPL
+	case CondNV:
+		return CondV
+	case CondV:
+		return CondNV
+	}
+	return CondNEV
+}

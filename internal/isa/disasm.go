@@ -1,0 +1,79 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the instruction in the assembler syntax accepted by
+// package asm, so that assembly and disassembly round-trip:
+//
+//	add r1,r2,r3        Rd := Rs1 + Rs2
+//	sub! r1,#5,r3       ... setting condition codes
+//	ldl (r2)#8,r5       Rd := M[Rs1 + 8]
+//	stl r5,(r2)r3       M[Rs1 + Rs2] := Rm
+//	jmp eq,(r2)#0       delayed conditional jump to Rs1 + 0
+//	jmpr alw,#-12       delayed PC-relative jump
+//	call r25,(r2)#0     CWP--; r25 := PC; jump
+//	callr r25,#160
+//	ret r25,#8          CWP++; jump to r25 + 8
+//	ldhi r5,#4096       r5<31:13> := imm
+func (i Inst) String() string {
+	var b strings.Builder
+	b.WriteString(i.Op.Name())
+	if i.SCC {
+		b.WriteByte('!')
+	}
+	b.WriteByte(' ')
+	switch i.Op {
+	case OpJMP:
+		fmt.Fprintf(&b, "%s,%s", i.Cond(), i.addr())
+	case OpJMPR:
+		fmt.Fprintf(&b, "%s,#%d", i.Cond(), i.Imm19)
+	case OpCALL:
+		fmt.Fprintf(&b, "r%d,%s", i.Rd, i.addr())
+	case OpCALLR:
+		fmt.Fprintf(&b, "r%d,#%d", i.Rd, i.Imm19)
+	case OpRET, OpRETINT:
+		fmt.Fprintf(&b, "r%d,%s", i.Rd, i.s2())
+	case OpCALLINT:
+		fmt.Fprintf(&b, "r%d", i.Rd)
+	case OpLDHI:
+		fmt.Fprintf(&b, "r%d,#%d", i.Rd, i.Imm19)
+	case OpGTLPC, OpGETPSW:
+		fmt.Fprintf(&b, "r%d", i.Rd)
+	case OpPUTPSW:
+		fmt.Fprintf(&b, "r%d,%s", i.Rs1, i.s2())
+	default:
+		switch i.Op.Cat() {
+		case CatLoad:
+			fmt.Fprintf(&b, "%s,r%d", i.addr(), i.Rd)
+		case CatStore:
+			fmt.Fprintf(&b, "r%d,%s", i.Rd, i.addr())
+		default: // ALU
+			fmt.Fprintf(&b, "r%d,%s,r%d", i.Rs1, i.s2(), i.Rd)
+		}
+	}
+	return b.String()
+}
+
+// addr renders the (Rs1)S2 effective-address operand.
+func (i Inst) addr() string { return fmt.Sprintf("(r%d)%s", i.Rs1, i.s2()) }
+
+// s2 renders the second source operand: register or immediate.
+func (i Inst) s2() string {
+	if i.Imm {
+		return fmt.Sprintf("#%d", i.Imm13)
+	}
+	return fmt.Sprintf("r%d", i.Rs2)
+}
+
+// DisasmWord decodes and prints one machine word, returning a placeholder
+// for undefined encodings rather than an error (handy for memory dumps).
+func DisasmWord(w uint32) string {
+	i, err := Decode(w)
+	if err != nil {
+		return fmt.Sprintf(".word %#08x", w)
+	}
+	return i.String()
+}

@@ -1,0 +1,342 @@
+// Package isa defines the RISC I instruction set architecture as published
+// by Patterson and Séquin (ISCA 1981): 31 fixed-size 32-bit instructions in
+// two formats, sixteen jump conditions, and a register file of 32 visible
+// registers (r0 reads as zero).
+//
+// The package is a pure description layer: it knows how to encode, decode,
+// classify and print instructions, but it does not execute them. Execution
+// lives in package core; assembly in package asm.
+package isa
+
+import "fmt"
+
+// Op is a 7-bit RISC I opcode.
+type Op uint8
+
+// The 31 RISC I instructions, grouped as in the paper's instruction-set
+// table: arithmetic/logic (12), memory access (8), control transfer (7) and
+// miscellaneous (4).
+const (
+	opInvalid Op = 0x00
+
+	// Arithmetic and logic. All compute Rd := Rs1 op S2 where S2 is either
+	// a register or a sign-extended 13-bit immediate, and may optionally
+	// set the condition codes.
+	OpADD   Op = 0x10 // integer add
+	OpADDC  Op = 0x11 // add with carry
+	OpSUB   Op = 0x12 // integer subtract
+	OpSUBC  Op = 0x13 // subtract with borrow
+	OpSUBR  Op = 0x14 // reverse subtract: Rd := S2 - Rs1
+	OpSUBCR Op = 0x15 // reverse subtract with borrow
+	OpAND   Op = 0x16 // bitwise and
+	OpOR    Op = 0x17 // bitwise or
+	OpXOR   Op = 0x18 // bitwise exclusive or
+	OpSLL   Op = 0x19 // shift left logical
+	OpSRL   Op = 0x1A // shift right logical
+	OpSRA   Op = 0x1B // shift right arithmetic
+
+	// Memory access: the only instructions that touch memory.
+	// Effective address is Rs1 + S2.
+	OpLDL  Op = 0x20 // load 32-bit word
+	OpLDSU Op = 0x21 // load 16-bit halfword, zero-extended
+	OpLDSS Op = 0x22 // load 16-bit halfword, sign-extended
+	OpLDBU Op = 0x23 // load byte, zero-extended
+	OpLDBS Op = 0x24 // load byte, sign-extended
+	OpSTL  Op = 0x25 // store 32-bit word
+	OpSTS  Op = 0x26 // store 16-bit halfword
+	OpSTB  Op = 0x27 // store byte
+
+	// Control transfer. All transfers are delayed by one instruction.
+	OpJMP     Op = 0x30 // conditional jump to Rs1 + S2
+	OpJMPR    Op = 0x31 // conditional PC-relative jump (long format)
+	OpCALL    Op = 0x32 // call Rs1 + S2: CWP--, Rd := PC (in the new window)
+	OpCALLR   Op = 0x33 // PC-relative call (long format)
+	OpRET     Op = 0x34 // return to Rd + S2: CWP++
+	OpCALLINT Op = 0x35 // trap/interrupt entry: disable interrupts, CWP--
+	OpRETINT  Op = 0x36 // interrupt return: enable interrupts, CWP++
+
+	// Miscellaneous.
+	OpLDHI   Op = 0x40 // Rd<31:13> := imm19; Rd<12:0> := 0 (long format)
+	OpGTLPC  Op = 0x41 // Rd := last PC (restart support after interrupts)
+	OpGETPSW Op = 0x42 // Rd := PSW
+	OpPUTPSW Op = 0x43 // PSW := Rs1 op-ed with S2 (we use Rs1 + S2)
+)
+
+// NumInstructions is the size of the RISC I instruction set; the paper's
+// headline count.
+const NumInstructions = 31
+
+// Category classifies an instruction into the paper's four groups.
+type Category uint8
+
+// Instruction categories, in the order the paper's table lists them.
+const (
+	CatInvalid Category = iota
+	CatALU              // arithmetic/logic register operations
+	CatLoad             // memory loads
+	CatStore            // memory stores
+	CatControl          // jumps, calls, returns
+	CatMisc             // LDHI, GTLPC, PSW access
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatALU:
+		return "alu"
+	case CatLoad:
+		return "load"
+	case CatStore:
+		return "store"
+	case CatControl:
+		return "control"
+	case CatMisc:
+		return "misc"
+	default:
+		return "invalid"
+	}
+}
+
+type opInfo struct {
+	name string
+	cat  Category
+	long bool // long-immediate (19-bit) format
+}
+
+// opTable is indexed directly by the 7-bit opcode (hot path: every decode
+// consults it); opEntries below is the source definition.
+var opTable = func() (t [128]opInfo) {
+	for op, info := range opEntries {
+		t[op] = info
+	}
+	return t
+}()
+
+var opEntries = map[Op]opInfo{
+	OpADD:     {"add", CatALU, false},
+	OpADDC:    {"addc", CatALU, false},
+	OpSUB:     {"sub", CatALU, false},
+	OpSUBC:    {"subc", CatALU, false},
+	OpSUBR:    {"subr", CatALU, false},
+	OpSUBCR:   {"subcr", CatALU, false},
+	OpAND:     {"and", CatALU, false},
+	OpOR:      {"or", CatALU, false},
+	OpXOR:     {"xor", CatALU, false},
+	OpSLL:     {"sll", CatALU, false},
+	OpSRL:     {"srl", CatALU, false},
+	OpSRA:     {"sra", CatALU, false},
+	OpLDL:     {"ldl", CatLoad, false},
+	OpLDSU:    {"ldsu", CatLoad, false},
+	OpLDSS:    {"ldss", CatLoad, false},
+	OpLDBU:    {"ldbu", CatLoad, false},
+	OpLDBS:    {"ldbs", CatLoad, false},
+	OpSTL:     {"stl", CatStore, false},
+	OpSTS:     {"sts", CatStore, false},
+	OpSTB:     {"stb", CatStore, false},
+	OpJMP:     {"jmp", CatControl, false},
+	OpJMPR:    {"jmpr", CatControl, true},
+	OpCALL:    {"call", CatControl, false},
+	OpCALLR:   {"callr", CatControl, true},
+	OpRET:     {"ret", CatControl, false},
+	OpCALLINT: {"callint", CatControl, false},
+	OpRETINT:  {"retint", CatControl, false},
+	OpLDHI:    {"ldhi", CatMisc, true},
+	OpGTLPC:   {"gtlpc", CatMisc, true},
+	OpGETPSW:  {"getpsw", CatMisc, false},
+	OpPUTPSW:  {"putpsw", CatMisc, false},
+}
+
+// Ops returns every defined opcode in a stable order (grouped by category,
+// ascending opcode value).
+func Ops() []Op {
+	out := make([]Op, 0, len(opEntries))
+	for op := Op(0); op < 0x7F; op++ {
+		if opTable[op].name != "" {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Valid reports whether op is a defined RISC I opcode.
+func (op Op) Valid() bool { return op < 128 && opTable[op].name != "" }
+
+// Name returns the assembler mnemonic for op.
+func (op Op) Name() string {
+	if op.Valid() {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op%#02x", uint8(op))
+}
+
+func (op Op) String() string { return op.Name() }
+
+// Cat returns the instruction category of op.
+func (op Op) Cat() Category {
+	if op.Valid() {
+		return opTable[op].cat
+	}
+	return CatInvalid
+}
+
+// Long reports whether op uses the long-immediate (19-bit) format.
+func (op Op) Long() bool {
+	return op.Valid() && opTable[op].long
+}
+
+// IsConditional reports whether op's dest field holds a jump condition
+// rather than a destination register.
+func (op Op) IsConditional() bool { return op == OpJMP || op == OpJMPR }
+
+// Transfers reports whether op is a (delayed) control transfer.
+func (op Op) Transfers() bool { return op.Cat() == CatControl }
+
+// ByName maps an assembler mnemonic to its opcode.
+func ByName(name string) (Op, bool) {
+	op, ok := nameTable[name]
+	return op, ok
+}
+
+var nameTable = func() map[string]Op {
+	m := make(map[string]Op, len(opEntries))
+	for op, info := range opEntries {
+		m[info.name] = op
+	}
+	return m
+}()
+
+// Register file geometry. A RISC I program sees 32 registers partitioned
+// into globals and the three window regions described in the paper.
+const (
+	NumVisibleRegs = 32
+	NumGlobalRegs  = 10 // r0..r9; r0 reads as zero
+	FirstLow       = 10 // r10..r15: outgoing parameters (callee's HIGH)
+	FirstLocal     = 16 // r16..r25: locals
+	FirstHigh      = 26 // r26..r31: incoming parameters (caller's LOW)
+	WindowRegs     = 16 // non-overlapping registers contributed per window
+	OverlapRegs    = 6  // registers shared between adjacent windows
+)
+
+// Immediate ranges.
+const (
+	MaxImm13 = 1<<12 - 1  // 4095
+	MinImm13 = -(1 << 12) // -4096
+	MaxImm19 = 1<<18 - 1
+	MinImm19 = -(1 << 18)
+)
+
+// Inst is a decoded RISC I instruction.
+//
+// For short-format instructions the second source operand S2 is either
+// register Rs2 (Imm false) or the sign-extended Imm13 (Imm true). Long-format
+// instructions (LDHI, JMPR, CALLR, GTLPC) carry Imm19 instead of Rs1/S2.
+// For JMP and JMPR the Rd field holds a Cond.
+type Inst struct {
+	Op    Op
+	SCC   bool  // set condition codes
+	Rd    uint8 // destination register, or Cond for JMP/JMPR
+	Rs1   uint8
+	Imm   bool // S2 is Imm13 rather than Rs2
+	Rs2   uint8
+	Imm13 int32 // sign-extended 13-bit immediate
+	Imm19 int32 // sign-extended 19-bit immediate (long format)
+}
+
+// Cond returns the jump condition encoded in the Rd field.
+func (i Inst) Cond() Cond { return Cond(i.Rd & 0xF) }
+
+// Encoding layout.
+const (
+	shiftOp  = 25
+	shiftSCC = 24
+	shiftRd  = 19
+	shiftRs1 = 14
+	shiftImm = 13
+	maskImm13 = 1<<13 - 1
+	maskImm19 = 1<<19 - 1
+)
+
+// Encode packs the instruction into its 32-bit machine form.
+// It panics if the instruction's immediate is out of range or a register
+// index exceeds 31; use Check first for untrusted input.
+func (i Inst) Encode() uint32 {
+	if err := i.Check(); err != nil {
+		panic(err)
+	}
+	w := uint32(i.Op) << shiftOp
+	if i.SCC {
+		w |= 1 << shiftSCC
+	}
+	w |= uint32(i.Rd&0x1F) << shiftRd
+	if i.Op.Long() {
+		w |= uint32(i.Imm19) & maskImm19
+		return w
+	}
+	w |= uint32(i.Rs1&0x1F) << shiftRs1
+	if i.Imm {
+		w |= 1 << shiftImm
+		w |= uint32(i.Imm13) & maskImm13
+	} else {
+		w |= uint32(i.Rs2 & 0x1F)
+	}
+	return w
+}
+
+// Check validates field ranges without encoding.
+func (i Inst) Check() error {
+	if !i.Op.Valid() {
+		return fmt.Errorf("isa: invalid opcode %#02x", uint8(i.Op))
+	}
+	if i.Rd > 31 {
+		return fmt.Errorf("isa: %s: destination register r%d out of range", i.Op, i.Rd)
+	}
+	if i.Op.Long() {
+		if i.Imm19 < MinImm19 || i.Imm19 > MaxImm19 {
+			return fmt.Errorf("isa: %s: immediate %d outside 19-bit range", i.Op, i.Imm19)
+		}
+		return nil
+	}
+	if i.Rs1 > 31 {
+		return fmt.Errorf("isa: %s: source register r%d out of range", i.Op, i.Rs1)
+	}
+	if i.Imm {
+		if i.Imm13 < MinImm13 || i.Imm13 > MaxImm13 {
+			return fmt.Errorf("isa: %s: immediate %d outside 13-bit range", i.Op, i.Imm13)
+		}
+	} else if i.Rs2 > 31 {
+		return fmt.Errorf("isa: %s: source register r%d out of range", i.Op, i.Rs2)
+	}
+	return nil
+}
+
+// Decode unpacks a 32-bit machine word. It returns an error for undefined
+// opcodes so the CPU can raise an illegal-instruction trap.
+func Decode(w uint32) (Inst, error) {
+	var i Inst
+	i.Op = Op(w >> shiftOp)
+	if !i.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: undefined opcode %#02x in word %#08x", uint8(i.Op), w)
+	}
+	i.SCC = w>>shiftSCC&1 == 1
+	i.Rd = uint8(w >> shiftRd & 0x1F)
+	if i.Op.Long() {
+		i.Imm19 = signExtend(w&maskImm19, 19)
+		return i, nil
+	}
+	i.Rs1 = uint8(w >> shiftRs1 & 0x1F)
+	i.Imm = w>>shiftImm&1 == 1
+	if i.Imm {
+		i.Imm13 = signExtend(w&maskImm13, 13)
+	} else {
+		i.Rs2 = uint8(w & 0x1F)
+	}
+	return i, nil
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// InstBytes is the size of every RISC I instruction: the fixed 32-bit format
+// is one of the paper's core design rules.
+const InstBytes = 4

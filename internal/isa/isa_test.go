@@ -1,0 +1,227 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInstructionCount(t *testing.T) {
+	if got := len(Ops()); got != NumInstructions {
+		t.Fatalf("instruction set has %d opcodes, want %d (the paper's count)", got, NumInstructions)
+	}
+}
+
+func TestOpMetadata(t *testing.T) {
+	counts := map[Category]int{}
+	for _, op := range Ops() {
+		counts[op.Cat()]++
+		if op.Name() == "" {
+			t.Errorf("opcode %#02x has no name", uint8(op))
+		}
+		back, ok := ByName(op.Name())
+		if !ok || back != op {
+			t.Errorf("ByName(%q) = %v, %v; want %v", op.Name(), back, ok, op)
+		}
+	}
+	want := map[Category]int{CatALU: 12, CatLoad: 5, CatStore: 3, CatControl: 7, CatMisc: 4}
+	for cat, n := range want {
+		if counts[cat] != n {
+			t.Errorf("category %v has %d instructions, want %d", cat, counts[cat], n)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("bogus"); ok {
+		t.Fatal("ByName accepted an unknown mnemonic")
+	}
+}
+
+func TestEncodeDecodeExamples(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpADD, Rs1: 1, Rs2: 2, Rd: 3}, "add r1,r2,r3"},
+		{Inst{Op: OpSUB, SCC: true, Rs1: 4, Imm: true, Imm13: -7, Rd: 0}, "sub! r4,#-7,r0"},
+		{Inst{Op: OpLDL, Rs1: 2, Imm: true, Imm13: 8, Rd: 5}, "ldl (r2)#8,r5"},
+		{Inst{Op: OpSTB, Rs1: 9, Rs2: 3, Rd: 7}, "stb r7,(r9)r3"},
+		{Inst{Op: OpJMP, Rd: uint8(CondEQ), Rs1: 2, Imm: true, Imm13: 0}, "jmp eq,(r2)#0"},
+		{Inst{Op: OpJMPR, Rd: uint8(CondALW), Imm19: -12}, "jmpr alw,#-12"},
+		{Inst{Op: OpCALL, Rd: 25, Rs1: 2, Imm: true, Imm13: 4}, "call r25,(r2)#4"},
+		{Inst{Op: OpCALLR, Rd: 25, Imm19: 160}, "callr r25,#160"},
+		{Inst{Op: OpRET, Rd: 25, Imm: true, Imm13: 8}, "ret r25,#8"},
+		{Inst{Op: OpLDHI, Rd: 5, Imm19: 4096}, "ldhi r5,#4096"},
+		{Inst{Op: OpGTLPC, Rd: 6}, "gtlpc r6"},
+		{Inst{Op: OpGETPSW, Rd: 1}, "getpsw r1"},
+		{Inst{Op: OpPUTPSW, Rs1: 1, Imm: true, Imm13: 0}, "putpsw r1,#0"},
+	}
+	for _, tt := range tests {
+		w := tt.in.Encode()
+		got, err := Decode(w)
+		if err != nil {
+			t.Errorf("Decode(Encode(%v)): %v", tt.in, err)
+			continue
+		}
+		if got != tt.in {
+			t.Errorf("round trip %v -> %#08x -> %v", tt.in, w, got)
+		}
+		if got.String() != tt.want {
+			t.Errorf("String() = %q, want %q", got.String(), tt.want)
+		}
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	if _, err := Decode(0); err == nil {
+		t.Error("Decode(0) should fail: opcode 0 is undefined")
+	}
+	if _, err := Decode(0x7F << 25); err == nil {
+		t.Error("Decode of opcode 0x7f should fail")
+	}
+}
+
+func TestCheckRanges(t *testing.T) {
+	bad := []Inst{
+		{Op: OpADD, Rs1: 32},
+		{Op: OpADD, Rd: 40},
+		{Op: OpADD, Rs2: 33},
+		{Op: OpADD, Imm: true, Imm13: MaxImm13 + 1},
+		{Op: OpADD, Imm: true, Imm13: MinImm13 - 1},
+		{Op: OpLDHI, Imm19: MaxImm19 + 1},
+		{Op: OpCALLR, Imm19: MinImm19 - 1},
+		{Op: opInvalid},
+	}
+	for _, i := range bad {
+		if err := i.Check(); err == nil {
+			t.Errorf("Check(%+v) accepted an invalid instruction", i)
+		}
+	}
+}
+
+func TestEncodePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode of out-of-range immediate did not panic")
+		}
+	}()
+	Inst{Op: OpADD, Imm: true, Imm13: 99999}.Encode()
+}
+
+// randInst builds a random canonical instruction: every field that the
+// format does not carry is zero, matching what Decode produces.
+func randInst(r *rand.Rand) Inst {
+	ops := Ops()
+	i := Inst{Op: ops[r.Intn(len(ops))]}
+	i.SCC = r.Intn(2) == 1
+	i.Rd = uint8(r.Intn(32))
+	if i.Op.Long() {
+		i.Imm19 = int32(r.Intn(MaxImm19-MinImm19+1)) + MinImm19
+		return i
+	}
+	i.Rs1 = uint8(r.Intn(32))
+	if r.Intn(2) == 1 {
+		i.Imm = true
+		i.Imm13 = int32(r.Intn(MaxImm13-MinImm13+1)) + MinImm13
+	} else {
+		i.Rs2 = uint8(r.Intn(32))
+	}
+	return i
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randInst(r)
+		out, err := Decode(in.Encode())
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignExtendProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		got13 := signExtend(v&maskImm13, 13)
+		got19 := signExtend(v&maskImm19, 19)
+		return got13 >= MinImm13 && got13 <= MaxImm13 &&
+			got19 >= MinImm19 && got19 <= MaxImm19 &&
+			uint32(got13)&maskImm13 == v&maskImm13 &&
+			uint32(got19)&maskImm19 == v&maskImm19
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCondNegateProperties(t *testing.T) {
+	f := func(c uint8, z, n, v, carry bool) bool {
+		cond := Cond(c & 0xF)
+		flags := Flags{Z: z, N: n, V: v, C: carry}
+		neg := cond.Negate()
+		return neg.Negate() == cond && neg.Holds(flags) == !cond.Holds(flags)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCondSemantics(t *testing.T) {
+	// Flags as produced by `sub! a,b,r0` for small signed operands.
+	subFlags := func(a, b int32) Flags {
+		diff := a - b
+		ua, ub := uint64(uint32(a)), uint64(uint32(b))
+		return Flags{
+			Z: diff == 0,
+			N: diff < 0,
+			V: (a >= 0 && b < 0 && diff < 0) || (a < 0 && b >= 0 && diff >= 0),
+			C: ua >= ub, // no borrow
+		}
+	}
+	vals := []int32{-3, -1, 0, 1, 2, 100}
+	for _, a := range vals {
+		for _, b := range vals {
+			f := subFlags(a, b)
+			checks := []struct {
+				cond Cond
+				want bool
+			}{
+				{CondEQ, a == b}, {CondNE, a != b},
+				{CondLT, a < b}, {CondGE, a >= b},
+				{CondGT, a > b}, {CondLE, a <= b},
+				{CondLO, uint32(a) < uint32(b)}, {CondHIS, uint32(a) >= uint32(b)},
+				{CondHI, uint32(a) > uint32(b)}, {CondLOS, uint32(a) <= uint32(b)},
+				{CondALW, true}, {CondNEV, false},
+			}
+			for _, c := range checks {
+				if got := c.cond.Holds(f); got != c.want {
+					t.Errorf("a=%d b=%d cond %v: got %v, want %v", a, b, c.cond, got, c.want)
+				}
+			}
+		}
+	}
+}
+
+func TestCondNames(t *testing.T) {
+	for c := Cond(0); c < 16; c++ {
+		back, ok := CondByName(c.String())
+		if !ok || back != c {
+			t.Errorf("CondByName(%q) = %v, %v", c.String(), back, ok)
+		}
+	}
+	if _, ok := CondByName("zz"); ok {
+		t.Error("CondByName accepted unknown name")
+	}
+}
+
+func TestDisasmWordFallback(t *testing.T) {
+	if got := DisasmWord(0); got != ".word 0x00000000" {
+		t.Errorf("DisasmWord(0) = %q", got)
+	}
+	w := Inst{Op: OpADD, Rs1: 1, Rs2: 2, Rd: 3}.Encode()
+	if got := DisasmWord(w); got != "add r1,r2,r3" {
+		t.Errorf("DisasmWord = %q", got)
+	}
+}

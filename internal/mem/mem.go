@@ -1,0 +1,237 @@
+// Package mem provides the byte-addressable, big-endian memory used by both
+// simulated machines (RISC I and the CX CISC comparator), including a small
+// memory-mapped console device that benchmark programs use to emit results.
+package mem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Console is the memory-mapped output device. A 32-bit store to ConsolePutc
+// appends the low byte to the console; a store to ConsolePutInt appends the
+// decimal rendering of the word. Loads from ConsoleStatus read 1 (always
+// ready). These addresses sit at the very top of the address space, far above
+// any RAM a simulation configures.
+const (
+	ConsoleBase   = 0xFFFF_FF00
+	ConsolePutc   = ConsoleBase + 0x0
+	ConsolePutInt = ConsoleBase + 0x4
+	ConsoleStatus = ConsoleBase + 0x8
+)
+
+// AccessKind distinguishes the failure modes a memory access can hit.
+type AccessKind uint8
+
+// Access kinds reported in Fault errors.
+const (
+	AccessLoad AccessKind = iota
+	AccessStore
+	AccessFetch
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessLoad:
+		return "load"
+	case AccessStore:
+		return "store"
+	case AccessFetch:
+		return "fetch"
+	}
+	return "access"
+}
+
+// Fault describes an illegal memory access: out of bounds or misaligned.
+type Fault struct {
+	Kind      AccessKind
+	Addr      uint32
+	Size      int
+	Misalign  bool
+	OutOfMem  bool
+}
+
+func (f *Fault) Error() string {
+	switch {
+	case f.Misalign:
+		return fmt.Sprintf("mem: misaligned %d-byte %s at %#08x", f.Size, f.Kind, f.Addr)
+	case f.OutOfMem:
+		return fmt.Sprintf("mem: %s at %#08x outside memory", f.Kind, f.Addr)
+	default:
+		return fmt.Sprintf("mem: bad %s at %#08x", f.Kind, f.Addr)
+	}
+}
+
+// Memory is a flat big-endian RAM with the console device mapped on top.
+// All multi-byte accesses must be naturally aligned, per the RISC I rule
+// that alignment keeps the memory interface single-cycle.
+type Memory struct {
+	ram     []byte
+	console strings.Builder
+
+	// Reads counts data loads, Writes data stores, in bytes, for the
+	// memory-traffic experiments (E5, E9). Fetch traffic is counted by
+	// the CPUs themselves since they know instruction boundaries.
+	Reads  uint64
+	Writes uint64
+}
+
+// New returns a memory with size bytes of RAM starting at address 0.
+func New(size int) *Memory {
+	return &Memory{ram: make([]byte, size)}
+}
+
+// Size returns the RAM size in bytes.
+func (m *Memory) Size() int { return len(m.ram) }
+
+// Console returns everything written to the console device so far.
+func (m *Memory) Console() string { return m.console.String() }
+
+// ResetCounters zeroes the traffic counters without touching RAM contents.
+func (m *Memory) ResetCounters() { m.Reads, m.Writes = 0, 0 }
+
+func (m *Memory) check(kind AccessKind, addr uint32, size int) error {
+	if addr%uint32(size) != 0 {
+		return &Fault{Kind: kind, Addr: addr, Size: size, Misalign: true}
+	}
+	if uint64(addr)+uint64(size) > uint64(len(m.ram)) {
+		return &Fault{Kind: kind, Addr: addr, Size: size, OutOfMem: true}
+	}
+	return nil
+}
+
+func (m *Memory) isConsole(addr uint32) bool { return addr >= ConsoleBase }
+
+// Load8 reads one byte.
+func (m *Memory) Load8(addr uint32) (uint8, error) {
+	if m.isConsole(addr) {
+		m.Reads++
+		return 1, nil
+	}
+	if err := m.check(AccessLoad, addr, 1); err != nil {
+		return 0, err
+	}
+	m.Reads++
+	return m.ram[addr], nil
+}
+
+// Load16 reads a big-endian halfword.
+func (m *Memory) Load16(addr uint32) (uint16, error) {
+	if m.isConsole(addr) {
+		m.Reads += 2
+		return 1, nil
+	}
+	if err := m.check(AccessLoad, addr, 2); err != nil {
+		return 0, err
+	}
+	m.Reads += 2
+	return uint16(m.ram[addr])<<8 | uint16(m.ram[addr+1]), nil
+}
+
+// Load32 reads a big-endian word.
+func (m *Memory) Load32(addr uint32) (uint32, error) {
+	if m.isConsole(addr) {
+		m.Reads += 4
+		return 1, nil
+	}
+	if err := m.check(AccessLoad, addr, 4); err != nil {
+		return 0, err
+	}
+	m.Reads += 4
+	return uint32(m.ram[addr])<<24 | uint32(m.ram[addr+1])<<16 |
+		uint32(m.ram[addr+2])<<8 | uint32(m.ram[addr+3]), nil
+}
+
+// Fetch32 reads an instruction word. It is identical to Load32 except it
+// does not count toward data-read traffic and reports fetch faults.
+func (m *Memory) Fetch32(addr uint32) (uint32, error) {
+	if err := m.check(AccessFetch, addr, 4); err != nil {
+		return 0, err
+	}
+	return uint32(m.ram[addr])<<24 | uint32(m.ram[addr+1])<<16 |
+		uint32(m.ram[addr+2])<<8 | uint32(m.ram[addr+3]), nil
+}
+
+// FetchByte reads one instruction byte (used by the variable-length CX
+// machine's fetch unit). Not counted as data traffic.
+func (m *Memory) FetchByte(addr uint32) (uint8, error) {
+	if err := m.check(AccessFetch, addr, 1); err != nil {
+		return 0, err
+	}
+	return m.ram[addr], nil
+}
+
+// Store8 writes one byte.
+func (m *Memory) Store8(addr uint32, v uint8) error {
+	if m.isConsole(addr) {
+		return m.consoleStore(addr, uint32(v), 1)
+	}
+	if err := m.check(AccessStore, addr, 1); err != nil {
+		return err
+	}
+	m.Writes++
+	m.ram[addr] = v
+	return nil
+}
+
+// Store16 writes a big-endian halfword.
+func (m *Memory) Store16(addr uint32, v uint16) error {
+	if m.isConsole(addr) {
+		return m.consoleStore(addr, uint32(v), 2)
+	}
+	if err := m.check(AccessStore, addr, 2); err != nil {
+		return err
+	}
+	m.Writes += 2
+	m.ram[addr] = uint8(v >> 8)
+	m.ram[addr+1] = uint8(v)
+	return nil
+}
+
+// Store32 writes a big-endian word.
+func (m *Memory) Store32(addr uint32, v uint32) error {
+	if m.isConsole(addr) {
+		return m.consoleStore(addr, v, 4)
+	}
+	if err := m.check(AccessStore, addr, 4); err != nil {
+		return err
+	}
+	m.Writes += 4
+	m.ram[addr] = uint8(v >> 24)
+	m.ram[addr+1] = uint8(v >> 16)
+	m.ram[addr+2] = uint8(v >> 8)
+	m.ram[addr+3] = uint8(v)
+	return nil
+}
+
+func (m *Memory) consoleStore(addr, v uint32, size int) error {
+	m.Writes += uint64(size)
+	switch addr {
+	case ConsolePutc:
+		m.console.WriteByte(uint8(v))
+	case ConsolePutInt:
+		fmt.Fprintf(&m.console, "%d", int32(v))
+	default:
+		// Writes to other device addresses are ignored, like a real bus.
+	}
+	return nil
+}
+
+// LoadProgram copies raw bytes into RAM at addr (used by loaders and tests).
+func (m *Memory) LoadProgram(addr uint32, data []byte) error {
+	if uint64(addr)+uint64(len(data)) > uint64(len(m.ram)) {
+		return &Fault{Kind: AccessStore, Addr: addr, Size: len(data), OutOfMem: true}
+	}
+	copy(m.ram[addr:], data)
+	return nil
+}
+
+// Bytes exposes a read-only copy of a RAM range for inspection in tests.
+func (m *Memory) Bytes(addr uint32, n int) ([]byte, error) {
+	if uint64(addr)+uint64(n) > uint64(len(m.ram)) {
+		return nil, &Fault{Kind: AccessLoad, Addr: addr, Size: n, OutOfMem: true}
+	}
+	out := make([]byte, n)
+	copy(out, m.ram[addr:])
+	return out, nil
+}

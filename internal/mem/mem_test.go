@@ -1,0 +1,168 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip32(t *testing.T) {
+	m := New(1024)
+	f := func(addrRaw uint16, v uint32) bool {
+		addr := uint32(addrRaw) % 1020
+		addr &^= 3
+		if err := m.Store32(addr, v); err != nil {
+			return false
+		}
+		got, err := m.Load32(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEndianness(t *testing.T) {
+	m := New(16)
+	if err := m.Store32(0, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Bytes(0, 4)
+	want := []byte{0x11, 0x22, 0x33, 0x44}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("big-endian layout wrong: % x", b)
+		}
+	}
+	h, _ := m.Load16(0)
+	if h != 0x1122 {
+		t.Errorf("Load16(0) = %#04x, want 0x1122", h)
+	}
+	lo, _ := m.Load8(3)
+	if lo != 0x44 {
+		t.Errorf("Load8(3) = %#02x, want 0x44", lo)
+	}
+}
+
+func TestSubWordStores(t *testing.T) {
+	m := New(8)
+	m.Store32(0, 0xAABBCCDD)
+	if err := m.Store8(1, 0x01); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store16(2, 0x0203); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := m.Load32(0)
+	if w != 0xAA010203 {
+		t.Errorf("word after sub-word stores = %#08x, want 0xaa010203", w)
+	}
+}
+
+func TestAlignmentFaults(t *testing.T) {
+	m := New(64)
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"load32", func() error { _, err := m.Load32(2); return err }()},
+		{"load16", func() error { _, err := m.Load16(1); return err }()},
+		{"store32", m.Store32(5, 1)},
+		{"store16", m.Store16(3, 1)},
+		{"fetch", func() error { _, err := m.Fetch32(6); return err }()},
+	}
+	for _, c := range cases {
+		var f *Fault
+		if !errors.As(c.err, &f) || !f.Misalign {
+			t.Errorf("%s: expected misalignment fault, got %v", c.name, c.err)
+		}
+	}
+}
+
+func TestOutOfBounds(t *testing.T) {
+	m := New(16)
+	if _, err := m.Load32(16); err == nil {
+		t.Error("load past end succeeded")
+	}
+	if err := m.Store8(16, 1); err == nil {
+		t.Error("store past end succeeded")
+	}
+	if _, err := m.Load32(0xFFFFF000); err == nil {
+		t.Error("load from unmapped high address (below console) succeeded")
+	}
+	// Wraparound attempt: addr+size overflowing 32 bits must fault.
+	if _, err := m.Load32(0xFFFFFFFC - 0x100); err == nil {
+		t.Error("near-wraparound load succeeded")
+	}
+}
+
+func TestConsole(t *testing.T) {
+	m := New(16)
+	for _, ch := range []byte("hi ") {
+		if err := m.Store32(ConsolePutc, uint32(ch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Store32(ConsolePutInt, uint32(0x80000000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Console(); got != "hi -2147483648" {
+		t.Errorf("console = %q", got)
+	}
+	status, err := m.Load32(ConsoleStatus)
+	if err != nil || status != 1 {
+		t.Errorf("console status = %d, %v; want 1, nil", status, err)
+	}
+	// Stores to unknown device addresses are ignored, not faults.
+	if err := m.Store32(ConsoleBase+0x40, 7); err != nil {
+		t.Errorf("store to unused device address errored: %v", err)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	m := New(64)
+	m.Store32(0, 1) // 4 write bytes
+	m.Store8(8, 1)  // 1
+	m.Load32(0)     // 4 read bytes
+	m.Load16(0)     // 2
+	m.Load8(0)      // 1
+	m.Fetch32(0)    // fetches must not count as data traffic
+	if m.Writes != 5 || m.Reads != 7 {
+		t.Errorf("traffic = %d writes, %d reads; want 5, 7", m.Writes, m.Reads)
+	}
+	m.ResetCounters()
+	if m.Writes != 0 || m.Reads != 0 {
+		t.Error("ResetCounters did not zero counters")
+	}
+}
+
+func TestLoadProgram(t *testing.T) {
+	m := New(8)
+	if err := m.LoadProgram(2, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Bytes(0, 8)
+	if b[2] != 1 || b[3] != 2 || b[4] != 3 {
+		t.Errorf("program bytes not placed: % x", b)
+	}
+	if err := m.LoadProgram(6, []byte{1, 2, 3}); err == nil {
+		t.Error("overlong program load succeeded")
+	}
+	if _, err := m.Bytes(6, 4); err == nil {
+		t.Error("Bytes past end succeeded")
+	}
+}
+
+func TestFaultMessages(t *testing.T) {
+	_, err := New(4).Load32(1)
+	if err == nil || err.Error() == "" {
+		t.Fatal("fault has no message")
+	}
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatal("error is not a *Fault")
+	}
+	if f.Kind.String() != "load" || AccessStore.String() != "store" || AccessFetch.String() != "fetch" {
+		t.Error("AccessKind strings wrong")
+	}
+}

@@ -1,0 +1,56 @@
+// Package pipeline models the fetch/execute overlap that justifies the
+// delayed-jump design. RISC I overlaps the fetch of the next instruction
+// with the execution of the current one; a taken control transfer would
+// waste the already-fetched instruction unless either (a) the hardware
+// squashes it and eats a one-cycle bubble, or (b) the architecture declares
+// it to execute anyway — the delayed jump — and lets the compiler put
+// something useful there.
+//
+// Three machine organizations are compared over the same execution trace
+// (summarized by its stats.Stats):
+//
+//   - Sequential: no overlap — every instruction pays an explicit fetch
+//     cycle. This is the naive baseline.
+//   - Squashing: overlapped fetch with taken transfers squashing the
+//     prefetched instruction (a one-cycle bubble each). Delay slots do not
+//     exist, so the NOPs the compiler emitted into them are not executed.
+//   - Delayed: RISC I as built — overlapped fetch, transfers take effect
+//     one instruction late, the slot always executes.
+package pipeline
+
+import "risc1/internal/stats"
+
+// Cycles summarizes the cost of one run under the three organizations.
+type Cycles struct {
+	Sequential uint64
+	Squashing  uint64
+	Delayed    uint64
+}
+
+// Analyze computes the three organizations' cycle counts from a run's
+// statistics. s.Cycles must be the delayed-organization count (which is
+// what the core simulator produces).
+func Analyze(s *stats.Stats) Cycles {
+	delayed := s.Cycles
+	// Sequential: every executed instruction pays one extra fetch cycle
+	// that the overlap otherwise hides.
+	sequential := delayed + s.Instructions
+	// Squashing: delay slots do not exist, so the NOPs that the compiler
+	// left in unfilled slots disappear (one cycle each) — but every taken
+	// transfer squashes its prefetched instruction, a one-cycle bubble.
+	squashing := delayed - s.DelaySlotNops + s.TakenTransfers
+	return Cycles{Sequential: sequential, Squashing: squashing, Delayed: delayed}
+}
+
+// SpeedupOverSequential returns how much the overlapped organizations gain.
+func (c Cycles) SpeedupOverSequential() (squash, delayed float64) {
+	return float64(c.Sequential) / float64(c.Squashing),
+		float64(c.Sequential) / float64(c.Delayed)
+}
+
+// DelayedAdvantage is the delayed organization's cycle advantage over
+// squashing, as a fraction of the squashing count. Positive means delayed
+// jumps (with the measured slot-fill rate) beat squashing hardware.
+func (c Cycles) DelayedAdvantage() float64 {
+	return 1 - float64(c.Delayed)/float64(c.Squashing)
+}

@@ -1,0 +1,65 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"risc1/internal/stats"
+)
+
+func TestAnalyzeArithmetic(t *testing.T) {
+	s := &stats.Stats{
+		Instructions:   100,
+		Cycles:         120,
+		TakenTransfers: 10,
+		DelaySlotNops:  6,
+	}
+	c := Analyze(s)
+	if c.Sequential != 220 {
+		t.Errorf("sequential = %d, want 220", c.Sequential)
+	}
+	if c.Squashing != 120-6+10 {
+		t.Errorf("squashing = %d, want 124", c.Squashing)
+	}
+	if c.Delayed != 120 {
+		t.Errorf("delayed = %d, want 120", c.Delayed)
+	}
+}
+
+func TestOrderingProperties(t *testing.T) {
+	// For any plausible run, the overlapped organizations beat sequential,
+	// and the delayed organization beats squashing exactly when fewer
+	// slot-NOPs were executed than transfers taken.
+	f := func(instr, cyc, taken, nops uint16) bool {
+		n := uint64(instr) + 1
+		s := &stats.Stats{
+			Instructions:   n,
+			Cycles:         n + uint64(cyc), // at least one cycle each
+			TakenTransfers: uint64(taken) % n,
+			DelaySlotNops:  uint64(nops) % n,
+		}
+		if s.DelaySlotNops > s.Cycles {
+			return true // not a plausible run
+		}
+		c := Analyze(s)
+		if c.Sequential <= c.Delayed {
+			return false
+		}
+		wantDelayedWins := s.DelaySlotNops < s.TakenTransfers
+		return (c.Delayed < c.Squashing) == wantDelayedWins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	c := Cycles{Sequential: 200, Squashing: 110, Delayed: 100}
+	sq, dl := c.SpeedupOverSequential()
+	if sq <= 1 || dl <= 1 || dl <= sq {
+		t.Errorf("speedups: squash %.2f delayed %.2f", sq, dl)
+	}
+	if adv := c.DelayedAdvantage(); adv <= 0.0909 || adv >= 0.0910 {
+		t.Errorf("advantage = %.4f, want ~0.0909", adv)
+	}
+}

@@ -1,0 +1,427 @@
+// Package prog holds the benchmark suite: the classic kernels the RISC I
+// evaluation used (the EDN benchmarks E, F, H and K, Ackermann, recursive
+// quicksort, a puzzle-style subscript kernel, towers of Hanoi) plus sieve,
+// recursive Fibonacci and a matrix multiply, all written in Cm so the same
+// source compiles for every machine under comparison.
+//
+// Each benchmark carries a reference implementation in Go (reference.go)
+// that computes the expected console output; the integration tests require
+// all three compilation targets to reproduce it exactly.
+package prog
+
+import "fmt"
+
+// Benchmark is one suite entry.
+type Benchmark struct {
+	Name string
+	EDN  string // the paper-era EDN benchmark tag, when applicable
+	Desc string
+	// CallHeavy marks the recursion-dominated kernels used by the
+	// register-window experiments.
+	CallHeavy bool
+	Source    string
+}
+
+// All returns the suite in its canonical order.
+func All() []Benchmark { return suite }
+
+// ByName finds one benchmark.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range suite {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Expected returns the console output the benchmark must produce, computed
+// by the Go reference implementation.
+func Expected(name string) string {
+	ref, ok := references[name]
+	if !ok {
+		panic(fmt.Sprintf("prog: no reference for %q", name))
+	}
+	return ref()
+}
+
+var suite = []Benchmark{
+	{
+		Name: "search", EDN: "E",
+		Desc: "string search (EDN benchmark E)",
+		Source: `
+char text[] = "here is a sample text with several sample patterns inside; the sample text sample ends here with one last sample";
+char pat[] = "sample";
+int search(char *s, char *p, int start) {
+	int i; int j;
+	i = start;
+	while (s[i]) {
+		j = 0;
+		while (p[j] && s[i + j] == p[j]) j++;
+		if (!p[j]) return i;
+		i++;
+	}
+	return -1;
+}
+int main() {
+	int iter; int count; int possum; int at;
+	count = 0; possum = 0;
+	for (iter = 0; iter < 100; iter++) {
+		at = 0;
+		for (;;) {
+			at = search(text, pat, at);
+			if (at < 0) break;
+			count++;
+			possum += at;
+			at++;
+		}
+	}
+	putint(count); putchar(' '); putint(possum);
+	return 0;
+}`,
+	},
+	{
+		Name: "bittest", EDN: "F",
+		Desc: "bit set/clear/test over a bitmap (EDN benchmark F)",
+		Source: `
+int bits[64];
+int seed;
+int rnd() {
+	seed ^= seed << 13;
+	seed ^= seed >> 17;
+	seed ^= seed << 5;
+	return (seed >> 7) & 2047;
+}
+int main() {
+	int i; int n; int hits;
+	seed = 99;
+	for (i = 0; i < 64; i++) bits[i] = 0;
+	hits = 0;
+	for (i = 0; i < 5000; i++) {
+		n = rnd();
+		if ((bits[n >> 5] >> (n & 31)) & 1) {
+			bits[n >> 5] &= ~(1 << (n & 31));
+		} else {
+			bits[n >> 5] |= 1 << (n & 31);
+			hits++;
+		}
+	}
+	n = 0;
+	for (i = 0; i < 2048; i++)
+		if ((bits[i >> 5] >> (i & 31)) & 1) n++;
+	putint(hits); putchar(' '); putint(n);
+	return 0;
+}`,
+	},
+	{
+		Name: "linklist", EDN: "H",
+		Desc: "linked-list insertion and deletion (EDN benchmark H)",
+		Source: `
+int nextp[600];
+int value[600];
+int main() {
+	int i; int head; int free; int n; int p; int q; int sum;
+	// Build an initial chain of 400 nodes, values 0,2,4,...
+	head = 0;
+	for (i = 0; i < 400; i++) { value[i] = 2 * i; nextp[i] = i + 1; }
+	nextp[399] = -1;
+	free = 400;
+	// Insert 150 odd values in sorted position.
+	for (n = 0; n < 150; n++) {
+		value[free] = 2 * n + 1;
+		p = head; q = -1;
+		while (p >= 0 && value[p] < value[free]) { q = p; p = nextp[p]; }
+		nextp[free] = p;
+		if (q < 0) head = free; else nextp[q] = free;
+		free++;
+	}
+	// Delete every third node.
+	p = head; q = -1; i = 0;
+	while (p >= 0) {
+		if (i == 2) {
+			nextp[q] = nextp[p];
+			p = nextp[p];
+			i = 0;
+		} else {
+			q = p; p = nextp[p];
+			i++;
+		}
+	}
+	sum = 0; n = 0;
+	p = head;
+	while (p >= 0) { sum += value[p]; n++; p = nextp[p]; }
+	putint(n); putchar(' '); putint(sum);
+	return 0;
+}`,
+	},
+	{
+		Name: "bitmat", EDN: "K",
+		Desc: "32x32 bit-matrix transpose and row logic (EDN benchmark K)",
+		Source: `
+int m[32];
+int t[32];
+int seed;
+int rnd() {
+	seed ^= seed << 13;
+	seed ^= seed >> 17;
+	seed ^= seed << 5;
+	return seed;
+}
+int main() {
+	int i; int j; int iter; int check;
+	seed = 7;
+	for (i = 0; i < 32; i++) m[i] = rnd();
+	check = 0;
+	for (iter = 0; iter < 20; iter++) {
+		for (i = 0; i < 32; i++) t[i] = 0;
+		for (i = 0; i < 32; i++)
+			for (j = 0; j < 32; j++)
+				if ((m[i] >> j) & 1) t[j] |= 1 << i;
+		for (i = 0; i < 32; i++) m[i] = t[i] ^ (m[i] >> 1);
+		check ^= m[iter & 31];
+	}
+	putint(check);
+	return 0;
+}`,
+	},
+	{
+		Name: "acker", CallHeavy: true,
+		Desc: "Ackermann(3,4): the procedure-call stress test",
+		Source: `
+int acker(int m, int n) {
+	if (m == 0) return n + 1;
+	if (n == 0) return acker(m - 1, 1);
+	return acker(m - 1, acker(m, n - 1));
+}
+int main() { putint(acker(3, 4)); return 0; }`,
+	},
+	{
+		Name: "qsort", CallHeavy: true,
+		Desc: "recursive quicksort of 300 pseudo-random integers",
+		Source: `
+int a[300];
+int seed;
+int rnd() {
+	seed ^= seed << 13;
+	seed ^= seed >> 17;
+	seed ^= seed << 5;
+	return seed & 8191;
+}
+void quick(int lo, int hi) {
+	int i; int j; int pivot; int tmp;
+	if (lo >= hi) return;
+	i = lo; j = hi;
+	pivot = a[(lo + hi) / 2];
+	while (i <= j) {
+		while (a[i] < pivot) i++;
+		while (a[j] > pivot) j--;
+		if (i <= j) {
+			tmp = a[i]; a[i] = a[j]; a[j] = tmp;
+			i++; j--;
+		}
+	}
+	quick(lo, j);
+	quick(i, hi);
+}
+int main() {
+	int i; int ok; int sum;
+	seed = 12345;
+	for (i = 0; i < 300; i++) a[i] = rnd();
+	quick(0, 299);
+	ok = 1; sum = 0;
+	for (i = 0; i < 300; i++) {
+		if (i > 0 && a[i - 1] > a[i]) ok = 0;
+		sum += a[i] * (i & 7);
+	}
+	putint(ok); putchar(' '); putint(a[0]); putchar(' ');
+	putint(a[299]); putchar(' '); putint(sum);
+	return 0;
+}`,
+	},
+	{
+		Name: "puzzle",
+		Desc: "subscript-heavy piece-fitting kernel (reduced Puzzle variant)",
+		Source: `
+int board[512];
+int piece[8];
+int count;
+int fit(int p, int pos) {
+	int k;
+	for (k = 0; k < 8; k++)
+		if (((piece[p] >> k) & 1) && board[pos + k]) return 0;
+	return 1;
+}
+void place(int p, int pos) {
+	int k;
+	for (k = 0; k < 8; k++)
+		if ((piece[p] >> k) & 1) board[pos + k] = 1;
+}
+void remove_(int p, int pos) {
+	int k;
+	for (k = 0; k < 8; k++)
+		if ((piece[p] >> k) & 1) board[pos + k] = 0;
+}
+int main() {
+	int p; int pos; int round;
+	piece[0] = 255; piece[1] = 15; piece[2] = 51; piece[3] = 85;
+	piece[4] = 165; piece[5] = 195; piece[6] = 60; piece[7] = 90;
+	count = 0;
+	for (round = 0; round < 5; round++) {
+		for (p = 0; p < 8; p++) {
+			for (pos = 0; pos + 8 <= 512; pos++) {
+				if (fit(p, pos)) {
+					place(p, pos);
+					count++;
+					if ((count & 7) == 0) remove_(p, pos);
+				}
+			}
+		}
+		for (pos = 0; pos < 512; pos++)
+			if ((pos & 15) == round) board[pos] = 0;
+	}
+	putint(count);
+	return 0;
+}`,
+	},
+	{
+		Name: "hanoi", CallHeavy: true,
+		Desc: "towers of Hanoi, 14 discs",
+		Source: `
+int moves;
+void hanoi(int n, int from, int to, int via) {
+	if (n == 0) return;
+	hanoi(n - 1, from, via, to);
+	moves++;
+	hanoi(n - 1, via, to, from);
+}
+int main() {
+	moves = 0;
+	hanoi(14, 1, 3, 2);
+	putint(moves);
+	return 0;
+}`,
+	},
+	{
+		Name: "sieve",
+		Desc: "sieve of Eratosthenes (the classic BYTE benchmark), 10 passes",
+		Source: `
+char flags[8191];
+int main() {
+	int i; int j; int k; int count; int iter;
+	count = 0;
+	for (iter = 0; iter < 10; iter++) {
+		count = 0;
+		for (i = 0; i < 8191; i++) flags[i] = 1;
+		for (i = 0; i < 8191; i++) {
+			if (flags[i]) {
+				k = i + i + 3;
+				j = i + k;
+				while (j < 8191) { flags[j] = 0; j += k; }
+				count++;
+			}
+		}
+	}
+	putint(count);
+	return 0;
+}`,
+	},
+	{
+		Name: "fib", CallHeavy: true,
+		Desc: "naive recursive Fibonacci, fib(18)",
+		Source: `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main() { putint(fib(18)); return 0; }`,
+	},
+	{
+		Name: "queens", CallHeavy: true,
+		Desc: "eight queens, all solutions (Stanford suite)",
+		Source: `
+int rowok[8];
+int diag1[15];
+int diag2[15];
+int solutions;
+void place(int col) {
+	int row;
+	if (col == 8) { solutions++; return; }
+	for (row = 0; row < 8; row++) {
+		if (!rowok[row] && !diag1[row + col] && !diag2[row - col + 7]) {
+			rowok[row] = 1; diag1[row + col] = 1; diag2[row - col + 7] = 1;
+			place(col + 1);
+			rowok[row] = 0; diag1[row + col] = 0; diag2[row - col + 7] = 0;
+		}
+	}
+}
+int main() {
+	solutions = 0;
+	place(0);
+	putint(solutions);
+	return 0;
+}`,
+	},
+	{
+		Name: "bubble",
+		Desc: "bubble sort of 200 pseudo-random integers (Stanford suite)",
+		Source: `
+int a[200];
+int seed;
+int rnd() {
+	seed ^= seed << 13;
+	seed ^= seed >> 17;
+	seed ^= seed << 5;
+	return seed & 4095;
+}
+int main() {
+	int i; int j; int tmp; int sum;
+	seed = 31415;
+	for (i = 0; i < 200; i++) a[i] = rnd();
+	for (i = 0; i < 199; i++) {
+		for (j = 0; j < 199 - i; j++) {
+			if (a[j] > a[j + 1]) {
+				tmp = a[j]; a[j] = a[j + 1]; a[j + 1] = tmp;
+			}
+		}
+	}
+	sum = 0;
+	for (i = 0; i < 200; i++) {
+		if (i > 0 && a[i - 1] > a[i]) { putint(-1); return 0; }
+		sum += a[i] * (i & 3);
+	}
+	putint(a[0]); putchar(' '); putint(a[199]); putchar(' '); putint(sum);
+	return 0;
+}`,
+	},
+	{
+		Name: "matmul",
+		Desc: "16x16 integer matrix multiply (software multiply on RISC I)",
+		Source: `
+int A[256];
+int B[256];
+int C[256];
+int seed;
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed % 50;
+}
+int main() {
+	int i; int j; int k; int s; int check;
+	seed = 3;
+	for (i = 0; i < 256; i++) A[i] = rnd();
+	for (i = 0; i < 256; i++) B[i] = rnd();
+	for (i = 0; i < 16; i++) {
+		for (j = 0; j < 16; j++) {
+			s = 0;
+			for (k = 0; k < 16; k++)
+				s += A[i * 16 + k] * B[k * 16 + j];
+			C[i * 16 + j] = s;
+		}
+	}
+	check = 0;
+	for (i = 0; i < 256; i++) check += C[i] * ((i & 3) + 1);
+	putint(check);
+	return 0;
+}`,
+	},
+}

@@ -1,0 +1,92 @@
+package prog_test
+
+import (
+	"testing"
+
+	"risc1/internal/asm"
+	"risc1/internal/cc"
+	"risc1/internal/cisc"
+	"risc1/internal/core"
+	"risc1/internal/prog"
+)
+
+// TestSuiteOnAllTargets is the central integration test of the repository:
+// every benchmark must compile, assemble and run on RISC I (windowed), the
+// flat-register ablation and the CX CISC machine, producing exactly the
+// output of its Go reference implementation.
+func TestSuiteOnAllTargets(t *testing.T) {
+	for _, b := range prog.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			want := prog.Expected(b.Name)
+			if want == "" {
+				t.Fatal("empty expected output")
+			}
+			for _, target := range []cc.Target{cc.RISCWindowed, cc.RISCFlat, cc.CISC} {
+				res, err := cc.Compile(b.Source, cc.Options{Target: target})
+				if err != nil {
+					t.Fatalf("%v: compile: %v", target, err)
+				}
+				var console string
+				if target == cc.CISC {
+					img, err := cisc.Assemble(res.Asm)
+					if err != nil {
+						t.Fatalf("%v: assemble: %v", target, err)
+					}
+					m := cisc.New(cisc.Config{})
+					if err := m.Load(img); err != nil {
+						t.Fatal(err)
+					}
+					if err := m.Run(); err != nil {
+						t.Fatalf("%v: run: %v", target, err)
+					}
+					console = m.Console()
+				} else {
+					img, err := asm.Assemble(res.Asm)
+					if err != nil {
+						t.Fatalf("%v: assemble: %v", target, err)
+					}
+					m := core.New(core.Config{
+						Flat:           target == cc.RISCFlat,
+						SaveStackBytes: 64 << 10,
+					})
+					if err := m.Load(img); err != nil {
+						t.Fatal(err)
+					}
+					if err := m.Run(); err != nil {
+						t.Fatalf("%v: run: %v", target, err)
+					}
+					console = m.Console()
+				}
+				if console != want {
+					t.Errorf("%v: output %q, want %q", target, console, want)
+				}
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := prog.ByName("acker"); !ok {
+		t.Error("acker missing")
+	}
+	if _, ok := prog.ByName("nope"); ok {
+		t.Error("found nonexistent benchmark")
+	}
+	if len(prog.All()) < 10 {
+		t.Errorf("suite has only %d benchmarks", len(prog.All()))
+	}
+}
+
+func TestCallHeavyMarked(t *testing.T) {
+	heavy := 0
+	for _, b := range prog.All() {
+		if b.CallHeavy {
+			heavy++
+		}
+	}
+	if heavy < 3 {
+		t.Errorf("only %d call-heavy benchmarks; the window experiments need several", heavy)
+	}
+}

@@ -1,0 +1,369 @@
+package prog
+
+import "fmt"
+
+// Go reference implementations. Each mirrors its Cm source exactly (int32
+// arithmetic, same seeds) and produces the expected console output.
+
+var references = map[string]func() string{
+	"search":   refSearch,
+	"bittest":  refBittest,
+	"linklist": refLinklist,
+	"bitmat":   refBitmat,
+	"acker":    refAcker,
+	"qsort":    refQsort,
+	"puzzle":   refPuzzle,
+	"hanoi":    refHanoi,
+	"sieve":    refSieve,
+	"fib":      refFib,
+	"queens":   refQueens,
+	"bubble":   refBubble,
+	"matmul":   refMatmul,
+}
+
+func refQueens() string {
+	var rowok [8]bool
+	var diag1, diag2 [15]bool
+	solutions := 0
+	var place func(col int)
+	place = func(col int) {
+		if col == 8 {
+			solutions++
+			return
+		}
+		for row := 0; row < 8; row++ {
+			if !rowok[row] && !diag1[row+col] && !diag2[row-col+7] {
+				rowok[row], diag1[row+col], diag2[row-col+7] = true, true, true
+				place(col + 1)
+				rowok[row], diag1[row+col], diag2[row-col+7] = false, false, false
+			}
+		}
+	}
+	place(0)
+	return fmt.Sprintf("%d", solutions)
+}
+
+func refBubble() string {
+	var a [200]int32
+	seed := int32(31415)
+	for i := range a {
+		a[i] = xorshift(&seed) & 4095
+	}
+	for i := 0; i < 199; i++ {
+		for j := 0; j < 199-i; j++ {
+			if a[j] > a[j+1] {
+				a[j], a[j+1] = a[j+1], a[j]
+			}
+		}
+	}
+	sum := int32(0)
+	for i := int32(0); i < 200; i++ {
+		if i > 0 && a[i-1] > a[i] {
+			return "-1"
+		}
+		sum += a[i] * (i & 3)
+	}
+	return fmt.Sprintf("%d %d %d", a[0], a[199], sum)
+}
+
+func refSearch() string {
+	text := "here is a sample text with several sample patterns inside; the sample text sample ends here with one last sample"
+	pat := "sample"
+	search := func(start int) int {
+		for i := start; i < len(text); i++ {
+			j := 0
+			for j < len(pat) && i+j < len(text) && text[i+j] == pat[j] {
+				j++
+			}
+			if j == len(pat) {
+				return i
+			}
+		}
+		return -1
+	}
+	count, possum := int32(0), int32(0)
+	for iter := 0; iter < 100; iter++ {
+		at := 0
+		for {
+			at = search(at)
+			if at < 0 {
+				break
+			}
+			count++
+			possum += int32(at)
+			at++
+		}
+	}
+	return fmt.Sprintf("%d %d", count, possum)
+}
+
+func lcg(seed *int32) int32 {
+	*seed = (*seed*1103515245 + 12345) & 0x7fffffff
+	return *seed
+}
+
+// xorshift mirrors the Cm rnd() used by most kernels: no multiplies, so the
+// generator itself does not dominate a machine without multiply hardware.
+func xorshift(seed *int32) int32 {
+	*seed ^= *seed << 13
+	*seed ^= *seed >> 17
+	*seed ^= *seed << 5
+	return *seed
+}
+
+func refBittest() string {
+	var bits [64]int32
+	seed := int32(99)
+	rnd := func() int32 { return (xorshift(&seed) >> 7) & 2047 }
+	hits := int32(0)
+	for i := 0; i < 5000; i++ {
+		n := rnd()
+		if bits[n>>5]>>(n&31)&1 != 0 {
+			bits[n>>5] &^= 1 << (n & 31)
+		} else {
+			bits[n>>5] |= 1 << (n & 31)
+			hits++
+		}
+	}
+	n := int32(0)
+	for i := int32(0); i < 2048; i++ {
+		if bits[i>>5]>>(i&31)&1 != 0 {
+			n++
+		}
+	}
+	return fmt.Sprintf("%d %d", hits, n)
+}
+
+func refLinklist() string {
+	var nextp, value [600]int32
+	head := int32(0)
+	for i := int32(0); i < 400; i++ {
+		value[i] = 2 * i
+		nextp[i] = i + 1
+	}
+	nextp[399] = -1
+	free := int32(400)
+	for n := int32(0); n < 150; n++ {
+		value[free] = 2*n + 1
+		p, q := head, int32(-1)
+		for p >= 0 && value[p] < value[free] {
+			q, p = p, nextp[p]
+		}
+		nextp[free] = p
+		if q < 0 {
+			head = free
+		} else {
+			nextp[q] = free
+		}
+		free++
+	}
+	p, q, i := head, int32(-1), int32(0)
+	for p >= 0 {
+		if i == 2 {
+			nextp[q] = nextp[p]
+			p = nextp[p]
+			i = 0
+		} else {
+			q, p = p, nextp[p]
+			i++
+		}
+	}
+	sum, n := int32(0), int32(0)
+	for p := head; p >= 0; p = nextp[p] {
+		sum += value[p]
+		n++
+	}
+	return fmt.Sprintf("%d %d", n, sum)
+}
+
+func refBitmat() string {
+	var m, t [32]int32
+	seed := int32(7)
+	for i := range m {
+		m[i] = xorshift(&seed)
+	}
+	check := int32(0)
+	for iter := int32(0); iter < 20; iter++ {
+		for i := range t {
+			t[i] = 0
+		}
+		for i := 0; i < 32; i++ {
+			for j := 0; j < 32; j++ {
+				if m[i]>>j&1 != 0 {
+					t[j] |= 1 << i
+				}
+			}
+		}
+		for i := range m {
+			m[i] = t[i] ^ (m[i] >> 1)
+		}
+		check ^= m[iter&31]
+	}
+	return fmt.Sprintf("%d", check)
+}
+
+func refAcker() string {
+	var acker func(m, n int32) int32
+	acker = func(m, n int32) int32 {
+		if m == 0 {
+			return n + 1
+		}
+		if n == 0 {
+			return acker(m-1, 1)
+		}
+		return acker(m-1, acker(m, n-1))
+	}
+	return fmt.Sprintf("%d", acker(3, 4))
+}
+
+func refQsort() string {
+	var a [300]int32
+	seed := int32(12345)
+	for i := range a {
+		a[i] = xorshift(&seed) & 8191
+	}
+	var quick func(lo, hi int32)
+	quick = func(lo, hi int32) {
+		if lo >= hi {
+			return
+		}
+		i, j := lo, hi
+		pivot := a[(lo+hi)/2]
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		quick(lo, j)
+		quick(i, hi)
+	}
+	quick(0, 299)
+	ok, sum := int32(1), int32(0)
+	for i := int32(0); i < 300; i++ {
+		if i > 0 && a[i-1] > a[i] {
+			ok = 0
+		}
+		sum += a[i] * (i & 7)
+	}
+	return fmt.Sprintf("%d %d %d %d", ok, a[0], a[299], sum)
+}
+
+func refPuzzle() string {
+	var board [512]int32
+	piece := [8]int32{255, 15, 51, 85, 165, 195, 60, 90}
+	count := int32(0)
+	fit := func(p, pos int32) bool {
+		for k := int32(0); k < 8; k++ {
+			if piece[p]>>k&1 != 0 && board[pos+k] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	setAll := func(p, pos, v int32) {
+		for k := int32(0); k < 8; k++ {
+			if piece[p]>>k&1 != 0 {
+				board[pos+k] = v
+			}
+		}
+	}
+	for round := int32(0); round < 5; round++ {
+		for p := int32(0); p < 8; p++ {
+			for pos := int32(0); pos+8 <= 512; pos++ {
+				if fit(p, pos) {
+					setAll(p, pos, 1)
+					count++
+					if count&7 == 0 {
+						setAll(p, pos, 0)
+					}
+				}
+			}
+		}
+		for pos := int32(0); pos < 512; pos++ {
+			if pos&15 == round {
+				board[pos] = 0
+			}
+		}
+	}
+	return fmt.Sprintf("%d", count)
+}
+
+func refHanoi() string {
+	moves := int32(0)
+	var hanoi func(n, from, to, via int32)
+	hanoi = func(n, from, to, via int32) {
+		if n == 0 {
+			return
+		}
+		hanoi(n-1, from, via, to)
+		moves++
+		hanoi(n-1, via, to, from)
+	}
+	hanoi(14, 1, 3, 2)
+	return fmt.Sprintf("%d", moves)
+}
+
+func refSieve() string {
+	var flags [8191]byte
+	count := int32(0)
+	for iter := 0; iter < 10; iter++ {
+		count = 0
+		for i := range flags {
+			flags[i] = 1
+		}
+		for i := int32(0); i < 8191; i++ {
+			if flags[i] != 0 {
+				k := i + i + 3
+				for j := i + k; j < 8191; j += k {
+					flags[j] = 0
+				}
+				count++
+			}
+		}
+	}
+	return fmt.Sprintf("%d", count)
+}
+
+func refFib() string {
+	var fib func(n int32) int32
+	fib = func(n int32) int32 {
+		if n < 2 {
+			return n
+		}
+		return fib(n-1) + fib(n-2)
+	}
+	return fmt.Sprintf("%d", fib(18))
+}
+
+func refMatmul() string {
+	var A, B, C [256]int32
+	seed := int32(3)
+	for i := range A {
+		A[i] = lcg(&seed) % 50
+	}
+	for i := range B {
+		B[i] = lcg(&seed) % 50
+	}
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			s := int32(0)
+			for k := 0; k < 16; k++ {
+				s += A[i*16+k] * B[k*16+j]
+			}
+			C[i*16+j] = s
+		}
+	}
+	check := int32(0)
+	for i := int32(0); i < 256; i++ {
+		check += C[i] * ((i & 3) + 1)
+	}
+	return fmt.Sprintf("%d", check)
+}

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := &Table{
+		Title:   "T",
+		Note:    "note",
+		Headers: []string{"name", "value"},
+	}
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "12,345")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "T" || lines[1] != "note" {
+		t.Errorf("title/note lines wrong: %q, %q", lines[0], lines[1])
+	}
+	// All data lines must be equally wide (right-aligned numeric column).
+	if len(lines) != 6 {
+		t.Fatalf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+	if len(lines[3]) < len("a-much-longer-name") {
+		t.Error("separator shorter than widest row")
+	}
+	if !strings.HasSuffix(lines[4], "     1") && !strings.HasSuffix(lines[4], " 1") {
+		t.Errorf("numeric column not right-aligned: %q", lines[4])
+	}
+	if !strings.HasSuffix(lines[5], "12,345") {
+		t.Errorf("row lost: %q", lines[5])
+	}
+}
+
+func TestNum(t *testing.T) {
+	cases := map[uint64]string{
+		0: "0", 7: "7", 999: "999", 1000: "1,000",
+		1234567: "1,234,567", 1000000000: "1,000,000,000",
+	}
+	for in, want := range cases {
+		if got := Num(in); got != want {
+			t.Errorf("Num(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRatioPct(t *testing.T) {
+	if Ratio(3, 2) != "1.50" || Ratio(1, 0) != "-" {
+		t.Error("Ratio wrong")
+	}
+	if Pct(1, 4) != "25.0%" || Pct(1, 0) != "-" {
+		t.Error("Pct wrong")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	cases := map[float64]string{
+		2.5:      "2.50s",
+		0.0021:   "2.10ms",
+		0.000004: "4us",
+	}
+	for in, want := range cases {
+		if got := Seconds(in); got != want {
+			t.Errorf("Seconds(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountAndMix(t *testing.T) {
+	s := New()
+	s.Count("add", "alu")
+	s.Count("add", "alu")
+	s.Count("ldl", "load")
+	s.Count("callr", "control")
+
+	if s.Instructions != 4 {
+		t.Fatalf("Instructions = %d", s.Instructions)
+	}
+	mix := s.Mix()
+	if mix[0].Name != "add" || mix[0].Count != 2 || mix[0].Pct != 50 {
+		t.Errorf("top of mix = %+v, want add/2/50%%", mix[0])
+	}
+	// Ties break alphabetically for stable tables.
+	if mix[1].Name != "callr" || mix[2].Name != "ldl" {
+		t.Errorf("tie order = %s, %s; want callr, ldl", mix[1].Name, mix[2].Name)
+	}
+	cat := s.CategoryMix()
+	if cat[0].Name != "alu" || cat[0].Count != 2 {
+		t.Errorf("category mix top = %+v", cat[0])
+	}
+}
+
+func TestMixEmpty(t *testing.T) {
+	s := New()
+	if len(s.Mix()) != 0 {
+		t.Error("empty stats produced mix entries")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a, b := New(), New()
+	a.Count("add", "alu")
+	a.Cycles, a.MaxCallDepth, a.DataReads = 10, 3, 8
+	b.Count("sub", "alu")
+	b.Count("add", "alu")
+	b.Cycles, b.MaxCallDepth, b.DataWrites = 5, 7, 4
+	b.WindowOverflow, b.DelaySlotNops = 2, 1
+
+	a.Add(b)
+	if a.Instructions != 3 || a.Cycles != 15 || a.MaxCallDepth != 7 {
+		t.Errorf("aggregate wrong: %+v", a)
+	}
+	if a.ByName["add"] != 2 || a.ByName["sub"] != 1 {
+		t.Errorf("ByName aggregate wrong: %v", a.ByName)
+	}
+	if a.DataBytes() != 12 || a.WindowOverflow != 2 || a.DelaySlotNops != 1 {
+		t.Errorf("counter aggregate wrong: %+v", a)
+	}
+}
+
+func TestAddIntoZeroValue(t *testing.T) {
+	var a Stats // zero value, nil maps
+	b := New()
+	b.Count("add", "alu")
+	a.Add(b)
+	if a.ByName["add"] != 1 {
+		t.Error("Add into zero-value Stats lost counts")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New()
+	s.Count("add", "alu")
+	s.Cycles = 2
+	out := s.String()
+	for _, want := range []string{"instructions=1", "cycles=2", "cpi=2.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q missing %q", out, want)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Package timing centralizes the clock models used by the evaluation, so
+// every experiment converts cycles to time the same way.
+//
+// RISC I's published performance estimates assume a 400 ns processor cycle
+// (the NMOS prototype's design target). The CISC comparator CX is modelled
+// on a VAX-11/780-class machine: a 200 ns microcycle (5 MHz), with each
+// instruction costing several microcycles of microcode plus memory time.
+package timing
+
+import "time"
+
+// Clock periods.
+const (
+	RiscCycleNS    = 400 // RISC I processor cycle (paper's design target)
+	CXMicrocycleNS = 200 // CX microcycle, VAX-11/780-class (5 MHz)
+)
+
+// RISC I instruction costs in cycles. Register-register instructions take a
+// single cycle; memory instructions add one cycle of memory access, which is
+// the whole point of the load/store discipline.
+const (
+	RiscALUCycles      = 1
+	RiscLoadCycles     = 2
+	RiscStoreCycles    = 2
+	RiscTransferCycles = 1 // delayed jumps/calls/returns
+	RiscMiscCycles     = 1 // LDHI, GTLPC, GETPSW, PUTPSW
+)
+
+// Register-window trap costs: trap entry/exit plus 16 stores (spill) or 16
+// loads (fill) of the window image at 2 cycles each, handled by a short
+// software sequence.
+const (
+	RiscSpillCycles = 8 + 16*RiscStoreCycles // 40
+	RiscFillCycles  = 8 + 16*RiscLoadCycles  // 40
+)
+
+// RiscTime converts a RISC I cycle count to simulated wall time.
+func RiscTime(cycles uint64) time.Duration {
+	return time.Duration(cycles) * RiscCycleNS * time.Nanosecond
+}
+
+// CXTime converts a CX microcycle count to simulated wall time.
+func CXTime(microcycles uint64) time.Duration {
+	return time.Duration(microcycles) * CXMicrocycleNS * time.Nanosecond
+}

@@ -1,0 +1,364 @@
+// Package risc1 is a library reproduction of "RISC I: A Reduced Instruction
+// Set VLSI Computer" (Patterson & Séquin, ISCA 1981): a cycle-modelled
+// simulator of the RISC I architecture — 31 instructions, overlapping
+// register windows, delayed jumps — together with everything its published
+// evaluation needs: a microcoded CISC comparator ("CX"), a small-C compiler
+// with back ends for both machines (plus a windowless RISC ablation), the
+// classic benchmark suite, and harnesses that regenerate each table and
+// figure of the paper.
+//
+// Quick start:
+//
+//	out, err := risc1.BuildAndRun(`
+//	    int main() { putint(6 * 7); return 0; }`, risc1.RISCWindowed)
+//	fmt.Println(out.Console) // "42"
+//
+// For assembly-level work, create a Machine, load RISC I assembly, and step
+// or run it:
+//
+//	m := risc1.NewMachine(risc1.MachineConfig{})
+//	m.LoadAssembly("main: add r0,#1,r1\n ret r25,#8\n nop")
+//	m.Run()
+//
+// The experiment harnesses behind the paper's tables are exposed through
+// Experiment and ExperimentIDs; `go test -bench .` regenerates all of them.
+package risc1
+
+import (
+	"fmt"
+	"time"
+
+	"risc1/internal/asm"
+	"risc1/internal/cc"
+	"risc1/internal/cisc"
+	"risc1/internal/core"
+	"risc1/internal/exp"
+	"risc1/internal/isa"
+	"risc1/internal/prog"
+	"risc1/internal/timing"
+)
+
+// Target selects a compilation target for Cm sources.
+type Target = cc.Target
+
+// The three targets of the paper's methodology.
+const (
+	// RISCWindowed is RISC I as built: register-window calling convention.
+	RISCWindowed = cc.RISCWindowed
+	// RISCFlat is the ablation: same ISA, conventional save/restore calls.
+	RISCFlat = cc.RISCFlat
+	// CISC is the CX comparator machine.
+	CISC = cc.CISC
+)
+
+// CompileOptions tunes Cm compilation.
+type CompileOptions struct {
+	// NoDelaySlotFill keeps a NOP in every delayed-transfer slot.
+	NoDelaySlotFill bool
+	// WideData uses full 32-bit addressing for globals instead of the
+	// 8 KiB global-pointer window.
+	WideData bool
+}
+
+// CompileCm compiles Cm source to assembly text for the given target.
+func CompileCm(source string, target Target, opts CompileOptions) (string, error) {
+	res, err := cc.Compile(source, cc.Options{
+		Target:          target,
+		NoDelaySlotFill: opts.NoDelaySlotFill,
+		WideData:        opts.WideData,
+	})
+	if err != nil {
+		return "", err
+	}
+	return res.Asm, nil
+}
+
+// RunInfo summarizes one program execution.
+type RunInfo struct {
+	Console      string
+	Instructions uint64
+	Cycles       uint64 // processor cycles (RISC) or microcycles (CX)
+	Time         time.Duration
+	CodeBytes    int
+	DataBytes    int
+
+	Calls            uint64
+	MaxCallDepth     int
+	WindowOverflows  uint64
+	WindowUnderflows uint64
+	DataReadBytes    uint64
+	DataWriteBytes   uint64
+	FetchBytes       uint64
+}
+
+// BuildAndRun compiles a Cm program, assembles it and runs it to completion
+// on the selected machine, returning the console output and statistics.
+func BuildAndRun(source string, target Target) (*RunInfo, error) {
+	res, err := cc.Compile(source, cc.Options{Target: target})
+	if err != nil {
+		return nil, err
+	}
+	if target == CISC {
+		img, err := cisc.Assemble(res.Asm)
+		if err != nil {
+			return nil, err
+		}
+		m := cisc.New(cisc.Config{})
+		if err := m.Load(img); err != nil {
+			return nil, err
+		}
+		if err := m.Run(); err != nil {
+			return nil, err
+		}
+		return ciscInfo(m, img), nil
+	}
+	img, err := asm.Assemble(res.Asm)
+	if err != nil {
+		// Retry with wide addressing for programs whose data exceeds
+		// the global pointer's reach.
+		res, err = cc.Compile(source, cc.Options{Target: target, WideData: true})
+		if err != nil {
+			return nil, err
+		}
+		img, err = asm.Assemble(res.Asm)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m := core.New(core.Config{Flat: target == RISCFlat, SaveStackBytes: 64 << 10})
+	if err := m.Load(img); err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	return riscInfo(m, len(img.Bytes)), nil
+}
+
+func riscInfo(m *core.CPU, imageBytes int) *RunInfo {
+	s := m.Stats()
+	return &RunInfo{
+		Console:          m.Console(),
+		Instructions:     s.Instructions,
+		Cycles:           s.Cycles,
+		Time:             timing.RiscTime(s.Cycles),
+		CodeBytes:        imageBytes,
+		Calls:            s.Calls,
+		MaxCallDepth:     s.MaxCallDepth,
+		WindowOverflows:  s.WindowOverflow,
+		WindowUnderflows: s.WindowUnderflow,
+		DataReadBytes:    s.DataReads,
+		DataWriteBytes:   s.DataWrites,
+		FetchBytes:       s.FetchBytes,
+	}
+}
+
+func ciscInfo(m *cisc.CPU, img *cisc.Image) *RunInfo {
+	s := m.Stats()
+	return &RunInfo{
+		Console:        m.Console(),
+		Instructions:   s.Instructions,
+		Cycles:         s.Cycles,
+		Time:           timing.CXTime(s.Cycles),
+		CodeBytes:      img.Size(),
+		Calls:          s.Calls,
+		MaxCallDepth:   s.MaxCallDepth,
+		DataReadBytes:  s.DataReads,
+		DataWriteBytes: s.DataWrites,
+		FetchBytes:     s.FetchBytes,
+	}
+}
+
+// MachineConfig sizes an assembly-level RISC I machine.
+type MachineConfig struct {
+	Windows   int  // register windows (0 = the paper's 8)
+	Flat      bool // disable window sliding
+	MemSize   int  // RAM bytes (0 = 1 MiB)
+	MaxCycles uint64
+}
+
+// Machine is an assembly-level RISC I processor.
+type Machine struct {
+	cpu       *core.CPU
+	lastImage *asm.Image
+}
+
+// NewMachine builds a RISC I machine.
+func NewMachine(cfg MachineConfig) *Machine {
+	return &Machine{cpu: core.New(core.Config{
+		Windows:   cfg.Windows,
+		Flat:      cfg.Flat,
+		MemSize:   cfg.MemSize,
+		MaxCycles: cfg.MaxCycles,
+	})}
+}
+
+// LoadAssembly assembles RISC I source and loads it at its origin.
+func (m *Machine) LoadAssembly(source string) error {
+	img, err := asm.Assemble(source)
+	if err != nil {
+		return err
+	}
+	m.lastImage = img
+	return m.cpu.Load(img)
+}
+
+// Run executes until halt, fault, or the cycle limit.
+func (m *Machine) Run() error { return m.cpu.Run() }
+
+// Step executes one instruction.
+func (m *Machine) Step() error { return m.cpu.Step() }
+
+// Halted reports whether the program has finished.
+func (m *Machine) Halted() bool { return m.cpu.Halted() }
+
+// PC returns the program counter.
+func (m *Machine) PC() uint32 { return m.cpu.PC() }
+
+// Reg reads a visible register of the current window.
+func (m *Machine) Reg(r uint8) uint32 { return m.cpu.Reg(r) }
+
+// Console returns everything the program printed.
+func (m *Machine) Console() string { return m.cpu.Console() }
+
+// Info returns the execution statistics so far.
+func (m *Machine) Info() *RunInfo { return riscInfo(m.cpu, 0) }
+
+// Interrupt queues an external interrupt. When interrupts are enabled the
+// processor redirects to vector at the next instruction boundary; the
+// handler uses CALLINT to capture the restart PC (sliding to a fresh
+// register window) and RETINT to resume.
+func (m *Machine) Interrupt(vector uint32) { m.cpu.Interrupt(vector) }
+
+// Symbol looks up a label in the most recently loaded program.
+func (m *Machine) Symbol(name string) (uint32, bool) {
+	if m.lastImage == nil {
+		return 0, false
+	}
+	return m.lastImage.Symbol(name)
+}
+
+// SetTrace installs (or clears, with nil) a per-instruction trace callback
+// receiving each executed instruction's address and disassembly.
+func (m *Machine) SetTrace(f func(pc uint32, disasm string)) {
+	if f == nil {
+		m.cpu.Trace = nil
+		return
+	}
+	m.cpu.Trace = func(pc uint32, inst isa.Inst) { f(pc, inst.String()) }
+}
+
+// Disassemble renders RISC I assembly for an assembled source, with
+// addresses and encodings (a convenience for debugging and teaching).
+func Disassemble(source string) (string, error) {
+	img, err := asm.Assemble(source)
+	if err != nil {
+		return "", err
+	}
+	return asm.Disassemble(img), nil
+}
+
+// CompileAndDisassemble compiles a Cm program and returns the target
+// machine's encoded listing — handy for comparing how the fixed-format
+// RISC I and the variable-length CX spell the same program.
+func CompileAndDisassemble(source string, target Target) (string, error) {
+	res, err := cc.Compile(source, cc.Options{Target: target})
+	if err != nil {
+		return "", err
+	}
+	if target == CISC {
+		img, err := cisc.Assemble(res.Asm)
+		if err != nil {
+			return "", err
+		}
+		return cisc.Disassemble(img), nil
+	}
+	img, err := asm.Assemble(res.Asm)
+	if err != nil {
+		return "", err
+	}
+	return asm.Disassemble(img), nil
+}
+
+// BenchmarkNames lists the benchmark suite.
+func BenchmarkNames() []string {
+	var out []string
+	for _, b := range prog.All() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// BenchmarkSource returns a suite benchmark's Cm source.
+func BenchmarkSource(name string) (string, bool) {
+	b, ok := prog.ByName(name)
+	return b.Source, ok
+}
+
+// ExperimentIDs lists the paper's tables and figures in order. E10 is this
+// repository's extension: the pipeline-organization ablation behind the
+// delayed-jump design decision.
+func ExperimentIDs() []string {
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+}
+
+// Experiment runs one reproduction experiment and returns its rendered
+// table(s). IDs are E1..E9; see DESIGN.md for the experiment index.
+func Experiment(id string) (string, error) {
+	l := exp.NewLab()
+	switch id {
+	case "E1":
+		r, err := exp.E1InstructionMix(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render() + "\n" + r.CatTable.Render(), nil
+	case "E2":
+		return exp.E2Characteristics().Render(), nil
+	case "E3":
+		r, err := exp.E3ProgramSize(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
+	case "E4":
+		r, err := exp.E4ExecutionTime(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
+	case "E5":
+		r, err := exp.E5CallTraffic(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
+	case "E6":
+		r, err := exp.E6WindowDepth(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
+	case "E7":
+		r, err := exp.E7DelaySlots(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
+	case "E8":
+		return exp.E8AreaModel().Table.Render(), nil
+	case "E9":
+		r, err := exp.E9MemoryTraffic(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
+	case "E10":
+		r, err := exp.E10PipelineModels(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
+	}
+	return "", fmt.Errorf("risc1: unknown experiment %q (want E1..E10)", id)
+}

@@ -1,0 +1,143 @@
+package risc1_test
+
+import (
+	"strings"
+	"testing"
+
+	"risc1"
+)
+
+func TestBuildAndRunAllTargets(t *testing.T) {
+	src := `
+int square(int x) { return x * x; }
+int main() { putint(square(6) + square(8)); return 0; }`
+	for _, target := range []risc1.Target{risc1.RISCWindowed, risc1.RISCFlat, risc1.CISC} {
+		out, err := risc1.BuildAndRun(src, target)
+		if err != nil {
+			t.Fatalf("%v: %v", target, err)
+		}
+		if out.Console != "100" {
+			t.Errorf("%v: console %q", target, out.Console)
+		}
+		if out.Instructions == 0 || out.Cycles == 0 || out.Time <= 0 {
+			t.Errorf("%v: stats not populated: %+v", target, out)
+		}
+	}
+}
+
+func TestMachineAssemblyLevel(t *testing.T) {
+	m := risc1.NewMachine(risc1.MachineConfig{})
+	err := m.LoadAssembly(`
+	main:	add r0,#21,r1
+		add r1,r1,r1
+		stl r1,(r0)#-252
+		ret r25,#8
+		nop
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Console() != "42" || m.Reg(1) != 42 || !m.Halted() {
+		t.Errorf("console=%q r1=%d halted=%v", m.Console(), m.Reg(1), m.Halted())
+	}
+	if m.Info().Instructions != 4 {
+		t.Errorf("instructions = %d, want 4", m.Info().Instructions)
+	}
+}
+
+func TestMachineStep(t *testing.T) {
+	m := risc1.NewMachine(risc1.MachineConfig{Windows: 4})
+	if err := m.LoadAssembly("main: add r0,#1,r1\n ret r25,#8\n nop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if m.PC() != 4 || m.Reg(1) != 1 {
+		t.Errorf("after one step: pc=%d r1=%d", m.PC(), m.Reg(1))
+	}
+}
+
+func TestTraceCallback(t *testing.T) {
+	m := risc1.NewMachine(risc1.MachineConfig{})
+	if err := m.LoadAssembly("main: add r0,#1,r1\n ret r25,#8\n nop"); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	m.SetTrace(func(pc uint32, disasm string) {
+		got = append(got, disasm)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "add r0,#1,r1" || got[1] != "ret r25,#8" {
+		t.Errorf("trace = %v", got)
+	}
+	// Clearing the trace must stop callbacks.
+	m.SetTrace(nil)
+}
+
+func TestDisassemble(t *testing.T) {
+	out, err := risc1.Disassemble("main: add r1,r2,r3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "add r1,r2,r3") {
+		t.Errorf("listing: %s", out)
+	}
+}
+
+func TestCompileCmShowsAssembly(t *testing.T) {
+	asmText, err := risc1.CompileCm("int main() { return 3; }", risc1.RISCWindowed,
+		risc1.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"main:", "ret r25,#8"} {
+		if !strings.Contains(asmText, want) {
+			t.Errorf("assembly missing %q:\n%s", want, asmText)
+		}
+	}
+}
+
+func TestBenchmarkAccessors(t *testing.T) {
+	names := risc1.BenchmarkNames()
+	if len(names) < 10 {
+		t.Fatalf("only %d benchmarks", len(names))
+	}
+	src, ok := risc1.BenchmarkSource("hanoi")
+	if !ok || !strings.Contains(src, "hanoi") {
+		t.Error("hanoi source missing")
+	}
+	if _, ok := risc1.BenchmarkSource("nope"); ok {
+		t.Error("found nonexistent benchmark")
+	}
+}
+
+func TestExperimentDispatch(t *testing.T) {
+	// E2 and E8 are static (fast); they prove the dispatch path.
+	for _, id := range []string{"E2", "E8"} {
+		out, err := risc1.Experiment(id)
+		if err != nil || out == "" {
+			t.Errorf("experiment %s: %v", id, err)
+		}
+	}
+	if _, err := risc1.Experiment("E99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(risc1.ExperimentIDs()) != 10 {
+		t.Error("expected 10 experiments")
+	}
+}
+
+func TestCompileErrorSurface(t *testing.T) {
+	if _, err := risc1.BuildAndRun("int main() { return x; }", risc1.RISCWindowed); err == nil {
+		t.Error("undefined variable compiled")
+	}
+	if err := risc1.NewMachine(risc1.MachineConfig{}).LoadAssembly("frob r1"); err == nil {
+		t.Error("bad assembly loaded")
+	}
+}
