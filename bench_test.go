@@ -12,6 +12,7 @@ package risc1_test
 import (
 	"testing"
 
+	"risc1"
 	"risc1/internal/exp"
 )
 
@@ -121,6 +122,23 @@ func BenchmarkE8AreaModel(b *testing.B) {
 	}
 }
 
+// BenchmarkE9MemoryTraffic regenerates the memory-traffic comparison.
+func BenchmarkE9MemoryTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.E9MemoryTraffic(exp.NewLab())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, r := range res.Rows {
+			if r.TotalRatio > worst && r.Name != "matmul" {
+				worst = r.TotalRatio
+			}
+		}
+		b.ReportMetric(worst, "worst-traffic-ratio")
+	}
+}
+
 // BenchmarkE10PipelineModels regenerates the pipeline-organization ablation
 // (this repository's extension: sequential vs squashing vs delayed jumps).
 func BenchmarkE10PipelineModels(b *testing.B) {
@@ -137,19 +155,18 @@ func BenchmarkE10PipelineModels(b *testing.B) {
 	}
 }
 
-// BenchmarkE9MemoryTraffic regenerates the memory-traffic comparison.
-func BenchmarkE9MemoryTraffic(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := exp.E9MemoryTraffic(exp.NewLab())
+// TestExperimentIDsAllRunnable checks that every advertised experiment ID
+// renders without error through the public API (sharing one Lab so common
+// configurations simulate once).
+func TestExperimentIDsAllRunnable(t *testing.T) {
+	lab := risc1.NewLab()
+	for _, id := range risc1.ExperimentIDs() {
+		out, err := lab.Experiment(id)
 		if err != nil {
-			b.Fatal(err)
+			t.Fatalf("Experiment(%q): %v", id, err)
 		}
-		worst := 0.0
-		for _, r := range res.Rows {
-			if r.TotalRatio > worst && r.Name != "matmul" {
-				worst = r.TotalRatio
-			}
+		if out == "" {
+			t.Fatalf("Experiment(%q): empty output", id)
 		}
-		b.ReportMetric(worst, "worst-traffic-ratio")
 	}
 }

@@ -4,33 +4,165 @@
 //
 //	riscbench            # run every experiment, E1..E9
 //	riscbench -exp E4    # just the execution-time comparison
+//	riscbench -json      # also write BENCH_risc1.json (machine-readable)
+//
+// All experiments share one Lab, so benchmark configurations used by several
+// tables are simulated only once, concurrently.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"risc1"
+	"risc1/internal/exp"
 )
+
+// benchFile is where -json writes its report.
+const benchFile = "BENCH_risc1.json"
+
+// throughputAsm is the tight arithmetic loop of the package's
+// BenchmarkSimulatorThroughput: 1M iterations of add/cmp/blt plus the
+// delay-slot NOP — four simulated instructions per trip.
+const throughputAsm = `
+main:	add r0,#0,r1
+	li #1000000,r2
+loop:	add r1,#1,r1
+	cmp r1,r2
+	blt loop
+	nop
+	ret r25,#8
+	nop
+`
+
+type benchReport struct {
+	Schema      string             `json:"schema"`
+	Simulator   simThroughput      `json:"simulator_throughput"`
+	Experiments []experimentTiming `json:"experiments"`
+	Headline    headlineMetrics    `json:"headline_metrics"`
+}
+
+type simThroughput struct {
+	Instructions       uint64  `json:"sim_instructions"`
+	Seconds            float64 `json:"wall_seconds"`
+	InstructionsPerSec float64 `json:"sim_instructions_per_sec"`
+}
+
+type experimentTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"wall_seconds"`
+}
+
+type headlineMetrics struct {
+	E3CodeSizeRatioGeomean  float64 `json:"e3_code_size_ratio_geomean"`
+	E4CXOverRiscTimeGeomean float64 `json:"e4_cx_over_risc_time_geomean"`
+	E5HanoiWinBytesPerCall  float64 `json:"e5_hanoi_win_bytes_per_call"`
+	E5HanoiCXBytesPerCall   float64 `json:"e5_hanoi_cx_bytes_per_call"`
+	E6TrapPct8Windows       float64 `json:"e6_trap_pct_8_windows_recursive"`
+	E7AvgCycleSavingPct     float64 `json:"e7_avg_cycle_saving_pct"`
+}
 
 func main() {
 	which := flag.String("exp", "all", "experiment id (E1..E9) or all")
+	jsonOut := flag.Bool("json", false, "write "+benchFile+" with throughput and headline metrics")
 	flag.Parse()
 
 	ids := risc1.ExperimentIDs()
 	if *which != "all" {
 		ids = []string{*which}
 	}
+	lab := exp.NewLab()
+	var timings []experimentTiming
 	for _, id := range ids {
 		start := time.Now()
-		out, err := risc1.Experiment(id)
+		out, err := exp.Render(lab, id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "riscbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		timings = append(timings, experimentTiming{ID: id, Seconds: elapsed.Seconds()})
 		fmt.Println(out)
-		fmt.Printf("[%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s regenerated in %v]\n\n", id, elapsed.Round(time.Millisecond))
 	}
+
+	if *jsonOut {
+		if err := writeReport(lab, timings); err != nil {
+			fmt.Fprintf(os.Stderr, "riscbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s]\n", benchFile)
+	}
+}
+
+// writeReport measures raw simulator throughput and pulls the headline
+// numbers out of the (already warm) lab, then writes the JSON report.
+func writeReport(lab *exp.Lab, timings []experimentTiming) error {
+	rep := benchReport{Schema: "risc1-bench/1", Experiments: timings}
+
+	m := risc1.NewMachine(risc1.MachineConfig{})
+	if err := m.LoadAssembly(throughputAsm); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := m.Run(); err != nil {
+		return err
+	}
+	secs := time.Since(start).Seconds()
+	instrs := m.Info().Instructions
+	rep.Simulator = simThroughput{
+		Instructions:       instrs,
+		Seconds:            secs,
+		InstructionsPerSec: float64(instrs) / secs,
+	}
+
+	e3, err := exp.E3ProgramSize(lab)
+	if err != nil {
+		return err
+	}
+	rep.Headline.E3CodeSizeRatioGeomean = e3.GeoMean
+	e4, err := exp.E4ExecutionTime(lab)
+	if err != nil {
+		return err
+	}
+	rep.Headline.E4CXOverRiscTimeGeomean = e4.GeoMean
+	e5, err := exp.E5CallTraffic(lab)
+	if err != nil {
+		return err
+	}
+	for _, row := range e5.Rows {
+		if row.Name == "hanoi" {
+			rep.Headline.E5HanoiWinBytesPerCall = row.WindowedPer
+			rep.Headline.E5HanoiCXBytesPerCall = row.CiscPer
+		}
+	}
+	e6, err := exp.E6WindowDepth(lab)
+	if err != nil {
+		return err
+	}
+	for _, row := range e6.Rows {
+		if row.Windows == 8 {
+			rep.Headline.E6TrapPct8Windows = row.TrapPct
+		}
+	}
+	e7, err := exp.E7DelaySlots(lab)
+	if err != nil {
+		return err
+	}
+	if len(e7.Rows) > 0 {
+		sum := 0.0
+		for _, row := range e7.Rows {
+			sum += row.SavingPct
+		}
+		rep.Headline.E7AvgCycleSavingPct = sum / float64(len(e7.Rows))
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(benchFile, append(data, '\n'), 0o644)
 }

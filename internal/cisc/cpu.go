@@ -60,6 +60,30 @@ type CPU struct {
 	cursor    uint32 // decode position within the current instruction
 	callDepth int
 	opCounts  [256]uint64 // per-opcode execution counts (hot path)
+
+	// Instruction-byte memo: the variable-length decoder re-reads its byte
+	// stream on every execution, so Load arms a per-PC memo of each
+	// instruction's raw bytes. Replaying from the memo skips the per-byte
+	// bounds-checked memory fetches; operand specifiers are still decoded
+	// each time because their effective addresses depend on register state.
+	// A write watch over the code range invalidates overwritten entries.
+	codeOrg   uint32
+	memo      []memoEntry
+	instStart uint32  // PC of the instruction being executed
+	replay    []uint8 // instruction bytes being replayed (nil on a miss)
+	rec       bool    // recording a missed instruction's bytes
+	recN      uint8
+	recBuf    [maxInstBytes]uint8
+}
+
+// maxInstBytes bounds one CX instruction: opcode plus three operand
+// specifiers of at most five bytes each (specifier byte + 32-bit extension).
+const maxInstBytes = 16
+
+// memoEntry caches one decoded instruction's raw bytes; n == 0 means empty.
+type memoEntry struct {
+	n uint8
+	b [maxInstBytes]uint8
 }
 
 // New builds a CX machine. Call Load before stepping.
@@ -79,6 +103,7 @@ func (c *CPU) Load(img *Image) error {
 	if err := c.Mem.LoadProgram(img.Org, img.Bytes); err != nil {
 		return err
 	}
+	c.armMemo(img)
 	c.regs[SP] = uint32(c.cfg.MemSize) &^ 7
 	if err := c.doCalls(0, img.Entry, HaltPC); err != nil {
 		return err
@@ -177,11 +202,61 @@ func (c *CPU) pop() (uint32, error) {
 	return v, err
 }
 
-// fetchByte consumes one instruction-stream byte.
+// armMemo sizes the instruction memo to the image's code segment and arms
+// the write watch that keeps it coherent with self-modifying stores. Compiled
+// images mark the code/data boundary with __data_start; hand-written images
+// are treated as all code.
+func (c *CPU) armMemo(img *Image) {
+	code := img.Bytes
+	if ds, ok := img.Symbols["__data_start"]; ok &&
+		ds >= img.Org && ds <= img.Org+uint32(len(img.Bytes)) {
+		code = img.Bytes[:ds-img.Org]
+	}
+	c.codeOrg = img.Org
+	c.memo = make([]memoEntry, len(code))
+	c.replay, c.rec = nil, false
+	c.Mem.SetWriteWatch(img.Org, img.Org+uint32(len(code)), c.invalidateCode)
+}
+
+// invalidateCode drops memo entries that could overlap a store at addr. An
+// entry starting at index i spans at most maxInstBytes, so every entry from
+// maxInstBytes-1 before the store through its last byte is suspect.
+func (c *CPU) invalidateCode(addr uint32, size int) {
+	lo := c.codeOrg
+	if addr > c.codeOrg+maxInstBytes-1 {
+		lo = addr - (maxInstBytes - 1)
+	}
+	hi := addr + uint32(size)
+	if end := c.codeOrg + uint32(len(c.memo)); hi > end {
+		hi = end
+	}
+	for i := lo - c.codeOrg; i < hi-c.codeOrg; i++ {
+		c.memo[i].n = 0
+	}
+}
+
+// fetchByte consumes one instruction-stream byte: from the replay buffer when
+// the current instruction's bytes are memoized, from memory otherwise. Misses
+// inside the code segment are recorded for the memo as long as the fetches
+// stay contiguous from the instruction start.
 func (c *CPU) fetchByte() (uint8, error) {
+	if off := c.cursor - c.instStart; off < uint32(len(c.replay)) {
+		b := c.replay[off]
+		c.cursor++
+		c.stat.FetchBytes++
+		return b, nil
+	}
 	b, err := c.Mem.FetchByte(c.cursor)
 	if err != nil {
 		return 0, err
+	}
+	if c.rec {
+		if off := c.cursor - c.instStart; off == uint32(c.recN) && c.recN < maxInstBytes {
+			c.recBuf[c.recN] = b
+			c.recN++
+		} else {
+			c.rec = false
+		}
 	}
 	c.cursor++
 	c.stat.FetchBytes++

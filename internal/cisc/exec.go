@@ -30,13 +30,23 @@ func (c *CPU) Step() error {
 	}
 	start := c.pc
 	c.cursor = c.pc
+	c.instStart = start
+	c.replay = nil
+	c.rec = false
+	if off := start - c.codeOrg; off < uint32(len(c.memo)) {
+		if e := &c.memo[off]; e.n > 0 {
+			c.replay = e.b[:e.n]
+		} else {
+			c.rec, c.recN = true, 0
+		}
+	}
 	opByte, err := c.fetchByte()
 	if err != nil {
 		return &Error{PC: start, Err: err}
 	}
 	op := Op(opByte)
-	info, ok := opTable[op]
-	if !ok {
+	info := &opDense[opByte]
+	if info.name == "" {
 		return &Error{PC: start, Err: fmt.Errorf("undefined opcode %#02x", opByte)}
 	}
 	c.stat.Instructions++
@@ -45,6 +55,15 @@ func (c *CPU) Step() error {
 
 	if err := c.exec(op); err != nil {
 		return &Error{PC: start, Err: err}
+	}
+	if c.rec {
+		// The whole instruction fetched contiguously from inside the code
+		// segment: memoize it (unless it straddles the segment end).
+		if idx := start - c.codeOrg; idx+uint32(c.recN) <= uint32(len(c.memo)) {
+			e := &c.memo[idx]
+			e.n = c.recN
+			e.b = c.recBuf
+		}
 	}
 	if !c.halted {
 		// Control transfers set pc themselves by moving the cursor.

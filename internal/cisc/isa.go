@@ -149,11 +149,20 @@ var opTable = map[Op]opInfo{
 	OpRET:    {"ret", nil, 12},
 }
 
+// opDense mirrors opTable as a dense array for the interpreter hot path;
+// an empty name marks an undefined opcode.
+var opDense = func() (t [256]opInfo) {
+	for op, info := range opTable {
+		t[op] = info
+	}
+	return
+}()
+
 // NumInstructions is the size of the CX instruction set.
 func NumInstructions() int { return len(opTable) }
 
 // Valid reports whether op is defined.
-func (op Op) Valid() bool { _, ok := opTable[op]; return ok }
+func (op Op) Valid() bool { return opDense[op].name != "" }
 
 // Name returns the assembler mnemonic.
 func (op Op) Name() string {

@@ -1,0 +1,24 @@
+package cisc
+
+import "testing"
+
+// TestSelfModifyingCode overwrites the immediate byte of an instruction the
+// CPU has already executed (and therefore memoized), re-executes it, and
+// checks the new value is used. Without write-watch invalidation the memo
+// would replay the stale "addl2 #7, r1" forever.
+func TestSelfModifyingCode(t *testing.T) {
+	c := runProgram(t, `
+	main:	.mask
+		clrl r1
+		moval patch, r3
+	patch:	addl2 #7, r1        ; encoded [op][imm8 spec][07][r1 spec]
+		cmpl r1, #7
+		bne done            ; after the patch r1 jumps past 7
+		movb #99, 2(r3)     ; overwrite the immediate byte
+		br patch            ; re-execute the patched instruction
+	done:	ret
+	`)
+	if got := c.Reg(1); got != 7+99 {
+		t.Errorf("r1 = %d, want 106 (patched immediate was not used)", got)
+	}
+}

@@ -119,6 +119,15 @@ type CPU struct {
 	callDepth int
 	pendIRQ   []uint32 // pending interrupt vectors
 
+	// Predecode cache: the image's code segment decoded once at Load.
+	// Step dispatches from predec[(pc-codeOrg)>>2] and falls back to a
+	// live fetch+decode outside the cached range (or where predecOK is
+	// false: data words, undefined opcodes, or invalidated lines). A
+	// write watch on the code range keeps self-modifying code correct.
+	codeOrg  uint32
+	predec   []isa.Inst
+	predecOK []bool
+
 	// Trace, when non-nil, is called after every executed instruction
 	// with its address and decoded form (before the PC advances).
 	Trace func(pc uint32, inst isa.Inst)
@@ -164,10 +173,42 @@ func (c *CPU) Load(img *asm.Image) error {
 	if err := c.Mem.LoadProgram(img.Org, img.Bytes); err != nil {
 		return err
 	}
+	c.predecode(img)
 	c.pc = img.Entry
 	c.npc = img.Entry + 4
 	c.lastPC = img.Entry
 	return nil
+}
+
+// predecode decodes the image's code segment once so Step can dispatch
+// without re-fetching and re-decoding every executed instruction — the
+// software analogue of the paper's fixed-format argument. The compiler
+// marks where code ends with __data_start; images without the symbol are
+// treated as all code (data words simply fail to decode and stay on the
+// live-fetch path). The write watch invalidates overwritten lines.
+func (c *CPU) predecode(img *asm.Image) {
+	code := img.Bytes
+	if ds, ok := img.Symbol("__data_start"); ok &&
+		ds >= img.Org && ds <= img.Org+uint32(len(img.Bytes)) {
+		code = img.Bytes[:ds-img.Org]
+	}
+	c.codeOrg = img.Org
+	c.predec, c.predecOK = isa.DecodeBlock(code)
+	c.Mem.SetWriteWatch(img.Org, img.Org+uint32(len(code)), c.invalidateCode)
+}
+
+// invalidateCode drops the predecoded lines covered by a store into the
+// code range; the next execution of those addresses re-fetches live.
+func (c *CPU) invalidateCode(addr uint32, size int) {
+	lo, hi := addr, addr+uint32(size) // [lo, hi), hi > codeOrg per the watch
+	if lo < c.codeOrg {
+		lo = c.codeOrg
+	}
+	first := (lo - c.codeOrg) >> 2
+	last := (hi - 1 - c.codeOrg) >> 2
+	for i := first; i <= last && i < uint32(len(c.predecOK)); i++ {
+		c.predecOK[i] = false
+	}
 }
 
 // Accessors.
@@ -198,6 +239,9 @@ func (c *CPU) CallDepth() int { return c.callDepth }
 func (c *CPU) Stats() *stats.Stats {
 	c.stat.DataReads = c.Mem.Reads
 	c.stat.DataWrites = c.Mem.Writes
+	// Every RISC I fetch is exactly one 4-byte word, so fetch traffic is
+	// derived here rather than counted per step.
+	c.stat.FetchBytes = c.stat.Instructions * isa.InstBytes
 	c.stat.ByName = map[string]uint64{}
 	c.stat.ByCategory = map[string]uint64{}
 	for opv, n := range c.opCounts {
@@ -224,10 +268,15 @@ func (c *CPU) Interrupt(vector uint32) {
 }
 
 // Run steps the processor until it halts, faults, or exceeds MaxCycles.
+// The cycle-limit guard is checked every few steps rather than per
+// instruction: a runaway program is still caught, overshooting the budget
+// by at most a handful of cycles, and the hot loop stays two loads lighter.
 func (c *CPU) Run() error {
 	for !c.halted {
-		if err := c.Step(); err != nil {
-			return err
+		for i := 0; i < 64 && !c.halted; i++ {
+			if err := c.Step(); err != nil {
+				return err
+			}
 		}
 		if c.stat.Cycles > c.cfg.MaxCycles {
 			return &Error{PC: c.pc, Err: ErrMaxCycles}
@@ -254,21 +303,32 @@ func (c *CPU) Step() error {
 		c.lastPC = c.pc
 		c.pc, c.npc = vec, vec+4
 	}
-	if c.pc == HaltAddr {
+	execPC := c.pc
+	if execPC == HaltAddr {
 		c.halted = true
 		return nil
 	}
 
-	word, err := c.Mem.Fetch32(c.pc)
-	if err != nil {
-		return &Error{PC: c.pc, Err: err}
+	// Fast path: dispatch from the predecode cache. A miss (PC outside
+	// the cached code range, misaligned, or an invalidated/undecodable
+	// line) falls back to a live fetch+decode, which also raises the
+	// appropriate fetch or illegal-instruction fault.
+	var inst *isa.Inst
+	if off := execPC - c.codeOrg; off&3 == 0 && off>>2 < uint32(len(c.predec)) && c.predecOK[off>>2] {
+		inst = &c.predec[off>>2]
+	} else {
+		word, err := c.Mem.Fetch32(execPC)
+		if err != nil {
+			return &Error{PC: execPC, Err: err}
+		}
+		live, err := isa.Decode(word)
+		if err != nil {
+			return &Error{PC: execPC, Err: err}
+		}
+		inst = &live
 	}
-	inst, err := isa.Decode(word)
-	if err != nil {
-		return &Error{PC: c.pc, Err: err}
-	}
-	c.stat.FetchBytes += isa.InstBytes
-	// Hot path: bare counters here; Stats() materializes the mix maps.
+	// Hot path: bare counters here; Stats() materializes the mix maps
+	// and fetch traffic.
 	c.stat.Instructions++
 	c.opCounts[inst.Op&0x7F]++
 
@@ -283,13 +343,12 @@ func (c *CPU) Step() error {
 		c.inDelay = false
 	}
 
-	execPC := c.pc
 	target, transferred, err := c.execute(inst, execPC)
 	if err != nil {
 		return &Error{PC: execPC, Err: err}
 	}
 	if c.Trace != nil {
-		c.Trace(execPC, inst)
+		c.Trace(execPC, *inst)
 	}
 
 	c.lastPC = execPC
@@ -312,12 +371,12 @@ func (c *CPU) Step() error {
 
 // isNop recognizes effect-free instructions for delay-slot accounting: any
 // non-flag-setting ALU instruction writing r0.
-func isNop(i isa.Inst) bool {
+func isNop(i *isa.Inst) bool {
 	return i.Op.Cat() == isa.CatALU && i.Rd == 0 && !i.SCC
 }
 
 // s2 evaluates the second operand.
-func (c *CPU) s2(i isa.Inst) uint32 {
+func (c *CPU) s2(i *isa.Inst) uint32 {
 	if i.Imm {
 		return uint32(i.Imm13)
 	}
@@ -325,12 +384,71 @@ func (c *CPU) s2(i isa.Inst) uint32 {
 }
 
 // execute performs one decoded instruction at pc. It returns the transfer
-// target if the instruction redirects control.
-func (c *CPU) execute(i isa.Inst, pc uint32) (target uint32, transferred bool, err error) {
+// target if the instruction redirects control. The ALU body lives inline
+// here rather than behind a call: register operations are the bulk of every
+// instruction mix (the paper's own motivation), so this is the interpreter's
+// innermost dispatch.
+func (c *CPU) execute(i *isa.Inst, pc uint32) (target uint32, transferred bool, err error) {
 	switch i.Op.Cat() {
 	case isa.CatALU:
 		c.stat.Cycles += timing.RiscALUCycles
-		c.alu(i)
+		a := c.Regs.Get(i.Rs1)
+		var b uint32
+		if i.Imm {
+			b = uint32(i.Imm13)
+		} else {
+			b = c.Regs.Get(i.Rs2)
+		}
+		var r uint32
+		f := c.flags
+		switch i.Op {
+		case isa.OpADD, isa.OpADDC:
+			carry := uint64(0)
+			if i.Op == isa.OpADDC && c.flags.C {
+				carry = 1
+			}
+			full := uint64(a) + uint64(b) + carry
+			r = uint32(full)
+			f.C = full > 0xFFFFFFFF
+			f.V = (a^b)&0x80000000 == 0 && (a^r)&0x80000000 != 0
+		case isa.OpSUB, isa.OpSUBC, isa.OpSUBR, isa.OpSUBCR:
+			x, y := a, b
+			if i.Op == isa.OpSUBR || i.Op == isa.OpSUBCR {
+				x, y = b, a
+			}
+			borrow := uint64(0)
+			if (i.Op == isa.OpSUBC || i.Op == isa.OpSUBCR) && !c.flags.C {
+				borrow = 1
+			}
+			full := uint64(x) - uint64(y) - borrow
+			r = uint32(full)
+			f.C = full <= 0xFFFFFFFF // carry = no borrow
+			f.V = (x^y)&0x80000000 != 0 && (x^r)&0x80000000 != 0
+		case isa.OpAND:
+			r = a & b
+			f.C, f.V = false, false
+		case isa.OpOR:
+			r = a | b
+			f.C, f.V = false, false
+		case isa.OpXOR:
+			r = a ^ b
+			f.C, f.V = false, false
+		case isa.OpSLL:
+			r = a << (b & 31)
+			f.C, f.V = false, false
+		case isa.OpSRL:
+			r = a >> (b & 31)
+			f.C, f.V = false, false
+		case isa.OpSRA:
+			r = uint32(int32(a) >> (b & 31))
+			f.C, f.V = false, false
+		}
+		c.Regs.Set(i.Rd, r)
+		if i.SCC {
+			f.Z = r == 0
+			f.N = int32(r) < 0
+			c.flags = f
+		}
 		return 0, false, nil
 	case isa.CatLoad:
 		c.stat.Cycles += timing.RiscLoadCycles
@@ -347,62 +465,7 @@ func (c *CPU) execute(i isa.Inst, pc uint32) (target uint32, transferred bool, e
 	}
 }
 
-func (c *CPU) alu(i isa.Inst) {
-	a := c.Regs.Get(i.Rs1)
-	b := c.s2(i)
-	var r uint32
-	f := c.flags
-	switch i.Op {
-	case isa.OpADD, isa.OpADDC:
-		carry := uint64(0)
-		if i.Op == isa.OpADDC && c.flags.C {
-			carry = 1
-		}
-		full := uint64(a) + uint64(b) + carry
-		r = uint32(full)
-		f.C = full > 0xFFFFFFFF
-		f.V = (a^b)&0x80000000 == 0 && (a^r)&0x80000000 != 0
-	case isa.OpSUB, isa.OpSUBC, isa.OpSUBR, isa.OpSUBCR:
-		x, y := a, b
-		if i.Op == isa.OpSUBR || i.Op == isa.OpSUBCR {
-			x, y = b, a
-		}
-		borrow := uint64(0)
-		if (i.Op == isa.OpSUBC || i.Op == isa.OpSUBCR) && !c.flags.C {
-			borrow = 1
-		}
-		full := uint64(x) - uint64(y) - borrow
-		r = uint32(full)
-		f.C = full <= 0xFFFFFFFF // carry = no borrow
-		f.V = (x^y)&0x80000000 != 0 && (x^r)&0x80000000 != 0
-	case isa.OpAND:
-		r = a & b
-		f.C, f.V = false, false
-	case isa.OpOR:
-		r = a | b
-		f.C, f.V = false, false
-	case isa.OpXOR:
-		r = a ^ b
-		f.C, f.V = false, false
-	case isa.OpSLL:
-		r = a << (b & 31)
-		f.C, f.V = false, false
-	case isa.OpSRL:
-		r = a >> (b & 31)
-		f.C, f.V = false, false
-	case isa.OpSRA:
-		r = uint32(int32(a) >> (b & 31))
-		f.C, f.V = false, false
-	}
-	c.Regs.Set(i.Rd, r)
-	if i.SCC {
-		f.Z = r == 0
-		f.N = int32(r) < 0
-		c.flags = f
-	}
-}
-
-func (c *CPU) load(i isa.Inst) error {
+func (c *CPU) load(i *isa.Inst) error {
 	addr := c.Regs.Get(i.Rs1) + c.s2(i)
 	var v uint32
 	var err error
@@ -438,7 +501,7 @@ func (c *CPU) load(i isa.Inst) error {
 	return nil
 }
 
-func (c *CPU) store(i isa.Inst) error {
+func (c *CPU) store(i *isa.Inst) error {
 	addr := c.Regs.Get(i.Rs1) + c.s2(i)
 	v := c.Regs.Get(i.Rd)
 	switch i.Op {
@@ -451,7 +514,7 @@ func (c *CPU) store(i isa.Inst) error {
 	}
 }
 
-func (c *CPU) control(i isa.Inst, pc uint32) (uint32, bool, error) {
+func (c *CPU) control(i *isa.Inst, pc uint32) (uint32, bool, error) {
 	switch i.Op {
 	case isa.OpJMP:
 		if !i.Cond().Holds(c.flags) {
@@ -583,7 +646,7 @@ const (
 	pswIE = 1 << 8
 )
 
-func (c *CPU) misc(i isa.Inst, pc uint32) (uint32, bool, error) {
+func (c *CPU) misc(i *isa.Inst, pc uint32) (uint32, bool, error) {
 	switch i.Op {
 	case isa.OpLDHI:
 		c.Regs.Set(i.Rd, uint32(i.Imm19&0x7FFFF)<<13)

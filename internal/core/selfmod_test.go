@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"risc1/internal/asm"
+)
+
+// TestSelfModifyingCode stores a new instruction word over one the CPU has
+// already executed (and therefore predecoded), re-executes it, and checks the
+// new behavior takes effect. Without write-watch invalidation the stale
+// predecoded "add r0,#7,r2" would run forever.
+func TestSelfModifyingCode(t *testing.T) {
+	c := run(t, Config{}, `
+	main:	li #donor,r3
+		ldl (r3)#0,r1       ; r1 = encoding of "add r0,#77,r2"
+		li #patch,r4
+	patch:	add r0,#7,r2        ; first execution: r2 = 7
+		cmp r2,#7
+		bne done            ; after the patch: r2 = 77, so skip the store
+		nop
+		stl r1,(r4)#0       ; overwrite the patch site
+		b patch             ; re-execute the patched instruction
+		nop
+	done:	ret r25,#8
+		nop
+	donor:	add r0,#77,r2       ; never reached; exists for its encoding
+	`)
+	if got := c.Reg(2); got != 77 {
+		t.Errorf("r2 = %d, want 77 (patched instruction did not take effect)", got)
+	}
+}
+
+// TestExternalStoreInvalidatesPredecode covers the other writer: Load
+// predecodes the whole code segment up front, so a store arriving through
+// the CPU's exposed memory (a debugger, a DMA model) rather than a program
+// store must also invalidate the predecoded line before it executes.
+func TestExternalStoreInvalidatesPredecode(t *testing.T) {
+	img, err := asm.Assemble(`
+	main:	add r0,#7,r2
+	patch:	add r0,#1,r3
+		ret r25,#8
+		nop
+	donor:	add r0,#99,r3
+	`)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := New(Config{})
+	if err := c.Load(img); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	patchAddr, _ := img.Symbol("patch")
+	donorAddr, _ := img.Symbol("donor")
+	word, err := c.Mem.Fetch32(donorAddr)
+	if err != nil {
+		t.Fatalf("fetch donor: %v", err)
+	}
+	if err := c.Mem.Store32(patchAddr, word); err != nil {
+		t.Fatalf("patch store: %v", err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := c.Reg(3); got != 99 {
+		t.Errorf("r3 = %d, want 99 (external patch was not picked up)", got)
+	}
+}

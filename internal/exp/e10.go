@@ -5,7 +5,6 @@ import (
 
 	"risc1/internal/cc"
 	"risc1/internal/pipeline"
-	"risc1/internal/prog"
 	"risc1/internal/report"
 )
 
@@ -37,17 +36,17 @@ func E10PipelineModels(l *Lab) (*E10Result, error) {
 		Headers: []string{"benchmark", "sequential", "squashing", "delayed",
 			"overlap gain", "delayed vs squash"},
 	}}
-	for _, b := range prog.All() {
-		r, err := l.Run(b, cc.RISCWindowed, Options{})
-		if err != nil {
-			return nil, err
-		}
+	runs, err := l.SuiteParallel(cc.RISCWindowed, Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range runs {
 		c := pipeline.Analyze(r.Stats)
 		sq, dl := c.SpeedupOverSequential()
-		row := E10Row{Name: b.Name, Cycles: c, SqSpeed: sq, DlSpeed: dl,
+		row := E10Row{Name: r.Bench.Name, Cycles: c, SqSpeed: sq, DlSpeed: dl,
 			DlAdv: c.DelayedAdvantage()}
 		res.Rows = append(res.Rows, row)
-		res.Table.AddRow(b.Name,
+		res.Table.AddRow(row.Name,
 			report.Num(c.Sequential), report.Num(c.Squashing), report.Num(c.Delayed),
 			fmt.Sprintf("%.2fx", dl),
 			fmt.Sprintf("%+.1f%%", 100*row.DlAdv))

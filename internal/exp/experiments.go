@@ -27,6 +27,24 @@ func geomean(vals []float64) float64 {
 	return math.Exp(s / float64(len(vals)))
 }
 
+// suitePair warms and returns the full suite on two targets, with all the
+// simulations for both targets sharing one parallel worker pool.
+func suitePair(l *Lab, a, b cc.Target, opt Options) ([]*Run, []*Run, error) {
+	all := prog.All()
+	jobs := make([]Job, 0, 2*len(all))
+	for _, bench := range all {
+		jobs = append(jobs, Job{Bench: bench, Target: a, Opt: opt})
+	}
+	for _, bench := range all {
+		jobs = append(jobs, Job{Bench: bench, Target: b, Opt: opt})
+	}
+	runs, err := l.RunParallel(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return runs[:len(all)], runs[len(all):], nil
+}
+
 // ---------- E1: dynamic instruction mix ----------
 
 // E1Result aggregates the dynamic instruction mix of the whole suite on
@@ -40,7 +58,7 @@ type E1Result struct {
 
 // E1InstructionMix runs the suite on windowed RISC I and aggregates.
 func E1InstructionMix(l *Lab) (*E1Result, error) {
-	runs, err := l.Suite(cc.RISCWindowed, Options{})
+	runs, err := l.SuiteParallel(cc.RISCWindowed, Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -113,11 +131,7 @@ type E3Result struct {
 
 // E3ProgramSize compares compiled code bytes, RISC I vs CX.
 func E3ProgramSize(l *Lab) (*E3Result, error) {
-	rw, err := l.Suite(cc.RISCWindowed, Options{})
-	if err != nil {
-		return nil, err
-	}
-	cx, err := l.Suite(cc.CISC, Options{})
+	rw, cx, err := suitePair(l, cc.RISCWindowed, cc.CISC, Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -163,11 +177,7 @@ type E4Result struct {
 
 // E4ExecutionTime compares simulated wall time at each machine's clock.
 func E4ExecutionTime(l *Lab) (*E4Result, error) {
-	rw, err := l.Suite(cc.RISCWindowed, Options{})
-	if err != nil {
-		return nil, err
-	}
-	cx, err := l.Suite(cc.CISC, Options{})
+	rw, cx, err := suitePair(l, cc.RISCWindowed, cc.CISC, Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +234,19 @@ func E5CallTraffic(l *Lab) (*E5Result, error) {
 			"win bytes", "flat bytes", "CX bytes",
 			"win B/call", "flat B/call", "CX B/call"},
 	}}
+	// Warm the cache in parallel; the table loop below then hits it in order.
+	var jobs []Job
+	for _, b := range prog.All() {
+		if !b.CallHeavy {
+			continue
+		}
+		for _, t := range []cc.Target{cc.RISCWindowed, cc.RISCFlat, cc.CISC} {
+			jobs = append(jobs, Job{Bench: b, Target: t})
+		}
+	}
+	if _, err := l.RunParallel(jobs); err != nil {
+		return nil, err
+	}
 	for _, b := range prog.All() {
 		if !b.CallHeavy {
 			continue
@@ -297,6 +320,23 @@ func E6WindowDepth(l *Lab) (*E6Result, error) {
 		Note:    "(the paper picked 8 windows; overflow traps should be rare by then)",
 		Headers: []string{"windows", "calls", "overflows", "trap rate", "trap time"},
 	}}
+	// Warm every configuration the sweeps below will read, in parallel.
+	var jobs []Job
+	for _, n := range []int{3, 4, 6, 8, 12, 16} {
+		for _, b := range prog.All() {
+			jobs = append(jobs, Job{Bench: b, Target: cc.RISCWindowed, Opt: Options{Windows: n}})
+		}
+	}
+	for _, b := range prog.All() {
+		jobs = append(jobs, Job{Bench: b, Target: cc.RISCWindowed})
+	}
+	ackerBench, _ := prog.ByName("acker")
+	for batch := 1; batch <= 4; batch++ {
+		jobs = append(jobs, Job{Bench: ackerBench, Target: cc.RISCWindowed, Opt: Options{SpillBatch: batch}})
+	}
+	if _, err := l.RunParallel(jobs); err != nil {
+		return nil, err
+	}
 	sweep := func(callHeavy bool) ([]E6Row, error) {
 		var rows []E6Row
 		for _, n := range []int{3, 4, 6, 8, 12, 16} {
@@ -424,6 +464,14 @@ func E7DelaySlots(l *Lab) (*E7Result, error) {
 		Headers: []string{"benchmark", "filled(static)", "useful slots",
 			"cycles (nop)", "cycles (opt)", "saved"},
 	}}
+	var jobs []Job
+	for _, b := range prog.All() {
+		jobs = append(jobs, Job{Bench: b, Target: cc.RISCWindowed, Opt: Options{NoDelayFill: true}})
+		jobs = append(jobs, Job{Bench: b, Target: cc.RISCWindowed})
+	}
+	if _, err := l.RunParallel(jobs); err != nil {
+		return nil, err
+	}
 	for _, b := range prog.All() {
 		nop, err := l.Run(b, cc.RISCWindowed, Options{NoDelayFill: true})
 		if err != nil {
@@ -522,11 +570,7 @@ type E9Result struct {
 // more instructions, but total memory traffic stays comparable because each
 // fetch is simple and the windows remove data traffic.
 func E9MemoryTraffic(l *Lab) (*E9Result, error) {
-	rw, err := l.Suite(cc.RISCWindowed, Options{})
-	if err != nil {
-		return nil, err
-	}
-	cx, err := l.Suite(cc.CISC, Options{})
+	rw, cx, err := suitePair(l, cc.RISCWindowed, cc.CISC, Options{})
 	if err != nil {
 		return nil, err
 	}

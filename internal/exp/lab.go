@@ -11,6 +11,8 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"risc1/internal/asm"
 	"risc1/internal/cc"
@@ -117,9 +119,13 @@ func split(symbols map[string]uint32, org uint32, size int) (code, data int) {
 }
 
 // Lab caches benchmark runs so experiments sharing a configuration do not
-// re-simulate.
+// re-simulate. A Lab is safe for concurrent use: concurrent requests for the
+// same configuration share a single execution (singleflight), and the
+// parallel helpers below fan independent runs out over a bounded worker pool.
 type Lab struct {
-	cache map[labKey]*Run
+	mu       sync.Mutex
+	cache    map[labKey]*Run
+	inflight map[labKey]*labCall
 }
 
 type labKey struct {
@@ -128,24 +134,90 @@ type labKey struct {
 	opt    Options
 }
 
+// labCall tracks one in-flight execution so duplicate requests can wait on
+// it instead of re-simulating.
+type labCall struct {
+	done chan struct{}
+	r    *Run
+	err  error
+}
+
 // NewLab builds an empty lab.
-func NewLab() *Lab { return &Lab{cache: map[labKey]*Run{}} }
+func NewLab() *Lab {
+	return &Lab{cache: map[labKey]*Run{}, inflight: map[labKey]*labCall{}}
+}
 
 // Run executes (or recalls) one benchmark run.
 func (l *Lab) Run(b prog.Benchmark, target cc.Target, opt Options) (*Run, error) {
 	k := labKey{b.Name, target, opt}
+	l.mu.Lock()
 	if r, ok := l.cache[k]; ok {
+		l.mu.Unlock()
 		return r, nil
 	}
-	r, err := Execute(b, target, opt)
-	if err != nil {
-		return nil, err
+	if c, ok := l.inflight[k]; ok {
+		l.mu.Unlock()
+		<-c.done
+		return c.r, c.err
 	}
-	l.cache[k] = r
-	return r, nil
+	c := &labCall{done: make(chan struct{})}
+	l.inflight[k] = c
+	l.mu.Unlock()
+
+	c.r, c.err = Execute(b, target, opt)
+
+	l.mu.Lock()
+	if c.err == nil {
+		l.cache[k] = c.r
+	}
+	delete(l.inflight, k)
+	l.mu.Unlock()
+	close(c.done)
+	return c.r, c.err
 }
 
-// Suite runs every benchmark on one target.
+// Job names one run for RunParallel.
+type Job struct {
+	Bench  prog.Benchmark
+	Target cc.Target
+	Opt    Options
+}
+
+// RunParallel executes the jobs on a worker pool bounded by GOMAXPROCS and
+// returns the results in job order. If any job fails, the error of the
+// earliest failing job is returned.
+func (l *Lab) RunParallel(jobs []Job) ([]*Run, error) {
+	out := make([]*Run, len(jobs))
+	errs := make([]error, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = l.Run(jobs[i].Bench, jobs[i].Target, jobs[i].Opt)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Suite runs every benchmark on one target, serially.
 func (l *Lab) Suite(target cc.Target, opt Options) ([]*Run, error) {
 	var out []*Run
 	for _, b := range prog.All() {
@@ -156,6 +228,18 @@ func (l *Lab) Suite(target cc.Target, opt Options) ([]*Run, error) {
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// SuiteParallel is Suite with the benchmark runs executing concurrently.
+// Results keep prog.All() order, so tables built from them are identical to
+// the serial ones.
+func (l *Lab) SuiteParallel(target cc.Target, opt Options) ([]*Run, error) {
+	all := prog.All()
+	jobs := make([]Job, 0, len(all))
+	for _, b := range all {
+		jobs = append(jobs, Job{Bench: b, Target: target, Opt: opt})
+	}
+	return l.RunParallel(jobs)
 }
 
 // RiscCycleNS re-exports the clock for callers assembling their own tables.

@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+
+	"risc1/internal/cc"
+)
+
+// TestLabConcurrentSuiteParallel hammers one Lab from several goroutines
+// (each itself fanning out over the worker pool) and checks that every
+// caller observes the same cached runs — the singleflight guarantee. Run
+// under -race this is the data-race regression test for the parallel lab.
+func TestLabConcurrentSuiteParallel(t *testing.T) {
+	l := NewLab()
+	targets := []cc.Target{cc.RISCWindowed, cc.CISC, cc.RISCWindowed, cc.CISC}
+	outs := make([][]*Run, len(targets))
+	var wg sync.WaitGroup
+	for i, target := range targets {
+		wg.Add(1)
+		go func(i int, target cc.Target) {
+			defer wg.Done()
+			runs, err := l.SuiteParallel(target, Options{})
+			if err != nil {
+				t.Errorf("SuiteParallel(%v): %v", target, err)
+				return
+			}
+			outs[i] = runs
+		}(i, target)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Goroutines 0/2 and 1/3 asked for the same configurations, so they
+	// must share the exact cached *Run values, not re-simulations.
+	for _, pair := range [][2]int{{0, 2}, {1, 3}} {
+		a, b := outs[pair[0]], outs[pair[1]]
+		if len(a) != len(b) {
+			t.Fatalf("suite lengths differ: %d vs %d", len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Errorf("run %d (%s): duplicate simulation instead of cache hit",
+					j, a[j].Bench.Name)
+			}
+		}
+	}
+}

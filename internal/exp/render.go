@@ -1,0 +1,71 @@
+package exp
+
+import "fmt"
+
+// IDs lists the experiments in presentation order. E10 is this repository's
+// extension: the pipeline-organization ablation behind the delayed-jump
+// design decision.
+func IDs() []string {
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+}
+
+// Render runs one experiment against the lab and returns its rendered
+// table(s). This is the single source of the table text shown by both the
+// risc1.Experiment API and cmd/riscbench.
+func Render(l *Lab, id string) (string, error) {
+	switch id {
+	case "E1":
+		r, err := E1InstructionMix(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render() + "\n" + r.CatTable.Render(), nil
+	case "E2":
+		return E2Characteristics().Render(), nil
+	case "E3":
+		r, err := E3ProgramSize(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
+	case "E4":
+		r, err := E4ExecutionTime(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
+	case "E5":
+		r, err := E5CallTraffic(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
+	case "E6":
+		r, err := E6WindowDepth(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
+	case "E7":
+		r, err := E7DelaySlots(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
+	case "E8":
+		return E8AreaModel().Table.Render(), nil
+	case "E9":
+		r, err := E9MemoryTraffic(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
+	case "E10":
+		r, err := E10PipelineModels(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
+	}
+	return "", fmt.Errorf("risc1: unknown experiment %q (want E1..E10)", id)
+}

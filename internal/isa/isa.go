@@ -111,6 +111,16 @@ var opTable = func() (t [128]opInfo) {
 	return t
 }()
 
+// catTable duplicates just the category column of opTable so the execute
+// dispatch (which calls Cat on every instruction) loads one byte instead of
+// an opInfo; undefined opcodes hold the zero value CatInvalid.
+var catTable = func() (t [128]Category) {
+	for op, info := range opEntries {
+		t[op] = info.cat
+	}
+	return t
+}()
+
 var opEntries = map[Op]opInfo{
 	OpADD:     {"add", CatALU, false},
 	OpADDC:    {"addc", CatALU, false},
@@ -172,10 +182,10 @@ func (op Op) String() string { return op.Name() }
 
 // Cat returns the instruction category of op.
 func (op Op) Cat() Category {
-	if op.Valid() {
-		return opTable[op].cat
+	if op >= 128 {
+		return CatInvalid
 	}
-	return CatInvalid
+	return catTable[op]
 }
 
 // Long reports whether op uses the long-immediate (19-bit) format.
@@ -188,7 +198,7 @@ func (op Op) Long() bool {
 func (op Op) IsConditional() bool { return op == OpJMP || op == OpJMPR }
 
 // Transfers reports whether op is a (delayed) control transfer.
-func (op Op) Transfers() bool { return op.Cat() == CatControl }
+func (op Op) Transfers() bool { return op < 128 && catTable[op] == CatControl }
 
 // ByName maps an assembler mnemonic to its opcode.
 func ByName(name string) (Op, bool) {
@@ -330,6 +340,26 @@ func Decode(w uint32) (Inst, error) {
 		i.Rs2 = uint8(w & 0x1F)
 	}
 	return i, nil
+}
+
+// DecodeBlock decodes a big-endian code block into one Inst per word, for
+// predecoded-dispatch simulation. ok[i] reports whether word i decoded; a
+// false entry (data or an undefined opcode) must be re-fetched live by the
+// consumer so it faults with the same error a hardware fetch would raise.
+// Trailing bytes beyond the last whole word are ignored.
+func DecodeBlock(code []byte) (insts []Inst, ok []bool) {
+	n := len(code) / InstBytes
+	insts = make([]Inst, n)
+	ok = make([]bool, n)
+	for i := 0; i < n; i++ {
+		b := code[i*InstBytes:]
+		w := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+		inst, err := Decode(w)
+		if err == nil {
+			insts[i], ok[i] = inst, true
+		}
+	}
+	return insts, ok
 }
 
 func signExtend(v uint32, bits uint) int32 {

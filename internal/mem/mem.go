@@ -74,6 +74,12 @@ type Memory struct {
 	// the CPUs themselves since they know instruction boundaries.
 	Reads  uint64
 	Writes uint64
+
+	// Write watch: watchFn is called after any store that modifies RAM in
+	// [watchLo, watchHi). The CPUs watch their code segment to invalidate
+	// predecoded instructions when a program modifies itself.
+	watchLo, watchHi uint32
+	watchFn          func(addr uint32, size int)
 }
 
 // New returns a memory with size bytes of RAM starting at address 0.
@@ -101,6 +107,20 @@ func (m *Memory) check(kind AccessKind, addr uint32, size int) error {
 }
 
 func (m *Memory) isConsole(addr uint32) bool { return addr >= ConsoleBase }
+
+// SetWriteWatch registers fn to run after every store that modifies RAM in
+// [lo, hi), receiving the store's address and size. A nil fn clears the
+// watch. One watch is supported; registering replaces the previous one.
+func (m *Memory) SetWriteWatch(lo, hi uint32, fn func(addr uint32, size int)) {
+	m.watchLo, m.watchHi, m.watchFn = lo, hi, fn
+}
+
+// notifyWrite reports a completed RAM store to the watch, if one covers it.
+func (m *Memory) notifyWrite(addr uint32, size int) {
+	if m.watchFn != nil && addr < m.watchHi && addr+uint32(size) > m.watchLo {
+		m.watchFn(addr, size)
+	}
+}
 
 // Load8 reads one byte.
 func (m *Memory) Load8(addr uint32) (uint8, error) {
@@ -171,6 +191,7 @@ func (m *Memory) Store8(addr uint32, v uint8) error {
 	}
 	m.Writes++
 	m.ram[addr] = v
+	m.notifyWrite(addr, 1)
 	return nil
 }
 
@@ -185,6 +206,7 @@ func (m *Memory) Store16(addr uint32, v uint16) error {
 	m.Writes += 2
 	m.ram[addr] = uint8(v >> 8)
 	m.ram[addr+1] = uint8(v)
+	m.notifyWrite(addr, 2)
 	return nil
 }
 
@@ -201,6 +223,7 @@ func (m *Memory) Store32(addr uint32, v uint32) error {
 	m.ram[addr+1] = uint8(v >> 16)
 	m.ram[addr+2] = uint8(v >> 8)
 	m.ram[addr+3] = uint8(v)
+	m.notifyWrite(addr, 4)
 	return nil
 }
 
@@ -223,6 +246,7 @@ func (m *Memory) LoadProgram(addr uint32, data []byte) error {
 		return &Fault{Kind: AccessStore, Addr: addr, Size: len(data), OutOfMem: true}
 	}
 	copy(m.ram[addr:], data)
+	m.notifyWrite(addr, len(data))
 	return nil
 }
 

@@ -47,6 +47,12 @@ type File struct {
 	phys    []uint32
 	cwp     int // logical index of the current window
 	spilled int // logical index of the oldest resident window
+
+	// curBase and prevBase cache physBase(cwp) and physBase(cwp-1). Get and
+	// Set sit on the simulator's hot path, and physBase needs a modulo; the
+	// bases only change on push/pop/reset, so they are maintained there.
+	curBase  int
+	prevBase int
 }
 
 // New returns a register file with the given number of hardware windows.
@@ -56,10 +62,18 @@ func New(windows int) *File {
 	if windows < 3 {
 		panic(fmt.Sprintf("regwin: need at least 3 windows, got %d", windows))
 	}
-	return &File{
+	f := &File{
 		n:    windows,
 		phys: make([]uint32, isa.NumGlobalRegs+isa.WindowRegs*windows),
 	}
+	f.rebase()
+	return f
+}
+
+// rebase recomputes the cached window bases after cwp changes.
+func (f *File) rebase() {
+	f.curBase = f.physBase(f.cwp)
+	f.prevBase = f.physBase(f.cwp - 1)
 }
 
 // Windows returns the number of hardware windows N.
@@ -107,20 +121,33 @@ func (f *File) PhysIndex(window int, r uint8) int {
 }
 
 // Get reads visible register r in the current window. r0 reads as zero.
+// This is the simulator's single hottest function, so it indexes through
+// the cached bases rather than PhysIndex.
 func (f *File) Get(r uint8) uint32 {
-	if r == 0 {
+	switch {
+	case r == 0:
 		return 0
+	case r < isa.NumGlobalRegs:
+		return f.phys[r]
+	case r < isa.FirstHigh: // LOW and LOCAL
+		return f.phys[f.curBase+int(r)-isa.FirstLow]
+	default: // HIGH: shared with the caller's LOW
+		return f.phys[f.prevBase+int(r)-isa.FirstHigh]
 	}
-	return f.phys[f.PhysIndex(f.cwp, r)]
 }
 
 // Set writes visible register r in the current window. Writes to r0 are
 // discarded, as on the hardware.
 func (f *File) Set(r uint8, v uint32) {
-	if r == 0 {
-		return
+	switch {
+	case r == 0:
+	case r < isa.NumGlobalRegs:
+		f.phys[r] = v
+	case r < isa.FirstHigh:
+		f.phys[f.curBase+int(r)-isa.FirstLow] = v
+	default:
+		f.phys[f.prevBase+int(r)-isa.FirstHigh] = v
 	}
-	f.phys[f.PhysIndex(f.cwp, r)] = v
 }
 
 // GetIn reads register r as seen from an explicit logical window. Used by
@@ -144,6 +171,8 @@ func (f *File) PushWindow() {
 		panic("regwin: window overflow not handled before PushWindow")
 	}
 	f.cwp++
+	f.prevBase = f.curBase
+	f.curBase = f.physBase(f.cwp)
 }
 
 // NeedFill reports whether a return (PopWindow) would land in a window that
@@ -156,6 +185,8 @@ func (f *File) PopWindow() {
 		panic("regwin: window underflow not handled before PopWindow")
 	}
 	f.cwp--
+	f.curBase = f.prevBase
+	f.prevBase = f.physBase(f.cwp - 1)
 }
 
 // numLocal is the count of LOCAL registers (r16–r25) in a save image.
@@ -202,4 +233,5 @@ func (f *File) Reset() {
 		f.phys[i] = 0
 	}
 	f.cwp, f.spilled = 0, 0
+	f.rebase()
 }

@@ -25,7 +25,6 @@
 package risc1
 
 import (
-	"fmt"
 	"time"
 
 	"risc1/internal/asm"
@@ -222,7 +221,13 @@ func (m *Machine) Reg(r uint8) uint32 { return m.cpu.Reg(r) }
 func (m *Machine) Console() string { return m.cpu.Console() }
 
 // Info returns the execution statistics so far.
-func (m *Machine) Info() *RunInfo { return riscInfo(m.cpu, 0) }
+func (m *Machine) Info() *RunInfo {
+	size := 0
+	if m.lastImage != nil {
+		size = len(m.lastImage.Bytes)
+	}
+	return riscInfo(m.cpu, size)
+}
 
 // Interrupt queues an external interrupt. When interrupts are enabled the
 // processor redirects to vector at the next instruction boundary; the
@@ -298,67 +303,25 @@ func BenchmarkSource(name string) (string, bool) {
 // ExperimentIDs lists the paper's tables and figures in order. E10 is this
 // repository's extension: the pipeline-organization ablation behind the
 // delayed-jump design decision.
-func ExperimentIDs() []string {
-	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+func ExperimentIDs() []string { return exp.IDs() }
+
+// Lab caches benchmark runs across experiments: many experiments share
+// configurations (e.g. the default windowed suite), so running them through
+// one Lab simulates each configuration only once. Safe for concurrent use.
+type Lab struct {
+	l *exp.Lab
 }
+
+// NewLab builds an empty experiment lab.
+func NewLab() *Lab { return &Lab{l: exp.NewLab()} }
 
 // Experiment runs one reproduction experiment and returns its rendered
 // table(s). IDs are E1..E9; see DESIGN.md for the experiment index.
 func Experiment(id string) (string, error) {
-	l := exp.NewLab()
-	switch id {
-	case "E1":
-		r, err := exp.E1InstructionMix(l)
-		if err != nil {
-			return "", err
-		}
-		return r.Table.Render() + "\n" + r.CatTable.Render(), nil
-	case "E2":
-		return exp.E2Characteristics().Render(), nil
-	case "E3":
-		r, err := exp.E3ProgramSize(l)
-		if err != nil {
-			return "", err
-		}
-		return r.Table.Render(), nil
-	case "E4":
-		r, err := exp.E4ExecutionTime(l)
-		if err != nil {
-			return "", err
-		}
-		return r.Table.Render(), nil
-	case "E5":
-		r, err := exp.E5CallTraffic(l)
-		if err != nil {
-			return "", err
-		}
-		return r.Table.Render(), nil
-	case "E6":
-		r, err := exp.E6WindowDepth(l)
-		if err != nil {
-			return "", err
-		}
-		return r.Table.Render(), nil
-	case "E7":
-		r, err := exp.E7DelaySlots(l)
-		if err != nil {
-			return "", err
-		}
-		return r.Table.Render(), nil
-	case "E8":
-		return exp.E8AreaModel().Table.Render(), nil
-	case "E9":
-		r, err := exp.E9MemoryTraffic(l)
-		if err != nil {
-			return "", err
-		}
-		return r.Table.Render(), nil
-	case "E10":
-		r, err := exp.E10PipelineModels(l)
-		if err != nil {
-			return "", err
-		}
-		return r.Table.Render(), nil
-	}
-	return "", fmt.Errorf("risc1: unknown experiment %q (want E1..E10)", id)
+	return NewLab().Experiment(id)
+}
+
+// Experiment runs one experiment against the lab's shared run cache.
+func (lab *Lab) Experiment(id string) (string, error) {
+	return exp.Render(lab.l, id)
 }
