@@ -1,0 +1,141 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustStore(t *testing.T, m *Memory, addr, v uint32) {
+	t.Helper()
+	if err := m.Store32(addr, v); err != nil {
+		t.Fatalf("Store32(%#x): %v", addr, err)
+	}
+}
+
+// TestFaultPlanNthRead pins the 1-based read countdown: reads before the Nth
+// succeed, the Nth faults with Injected set, and reads after it succeed again
+// (a one-shot flaky cell, not a dead bus).
+func TestFaultPlanNthRead(t *testing.T) {
+	m := New(1 << 12)
+	mustStore(t, m, 0x100, 42)
+	m.SetFaultPlan(&FaultPlan{FailNthRead: 3})
+	for i := 1; i <= 5; i++ {
+		_, err := m.Load32(0x100)
+		if i == 3 {
+			var f *Fault
+			if !errors.As(err, &f) || !f.Injected || f.Kind != AccessLoad {
+				t.Fatalf("read %d: want injected load fault, got %v", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("read %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+// TestFaultPlanNthWrite does the same for the store counter, and checks that
+// loads do not advance it.
+func TestFaultPlanNthWrite(t *testing.T) {
+	m := New(1 << 12)
+	m.SetFaultPlan(&FaultPlan{FailNthWrite: 2})
+	mustStore(t, m, 0x100, 1)
+	if _, err := m.Load32(0x100); err != nil { // must not count as a write
+		t.Fatal(err)
+	}
+	err := m.Store32(0x104, 2)
+	var f *Fault
+	if !errors.As(err, &f) || !f.Injected || f.Kind != AccessStore {
+		t.Fatalf("want injected store fault on 2nd write, got %v", err)
+	}
+	mustStore(t, m, 0x108, 3) // counter passed: subsequent writes succeed
+}
+
+// TestFaultPlanPoisonRange checks the half-open [Lo, Hi) poisoned window,
+// including accesses that merely overlap its edge.
+func TestFaultPlanPoisonRange(t *testing.T) {
+	m := New(1 << 12)
+	mustStore(t, m, 0x1FC, 7)
+	mustStore(t, m, 0x210, 8)
+	m.SetFaultPlan(&FaultPlan{PoisonLo: 0x200, PoisonHi: 0x210})
+
+	if _, err := m.Load32(0x1F8); err != nil {
+		t.Fatalf("below range: %v", err)
+	}
+	if _, err := m.Load32(0x210); err != nil {
+		t.Fatalf("at Hi (exclusive): %v", err)
+	}
+	var f *Fault
+	if _, err := m.Load32(0x200); !errors.As(err, &f) || !f.Injected {
+		t.Fatalf("inside range: want injected fault, got %v", err)
+	}
+	if err := m.Store32(0x20C, 9); !errors.As(err, &f) || !f.Injected || f.Kind != AccessStore {
+		t.Fatalf("store inside range: want injected fault, got %v", err)
+	}
+	// Overlap, not containment: with Lo on an odd byte, an aligned 4-byte
+	// load that merely touches the first poisoned byte must fault.
+	m.SetFaultPlan(&FaultPlan{PoisonLo: 0x203, PoisonHi: 0x210})
+	if _, err := m.Load32(0x200); !errors.As(err, &f) || !f.Injected {
+		t.Fatalf("straddling Lo: want injected fault, got %v", err)
+	}
+	if _, err := m.Load16(0x200); err != nil {
+		t.Fatalf("load ending before Lo: %v", err)
+	}
+}
+
+// TestFaultPlanPoisonFetch checks that instruction fetches are exempt unless
+// PoisonFetch opts them in.
+func TestFaultPlanPoisonFetch(t *testing.T) {
+	m := New(1 << 12)
+	m.SetFaultPlan(&FaultPlan{PoisonLo: 0x40, PoisonHi: 0x80})
+	if _, err := m.Fetch32(0x40); err != nil {
+		t.Fatalf("fetch without PoisonFetch: %v", err)
+	}
+	if _, err := m.FetchByte(0x41); err != nil {
+		t.Fatalf("byte fetch without PoisonFetch: %v", err)
+	}
+	m.SetFaultPlan(&FaultPlan{PoisonLo: 0x40, PoisonHi: 0x80, PoisonFetch: true})
+	var f *Fault
+	if _, err := m.Fetch32(0x40); !errors.As(err, &f) || !f.Injected || f.Kind != AccessFetch {
+		t.Fatalf("poisoned fetch: want injected fetch fault, got %v", err)
+	}
+	if _, err := m.FetchByte(0x41); !errors.As(err, &f) || !f.Injected {
+		t.Fatalf("poisoned byte fetch: want injected fault, got %v", err)
+	}
+}
+
+// TestSetFaultPlanRearmsCounters checks that re-arming a used plan restarts
+// its countdown, and that a nil plan disarms injection entirely.
+func TestSetFaultPlanRearmsCounters(t *testing.T) {
+	m := New(1 << 12)
+	mustStore(t, m, 0x100, 1)
+	p := &FaultPlan{FailNthRead: 1}
+	m.SetFaultPlan(p)
+	if _, err := m.Load32(0x100); err == nil {
+		t.Fatal("first read should fault")
+	}
+	m.SetFaultPlan(p) // counters reset to zero
+	if _, err := m.Load32(0x100); err == nil {
+		t.Fatal("re-armed plan should fault its first read again")
+	}
+	m.SetFaultPlan(nil)
+	if _, err := m.Load32(0x100); err != nil {
+		t.Fatalf("disarmed: %v", err)
+	}
+}
+
+// TestFaultPlanLeavesConsoleWrites pins that injection happens before the
+// console device decode: a FailNthWrite plan can fault a console store too,
+// which is what makes FailNthWrite:1 a universal kill switch for benchmarks.
+func TestFaultPlanLeavesConsoleWrites(t *testing.T) {
+	m := New(1 << 12)
+	m.SetFaultPlan(&FaultPlan{FailNthWrite: 1})
+	err := m.Store32(ConsolePutInt, 42)
+	var f *Fault
+	if !errors.As(err, &f) || !f.Injected {
+		t.Fatalf("console store under FailNthWrite:1: want injected fault, got %v", err)
+	}
+	if got := m.Console(); got != "" {
+		t.Fatalf("faulted console store must not emit output, got %q", got)
+	}
+}

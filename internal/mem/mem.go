@@ -42,17 +42,21 @@ func (k AccessKind) String() string {
 	return "access"
 }
 
-// Fault describes an illegal memory access: out of bounds or misaligned.
+// Fault describes an illegal memory access: out of bounds, misaligned, or
+// injected by a FaultPlan.
 type Fault struct {
-	Kind      AccessKind
-	Addr      uint32
-	Size      int
-	Misalign  bool
-	OutOfMem  bool
+	Kind     AccessKind
+	Addr     uint32
+	Size     int
+	Misalign bool
+	OutOfMem bool
+	Injected bool
 }
 
 func (f *Fault) Error() string {
 	switch {
+	case f.Injected:
+		return fmt.Sprintf("mem: injected %s fault at %#08x", f.Kind, f.Addr)
 	case f.Misalign:
 		return fmt.Sprintf("mem: misaligned %d-byte %s at %#08x", f.Size, f.Kind, f.Addr)
 	case f.OutOfMem:
@@ -60,6 +64,69 @@ func (f *Fault) Error() string {
 	default:
 		return fmt.Sprintf("mem: bad %s at %#08x", f.Kind, f.Addr)
 	}
+}
+
+// FaultPlan injects memory failures for robustness testing: the trap paths of
+// DESIGN.md §7 (bus errors, poisoned devices, flaky cells) become exercisable
+// from tests without hand-crafting a guest program that misbehaves. A plan
+// fires as a *Fault with Injected set, which the CPUs surface like any other
+// memory fault.
+type FaultPlan struct {
+	// FailNthRead faults the Nth data load after the plan is armed
+	// (1-based; 0 disables). Each LoadN call counts as one read.
+	FailNthRead uint64
+	// FailNthWrite faults the Nth data store likewise.
+	FailNthWrite uint64
+	// PoisonLo/PoisonHi fault every data access overlapping the address
+	// range [PoisonLo, PoisonHi). An empty range (Lo >= Hi) poisons nothing.
+	PoisonLo, PoisonHi uint32
+	// PoisonFetch extends the poisoned range to instruction fetches.
+	PoisonFetch bool
+
+	reads, writes uint64 // accesses observed since the plan was armed
+}
+
+// poisoned reports whether [addr, addr+size) overlaps the poison range.
+func (p *FaultPlan) poisoned(addr uint32, size int) bool {
+	return p.PoisonLo < p.PoisonHi && addr < p.PoisonHi && addr+uint32(size) > p.PoisonLo
+}
+
+// SetFaultPlan arms (or, with nil, disarms) fault injection. The plan's
+// access counters start from zero at arming time.
+func (m *Memory) SetFaultPlan(p *FaultPlan) {
+	if p != nil {
+		p.reads, p.writes = 0, 0
+	}
+	m.fault = p
+}
+
+// injectFault applies the armed plan to one access, returning the injected
+// fault if the plan says this access fails.
+func (m *Memory) injectFault(kind AccessKind, addr uint32, size int) error {
+	p := m.fault
+	if p == nil {
+		return nil
+	}
+	switch kind {
+	case AccessLoad:
+		p.reads++
+		if p.reads == p.FailNthRead {
+			return &Fault{Kind: kind, Addr: addr, Size: size, Injected: true}
+		}
+	case AccessStore:
+		p.writes++
+		if p.writes == p.FailNthWrite {
+			return &Fault{Kind: kind, Addr: addr, Size: size, Injected: true}
+		}
+	case AccessFetch:
+		if !p.PoisonFetch {
+			return nil
+		}
+	}
+	if p.poisoned(addr, size) {
+		return &Fault{Kind: kind, Addr: addr, Size: size, Injected: true}
+	}
+	return nil
 }
 
 // Memory is a flat big-endian RAM with the console device mapped on top.
@@ -80,6 +147,9 @@ type Memory struct {
 	// predecoded instructions when a program modifies itself.
 	watchLo, watchHi uint32
 	watchFn          func(addr uint32, size int)
+
+	// fault, when non-nil, injects failures per its plan.
+	fault *FaultPlan
 }
 
 // New returns a memory with size bytes of RAM starting at address 0.
@@ -124,6 +194,9 @@ func (m *Memory) notifyWrite(addr uint32, size int) {
 
 // Load8 reads one byte.
 func (m *Memory) Load8(addr uint32) (uint8, error) {
+	if err := m.injectFault(AccessLoad, addr, 1); err != nil {
+		return 0, err
+	}
 	if m.isConsole(addr) {
 		m.Reads++
 		return 1, nil
@@ -137,6 +210,9 @@ func (m *Memory) Load8(addr uint32) (uint8, error) {
 
 // Load16 reads a big-endian halfword.
 func (m *Memory) Load16(addr uint32) (uint16, error) {
+	if err := m.injectFault(AccessLoad, addr, 2); err != nil {
+		return 0, err
+	}
 	if m.isConsole(addr) {
 		m.Reads += 2
 		return 1, nil
@@ -150,6 +226,9 @@ func (m *Memory) Load16(addr uint32) (uint16, error) {
 
 // Load32 reads a big-endian word.
 func (m *Memory) Load32(addr uint32) (uint32, error) {
+	if err := m.injectFault(AccessLoad, addr, 4); err != nil {
+		return 0, err
+	}
 	if m.isConsole(addr) {
 		m.Reads += 4
 		return 1, nil
@@ -165,6 +244,9 @@ func (m *Memory) Load32(addr uint32) (uint32, error) {
 // Fetch32 reads an instruction word. It is identical to Load32 except it
 // does not count toward data-read traffic and reports fetch faults.
 func (m *Memory) Fetch32(addr uint32) (uint32, error) {
+	if err := m.injectFault(AccessFetch, addr, 4); err != nil {
+		return 0, err
+	}
 	if err := m.check(AccessFetch, addr, 4); err != nil {
 		return 0, err
 	}
@@ -175,6 +257,9 @@ func (m *Memory) Fetch32(addr uint32) (uint32, error) {
 // FetchByte reads one instruction byte (used by the variable-length CX
 // machine's fetch unit). Not counted as data traffic.
 func (m *Memory) FetchByte(addr uint32) (uint8, error) {
+	if err := m.injectFault(AccessFetch, addr, 1); err != nil {
+		return 0, err
+	}
 	if err := m.check(AccessFetch, addr, 1); err != nil {
 		return 0, err
 	}
@@ -183,6 +268,9 @@ func (m *Memory) FetchByte(addr uint32) (uint8, error) {
 
 // Store8 writes one byte.
 func (m *Memory) Store8(addr uint32, v uint8) error {
+	if err := m.injectFault(AccessStore, addr, 1); err != nil {
+		return err
+	}
 	if m.isConsole(addr) {
 		return m.consoleStore(addr, uint32(v), 1)
 	}
@@ -197,6 +285,9 @@ func (m *Memory) Store8(addr uint32, v uint8) error {
 
 // Store16 writes a big-endian halfword.
 func (m *Memory) Store16(addr uint32, v uint16) error {
+	if err := m.injectFault(AccessStore, addr, 2); err != nil {
+		return err
+	}
 	if m.isConsole(addr) {
 		return m.consoleStore(addr, uint32(v), 2)
 	}
@@ -212,6 +303,9 @@ func (m *Memory) Store16(addr uint32, v uint16) error {
 
 // Store32 writes a big-endian word.
 func (m *Memory) Store32(addr uint32, v uint32) error {
+	if err := m.injectFault(AccessStore, addr, 4); err != nil {
+		return err
+	}
 	if m.isConsole(addr) {
 		return m.consoleStore(addr, v, 4)
 	}
