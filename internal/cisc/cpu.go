@@ -160,9 +160,6 @@ func (c *CPU) Run() error {
 		if err := c.Step(); err != nil {
 			return err
 		}
-		if c.stat.Cycles > c.cfg.MaxCycles {
-			return &Error{PC: c.pc, Err: ErrMaxCycles}
-		}
 	}
 	return nil
 }

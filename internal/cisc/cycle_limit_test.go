@@ -1,0 +1,53 @@
+package cisc
+
+import (
+	"errors"
+	"testing"
+)
+
+const cxInfiniteLoop = "main: .mask\nloop: br loop\n"
+
+// TestCXMaxCyclesDeterministicAbort pins the hardened limit on the CX side:
+// Step refuses to start an instruction at or past the budget, so the abort
+// cycle is deterministic and overshoots the limit by less than one
+// instruction's microcycles — never by a whole run batch.
+func TestCXMaxCyclesDeterministicAbort(t *testing.T) {
+	const limit = 100
+	abortAt := func() uint64 {
+		c := New(Config{MaxCycles: limit})
+		if err := c.Load(MustAssemble(cxInfiniteLoop)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(); !errors.Is(err, ErrMaxCycles) {
+			t.Fatalf("err = %v, want ErrMaxCycles", err)
+		}
+		return c.Stats().Cycles
+	}
+	first, second := abortAt(), abortAt()
+	if first != second {
+		t.Fatalf("abort cycle not deterministic: %d then %d", first, second)
+	}
+	if first < limit || first >= limit+16 {
+		t.Fatalf("aborted at cycle %d, want within one instruction of %d", first, limit)
+	}
+}
+
+// TestCXStepEnforcesMaxCycles gives external Step callers the same guard.
+func TestCXStepEnforcesMaxCycles(t *testing.T) {
+	c := New(Config{MaxCycles: 50})
+	if err := c.Load(MustAssemble(cxInfiniteLoop)); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	for i := 0; i < 1000; i++ {
+		if err = c.Step(); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	if err := c.Step(); !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("refusal not sticky: %v", err)
+	}
+}

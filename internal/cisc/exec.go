@@ -23,10 +23,17 @@ func category(op Op) string {
 	}
 }
 
-// Step executes one CX instruction.
+// Step executes one CX instruction. The MaxCycles budget is enforced here,
+// not per run batch: a step that would begin at or past the limit refuses to
+// execute, so the abort cycle is deterministic (within one instruction's
+// microcycles of the budget) and external Step callers get the same guard
+// as Run.
 func (c *CPU) Step() error {
 	if c.halted {
 		return ErrHalted
+	}
+	if c.stat.Cycles >= c.cfg.MaxCycles {
+		return &Error{PC: c.pc, Err: ErrMaxCycles}
 	}
 	start := c.pc
 	c.cursor = c.pc

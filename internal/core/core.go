@@ -268,9 +268,6 @@ func (c *CPU) Interrupt(vector uint32) {
 }
 
 // Run steps the processor until it halts, faults, or exceeds MaxCycles.
-// The cycle-limit guard is checked every few steps rather than per
-// instruction: a runaway program is still caught, overshooting the budget
-// by at most a handful of cycles, and the hot loop stays two loads lighter.
 func (c *CPU) Run() error {
 	for !c.halted {
 		for i := 0; i < 64 && !c.halted; i++ {
@@ -278,17 +275,22 @@ func (c *CPU) Run() error {
 				return err
 			}
 		}
-		if c.stat.Cycles > c.cfg.MaxCycles {
-			return &Error{PC: c.pc, Err: ErrMaxCycles}
-		}
 	}
 	return nil
 }
 
-// Step executes one instruction.
+// Step executes one instruction. The MaxCycles budget is exact: a step that
+// would begin at or beyond the limit does not execute, so both Run loops and
+// external Step callers observe the abort at the same deterministic cycle.
+// (The old guard lived in Run, once per 64-step batch: a runaway program
+// overshot the budget by up to two batches' cycles, and bare Step callers
+// had no protection at all.)
 func (c *CPU) Step() error {
 	if c.halted {
 		return ErrHalted
+	}
+	if c.stat.Cycles >= c.cfg.MaxCycles {
+		return &Error{PC: c.pc, Err: ErrMaxCycles}
 	}
 	// Deliver a pending interrupt at an interruptible boundary. Never
 	// between a transfer and its delay slot: there the PC pair is
