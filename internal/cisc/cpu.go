@@ -1,8 +1,10 @@
 package cisc
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"risc1/internal/mem"
 	"risc1/internal/stats"
@@ -36,14 +38,63 @@ var (
 	ErrHalted    = errors.New("cisc: machine is halted")
 )
 
-// Error wraps an execution fault with its program counter.
-type Error struct {
-	PC  uint32
-	Err error
+// RunError is a structured execution fault: the wrapped cause plus the
+// faulting PC, the disassembly of the instruction there (when it decodes),
+// the microcycle count, and a snapshot of the register file.
+type RunError struct {
+	PC     uint32
+	Inst   string   // disassembly of the faulting instruction ("" if undecodable)
+	Cycles uint64   // microcycle count when the fault was raised
+	Regs   []uint32 // r0..r14 (including ap/fp/sp) at the fault
+	Err    error
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("cisc: at pc %#08x: %v", e.PC, e.Err) }
-func (e *Error) Unwrap() error { return e.Err }
+// Error is the pre-hardening name for RunError, kept for callers that match
+// on *cisc.Error.
+type Error = RunError
+
+func (e *RunError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cisc: at pc %#08x", e.PC)
+	if e.Inst != "" {
+		fmt.Fprintf(&b, " (%s)", e.Inst)
+	}
+	if e.Cycles > 0 {
+		fmt.Fprintf(&b, " cycle %d", e.Cycles)
+	}
+	fmt.Fprintf(&b, ": %v", e.Err)
+	return b.String()
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// runError builds a RunError for a fault at pc, snapshotting machine state.
+func (c *CPU) runError(pc uint32, err error) *RunError {
+	e := &RunError{
+		PC:     pc,
+		Cycles: c.stat.Cycles,
+		Regs:   append([]uint32(nil), c.regs[:]...),
+		Err:    err,
+	}
+	// Disassemble the faulting instruction from memory; a variable-length
+	// instruction spans at most maxInstBytes, and any fetch failure just
+	// truncates the window (decodeAt then falls back to a .byte line).
+	var buf [maxInstBytes]byte
+	n := 0
+	for ; n < maxInstBytes; n++ {
+		b, ferr := c.Mem.FetchByte(pc + uint32(n))
+		if ferr != nil {
+			break
+		}
+		buf[n] = b
+	}
+	if n > 0 {
+		if text, _ := decodeAt(buf[:n], 0, pc); !strings.HasPrefix(text, ".byte") {
+			e.Inst = text
+		}
+	}
+	return e
+}
 
 type flags struct{ Z, N, V, C bool }
 
@@ -154,11 +205,31 @@ func (c *CPU) Time() float64 {
 	return float64(c.stat.Cycles) * timing.CXMicrocycleNS * 1e-9
 }
 
+// runBatch is how many instructions RunContext executes between checks of
+// the context, mirroring the core simulator's batch size.
+const runBatch = 64
+
 // Run executes until halt, fault or the microcycle budget runs out.
-func (c *CPU) Run() error {
+func (c *CPU) Run() error { return c.RunContext(context.Background()) }
+
+// RunContext is Run honoring ctx: cancellation or deadline expiry aborts the
+// run at the next batch boundary (within runBatch instructions) with a
+// RunError wrapping ctx.Err(). The microcycle budget itself is enforced
+// exactly, per instruction, inside Step.
+func (c *CPU) RunContext(ctx context.Context) error {
+	done := ctx.Done()
 	for !c.halted {
-		if err := c.Step(); err != nil {
-			return err
+		if done != nil {
+			select {
+			case <-done:
+				return c.runError(c.pc, ctx.Err())
+			default:
+			}
+		}
+		for i := 0; i < runBatch && !c.halted; i++ {
+			if err := c.Step(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

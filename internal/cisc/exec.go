@@ -23,17 +23,16 @@ func category(op Op) string {
 	}
 }
 
-// Step executes one CX instruction. The MaxCycles budget is enforced here,
-// not per run batch: a step that would begin at or past the limit refuses to
-// execute, so the abort cycle is deterministic (within one instruction's
-// microcycles of the budget) and external Step callers get the same guard
-// as Run.
+// Step executes one CX instruction. The MaxCycles budget is exact: a step
+// that would begin at or beyond the limit does not execute, so both Run
+// loops and external Step callers observe the abort at the same
+// deterministic microcycle.
 func (c *CPU) Step() error {
 	if c.halted {
 		return ErrHalted
 	}
 	if c.stat.Cycles >= c.cfg.MaxCycles {
-		return &Error{PC: c.pc, Err: ErrMaxCycles}
+		return c.runError(c.pc, ErrMaxCycles)
 	}
 	start := c.pc
 	c.cursor = c.pc
@@ -49,19 +48,19 @@ func (c *CPU) Step() error {
 	}
 	opByte, err := c.fetchByte()
 	if err != nil {
-		return &Error{PC: start, Err: err}
+		return c.runError(start, err)
 	}
 	op := Op(opByte)
 	info := &opDense[opByte]
 	if info.name == "" {
-		return &Error{PC: start, Err: fmt.Errorf("undefined opcode %#02x", opByte)}
+		return c.runError(start, fmt.Errorf("undefined opcode %#02x", opByte))
 	}
 	c.stat.Instructions++
 	c.opCounts[op]++
 	c.stat.Cycles += info.base
 
 	if err := c.exec(op); err != nil {
-		return &Error{PC: start, Err: err}
+		return c.runError(start, err)
 	}
 	if c.rec {
 		// The whole instruction fetched contiguously from inside the code

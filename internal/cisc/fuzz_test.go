@@ -40,6 +40,37 @@ func TestRandomBytesNeverPanic(t *testing.T) {
 	}
 }
 
+// FuzzExec is the native-fuzzing form of TestRandomBytesNeverPanic: the
+// fuzzer mutates raw CX code bytes and the variable-length decoder must
+// reject or execute every stream without panicking. Run continuously with
+// `go test -fuzz=FuzzExec ./internal/cisc`.
+func FuzzExec(f *testing.F) {
+	f.Add([]byte{0x00, 0x00})
+	seed := make([]byte, 64)
+	rand.New(rand.NewSource(11)).Read(seed)
+	seed[0], seed[1] = 0, 0 // mask word entry
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, code []byte) {
+		if len(code) < 2 || len(code) > 4096 {
+			return
+		}
+		c := New(Config{MemSize: 1 << 16, MaxCycles: 20000})
+		img := &Image{Org: 0, Bytes: nil, Entry: 0, Symbols: map[string]uint32{}}
+		if err := c.Load(img); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Mem.LoadProgram(0, code); err != nil {
+			return
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("panic: %v\ncode: % x", p, code)
+			}
+		}()
+		_ = c.Run() // faults fine; panics not
+	})
+}
+
 // TestRandomFramePointerRET corrupts FP before a RET: the unwinder walks
 // attacker-controlled memory and must fault cleanly.
 func TestRandomFramePointerRET(t *testing.T) {

@@ -12,8 +12,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"risc1/internal/asm"
 	"risc1/internal/isa"
@@ -89,14 +91,58 @@ var (
 	ErrHalted        = errors.New("core: machine is halted")
 )
 
-// Error wraps an execution fault with its program counter.
-type Error struct {
-	PC  uint32
-	Err error
+// RunError is a structured execution fault: beyond the wrapped cause it
+// carries the faulting PC, the disassembly of the instruction there (when it
+// decodes), the cycle count at the fault, and a snapshot of the visible
+// registers of the current window — enough context to diagnose a failing
+// guest program without re-running it under a tracer.
+type RunError struct {
+	PC     uint32
+	Inst   string   // disassembly of the faulting instruction ("" if undecodable)
+	Cycles uint64   // cycle count when the fault was raised
+	CWP    int      // current window pointer at the fault
+	Window []uint32 // visible registers r0..r31 of the current window
+	Err    error
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("core: at pc %#08x: %v", e.PC, e.Err) }
-func (e *Error) Unwrap() error { return e.Err }
+// Error is the pre-hardening name for RunError, kept for callers that match
+// on *core.Error.
+type Error = RunError
+
+func (e *RunError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: at pc %#08x", e.PC)
+	if e.Inst != "" {
+		fmt.Fprintf(&b, " (%s)", e.Inst)
+	}
+	if e.Cycles > 0 {
+		fmt.Fprintf(&b, " cycle %d", e.Cycles)
+	}
+	fmt.Fprintf(&b, ": %v", e.Err)
+	return b.String()
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// runError builds a RunError for a fault at pc, snapshotting machine state.
+func (c *CPU) runError(pc uint32, err error) *RunError {
+	e := &RunError{
+		PC:     pc,
+		Cycles: c.stat.Cycles,
+		CWP:    c.Regs.CWP(),
+		Window: make([]uint32, isa.NumVisibleRegs),
+		Err:    err,
+	}
+	for r := 0; r < isa.NumVisibleRegs; r++ {
+		e.Window[r] = c.Regs.Get(uint8(r))
+	}
+	if word, ferr := c.Mem.Fetch32(pc); ferr == nil {
+		if inst, derr := isa.Decode(word); derr == nil {
+			e.Inst = inst.String()
+		}
+	}
+	return e
+}
 
 // CPU is one RISC I processor with its memory.
 type CPU struct {
@@ -267,10 +313,29 @@ func (c *CPU) Interrupt(vector uint32) {
 	c.pendIRQ = append(c.pendIRQ, vector)
 }
 
+// runBatch is how many instructions RunContext executes between checks of
+// the context: cancellation and deadlines are honored at batch boundaries,
+// so a canceled run stops within one batch of the signal.
+const runBatch = 64
+
 // Run steps the processor until it halts, faults, or exceeds MaxCycles.
-func (c *CPU) Run() error {
+func (c *CPU) Run() error { return c.RunContext(context.Background()) }
+
+// RunContext is Run honoring ctx: cancellation or deadline expiry aborts the
+// run at the next batch boundary (within runBatch instructions) with a
+// RunError wrapping ctx.Err(). The cycle limit itself is enforced exactly,
+// per instruction, inside Step.
+func (c *CPU) RunContext(ctx context.Context) error {
+	done := ctx.Done()
 	for !c.halted {
-		for i := 0; i < 64 && !c.halted; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return c.runError(c.pc, ctx.Err())
+			default:
+			}
+		}
+		for i := 0; i < runBatch && !c.halted; i++ {
 			if err := c.Step(); err != nil {
 				return err
 			}
@@ -282,15 +347,12 @@ func (c *CPU) Run() error {
 // Step executes one instruction. The MaxCycles budget is exact: a step that
 // would begin at or beyond the limit does not execute, so both Run loops and
 // external Step callers observe the abort at the same deterministic cycle.
-// (The old guard lived in Run, once per 64-step batch: a runaway program
-// overshot the budget by up to two batches' cycles, and bare Step callers
-// had no protection at all.)
 func (c *CPU) Step() error {
 	if c.halted {
 		return ErrHalted
 	}
 	if c.stat.Cycles >= c.cfg.MaxCycles {
-		return &Error{PC: c.pc, Err: ErrMaxCycles}
+		return c.runError(c.pc, ErrMaxCycles)
 	}
 	// Deliver a pending interrupt at an interruptible boundary. Never
 	// between a transfer and its delay slot: there the PC pair is
@@ -321,11 +383,11 @@ func (c *CPU) Step() error {
 	} else {
 		word, err := c.Mem.Fetch32(execPC)
 		if err != nil {
-			return &Error{PC: execPC, Err: err}
+			return c.runError(execPC, err)
 		}
 		live, err := isa.Decode(word)
 		if err != nil {
-			return &Error{PC: execPC, Err: err}
+			return c.runError(execPC, err)
 		}
 		inst = &live
 	}
@@ -347,7 +409,7 @@ func (c *CPU) Step() error {
 
 	target, transferred, err := c.execute(inst, execPC)
 	if err != nil {
-		return &Error{PC: execPC, Err: err}
+		return c.runError(execPC, err)
 	}
 	if c.Trace != nil {
 		c.Trace(execPC, *inst)

@@ -82,6 +82,37 @@ func TestRandomValidInstructionsNeverPanic(t *testing.T) {
 	}
 }
 
+// FuzzExec is the native-fuzzing form of TestRandomWordsNeverPanic: the
+// fuzzer mutates raw code bytes and the CPU must fault cleanly or halt,
+// never panic. Run continuously with `go test -fuzz=FuzzExec ./internal/core`.
+func FuzzExec(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x22, 0x00, 0x00, 0x01, 0x88, 0x32, 0x00, 0x08}) // add + ret-ish
+	seed := make([]byte, 64)
+	rand.New(rand.NewSource(7)).Read(seed)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, code []byte) {
+		if len(code) == 0 || len(code) > 4096 {
+			return
+		}
+		c := New(Config{MemSize: 1 << 16, MaxCycles: 20000})
+		if err := c.Mem.LoadProgram(0, code); err != nil {
+			return
+		}
+		c.pc, c.npc = 0, 4
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("panic: %v\ncode: % x", p, code)
+			}
+		}()
+		for !c.Halted() {
+			if err := c.Step(); err != nil {
+				return // clean fault (including the exact MaxCycles abort)
+			}
+		}
+	})
+}
+
 func countPct(s string) int {
 	n := 0
 	for i := 0; i+1 < len(s); i++ {
