@@ -1,0 +1,120 @@
+package risc1_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"risc1"
+	"risc1/internal/asm"
+)
+
+// bigGlobals is a Cm program whose data layout outruns the global pointer's
+// 8 KiB window: the globals after the 12 KB pad array sit beyond the 13-bit
+// gp displacement, so assembling the default narrow-addressing output fails
+// with a range error and building it exercises the WideData retry.
+const bigGlobals = `
+int pad[3000];
+int a;
+int b;
+int main() {
+	a = 35;
+	b = 7;
+	putint(a + b);
+	return 0;
+}`
+
+// TestWideDataRetryPreconditions proves bigGlobals actually needs the
+// fallback: its narrow-addressing compilation must fail to assemble, and
+// with a range error specifically.
+func TestWideDataRetryPreconditions(t *testing.T) {
+	text, err := risc1.CompileCm(bigGlobals, risc1.RISCWindowed, risc1.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := asm.Assemble(text); !asm.IsOutOfRange(err) {
+		t.Fatalf("narrow compilation assembled anyway (err = %v); test program too small?", err)
+	}
+}
+
+// TestBuildAndRunWideDataRetry checks the facade transparently recompiles
+// with 32-bit addressing on both RISC targets.
+func TestBuildAndRunWideDataRetry(t *testing.T) {
+	for _, target := range []risc1.Target{risc1.RISCWindowed, risc1.RISCFlat} {
+		out, err := risc1.BuildAndRun(bigGlobals, target)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		if out.Console != "42" {
+			t.Errorf("target %v: console = %q, want \"42\"", target, out.Console)
+		}
+	}
+}
+
+// TestBuildAndRunRetryKeepsOriginalError checks the retry is gated on range
+// errors: a program that fails for another reason reports that failure, not
+// a second wide-addressing attempt's.
+func TestBuildAndRunRetryKeepsOriginalError(t *testing.T) {
+	if _, err := risc1.BuildAndRun("int main() { return x; }", risc1.RISCWindowed); err == nil {
+		t.Error("undefined variable compiled")
+	}
+}
+
+// TestCompileAndDisassembleWideData is the regression for the facade gap:
+// CompileAndDisassemble used to lack BuildAndRun's fallback, so a program
+// that ran fine refused to disassemble.
+func TestCompileAndDisassembleWideData(t *testing.T) {
+	listing, err := risc1.CompileAndDisassemble(bigGlobals, risc1.RISCWindowed)
+	if err != nil {
+		t.Fatalf("CompileAndDisassemble: %v", err)
+	}
+	if !strings.Contains(listing, "main:") {
+		t.Errorf("listing missing main label:\n%s", listing[:min(len(listing), 400)])
+	}
+}
+
+// TestBuildAndRunContextDeadline cancels a non-terminating guest on every
+// target through the facade.
+func TestBuildAndRunContextDeadline(t *testing.T) {
+	const spin = "int main() { int i; i = 0; while (i < 1) { i = 0; } return 0; }"
+	for _, target := range []risc1.Target{risc1.RISCWindowed, risc1.RISCFlat, risc1.CISC} {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		_, err := risc1.BuildAndRunContext(ctx, spin, target)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("target %v: err = %v, want DeadlineExceeded", target, err)
+		}
+	}
+}
+
+// TestMachineRunContext covers the assembly-level facade path.
+func TestMachineRunContext(t *testing.T) {
+	m := risc1.NewMachine(risc1.MachineConfig{})
+	if err := m.LoadAssembly("main: b main\n nop\n"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := m.RunContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestExactCycleLimitThroughFacade pins the exact MaxCycles abort at the
+// public Machine level: a 1-cycle-per-instruction loop stops at precisely
+// the configured budget.
+func TestExactCycleLimitThroughFacade(t *testing.T) {
+	m := risc1.NewMachine(risc1.MachineConfig{MaxCycles: 64 + 37}) // off a batch boundary
+	if err := m.LoadAssembly("main: b main\n nop\n"); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Run()
+	if err == nil {
+		t.Fatal("infinite loop terminated")
+	}
+	if got := m.Info().Cycles; got != 64+37 {
+		t.Fatalf("aborted at cycle %d, want exactly %d", got, 64+37)
+	}
+}

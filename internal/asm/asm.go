@@ -35,9 +35,32 @@ func (img *Image) Symbol(name string) (uint32, bool) {
 type Error struct {
 	Line int
 	Msg  string
+	// OutOfRange marks a value that did not fit its encoding field (a 13- or
+	// 19-bit immediate, or a relative target) — the only class of failure
+	// that recompiling with wide addressing can fix.
+	OutOfRange bool
 }
 
 func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// IsOutOfRange reports whether err is (or aggregates only) out-of-range
+// encoding diagnostics. Callers use it to decide whether a WideData
+// recompile could succeed; retrying on any other error would just mask the
+// original diagnostic behind a second, identical failure.
+func IsOutOfRange(err error) bool {
+	switch e := err.(type) {
+	case *Error:
+		return e.OutOfRange
+	case ErrorList:
+		for _, d := range e {
+			if !d.OutOfRange {
+				return false
+			}
+		}
+		return len(e) > 0
+	}
+	return false
+}
 
 // ErrorList aggregates diagnostics so callers see every problem at once.
 type ErrorList []*Error

@@ -106,7 +106,7 @@ func (a *assembler) encodeInst(it item) (uint32, error) {
 		case p.relative:
 			delta := int64(int32(v)) - int64(int32(it.addr))
 			if delta < isa.MinImm19 || delta > isa.MaxImm19 {
-				return 0, &Error{Line: it.line, Msg: fmt.Sprintf(
+				return 0, &Error{Line: it.line, OutOfRange: true, Msg: fmt.Sprintf(
 					"relative target out of range: %d bytes", delta)}
 			}
 			inst.Imm19 = int32(delta)
@@ -116,7 +116,7 @@ func (a *assembler) encodeInst(it item) (uint32, error) {
 				iv = p.imm19.off
 			}
 			if iv < isa.MinImm19 || iv > isa.MaxImm19 {
-				return 0, &Error{Line: it.line, Msg: fmt.Sprintf(
+				return 0, &Error{Line: it.line, OutOfRange: true, Msg: fmt.Sprintf(
 					"immediate %d outside 19-bit range", iv)}
 			}
 			inst.Imm19 = int32(iv)
@@ -139,7 +139,7 @@ func (a *assembler) encodeInst(it item) (uint32, error) {
 				iv = int64(lo)
 			}
 			if iv < isa.MinImm13 || iv > isa.MaxImm13 {
-				return 0, &Error{Line: it.line, Msg: fmt.Sprintf(
+				return 0, &Error{Line: it.line, OutOfRange: true, Msg: fmt.Sprintf(
 					"immediate %d outside 13-bit range", iv)}
 			}
 			inst.Imm13 = int32(iv)

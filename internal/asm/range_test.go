@@ -1,0 +1,49 @@
+package asm
+
+import (
+	"testing"
+)
+
+// TestIsOutOfRange pins the error classification the facade's WideData retry
+// keys on: only genuine range overflows qualify, and a list qualifies only
+// when every diagnostic in it does — a single unrelated error means retrying
+// with wide addressing could not help.
+func TestIsOutOfRange(t *testing.T) {
+	rangeErr := &Error{Line: 1, OutOfRange: true, Msg: "immediate 99999 outside 13-bit range"}
+	otherErr := &Error{Line: 2, Msg: "undefined symbol \"x\""}
+
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"range error", rangeErr, true},
+		{"other error", otherErr, false},
+		{"all-range list", ErrorList{rangeErr, rangeErr}, true},
+		{"mixed list", ErrorList{rangeErr, otherErr}, false},
+		{"empty list", ErrorList{}, false},
+	}
+	for _, tc := range cases {
+		if got := IsOutOfRange(tc.err); got != tc.want {
+			t.Errorf("%s: IsOutOfRange = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestAssembleMarksRangeErrors checks the encoder actually sets the flag on
+// each of its range diagnostics.
+func TestAssembleMarksRangeErrors(t *testing.T) {
+	// 13-bit immediate overflow.
+	if _, err := Assemble("main: add r0,#100000,r1\n"); !IsOutOfRange(err) {
+		t.Errorf("13-bit overflow: IsOutOfRange = false (%v)", err)
+	}
+	// 19-bit immediate overflow on a long-format instruction.
+	if _, err := Assemble("main: callr r25,#1000000\n nop\n"); !IsOutOfRange(err) {
+		t.Errorf("19-bit overflow: IsOutOfRange = false (%v)", err)
+	}
+	// An ordinary error must not qualify.
+	if _, err := Assemble("main: add r0,#1,r99\n"); err == nil || IsOutOfRange(err) {
+		t.Errorf("bad register: IsOutOfRange = true (%v)", err)
+	}
+}

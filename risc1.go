@@ -25,6 +25,7 @@
 package risc1
 
 import (
+	"context"
 	"time"
 
 	"risc1/internal/asm"
@@ -93,11 +94,19 @@ type RunInfo struct {
 // BuildAndRun compiles a Cm program, assembles it and runs it to completion
 // on the selected machine, returning the console output and statistics.
 func BuildAndRun(source string, target Target) (*RunInfo, error) {
-	res, err := cc.Compile(source, cc.Options{Target: target})
-	if err != nil {
-		return nil, err
-	}
+	return BuildAndRunContext(context.Background(), source, target)
+}
+
+// BuildAndRunContext is BuildAndRun honoring ctx: cancellation or deadline
+// expiry aborts the simulation within one run batch. A failed run returns a
+// structured error (core.RunError / cisc.RunError) carrying the faulting PC,
+// its disassembly, the cycle count and a register snapshot.
+func BuildAndRunContext(ctx context.Context, source string, target Target) (*RunInfo, error) {
 	if target == CISC {
+		res, err := cc.Compile(source, cc.Options{Target: target})
+		if err != nil {
+			return nil, err
+		}
 		img, err := cisc.Assemble(res.Asm)
 		if err != nil {
 			return nil, err
@@ -106,32 +115,44 @@ func BuildAndRun(source string, target Target) (*RunInfo, error) {
 		if err := m.Load(img); err != nil {
 			return nil, err
 		}
-		if err := m.Run(); err != nil {
+		if err := m.RunContext(ctx); err != nil {
 			return nil, err
 		}
 		return ciscInfo(m, img), nil
 	}
-	img, err := asm.Assemble(res.Asm)
+	img, err := compileRISC(source, target)
 	if err != nil {
-		// Retry with wide addressing for programs whose data exceeds
-		// the global pointer's reach.
-		res, err = cc.Compile(source, cc.Options{Target: target, WideData: true})
-		if err != nil {
-			return nil, err
-		}
-		img, err = asm.Assemble(res.Asm)
-		if err != nil {
-			return nil, err
-		}
+		return nil, err
 	}
 	m := core.New(core.Config{Flat: target == RISCFlat, SaveStackBytes: 64 << 10})
 	if err := m.Load(img); err != nil {
 		return nil, err
 	}
-	if err := m.Run(); err != nil {
+	if err := m.RunContext(ctx); err != nil {
 		return nil, err
 	}
 	return riscInfo(m, len(img.Bytes)), nil
+}
+
+// compileRISC compiles and assembles a Cm program for a RISC target. When
+// assembly fails only because a value outran its immediate field — a program
+// whose data exceeds the global pointer's 8 KiB reach — it recompiles once
+// with full 32-bit addressing. Any other assembly error is returned as-is:
+// retrying could only mask the genuine diagnostic behind a second compile.
+func compileRISC(source string, target Target) (*asm.Image, error) {
+	res, err := cc.Compile(source, cc.Options{Target: target})
+	if err != nil {
+		return nil, err
+	}
+	img, err := asm.Assemble(res.Asm)
+	if err == nil || !asm.IsOutOfRange(err) {
+		return img, err
+	}
+	res, werr := cc.Compile(source, cc.Options{Target: target, WideData: true})
+	if werr != nil {
+		return nil, err // report the original, narrow-addressing failure
+	}
+	return asm.Assemble(res.Asm)
 }
 
 func riscInfo(m *core.CPU, imageBytes int) *RunInfo {
@@ -205,7 +226,14 @@ func (m *Machine) LoadAssembly(source string) error {
 // Run executes until halt, fault, or the cycle limit.
 func (m *Machine) Run() error { return m.cpu.Run() }
 
-// Step executes one instruction.
+// RunContext is Run honoring ctx: cancellation or deadline expiry aborts
+// within one run batch, returning a structured core.RunError wrapping
+// ctx.Err().
+func (m *Machine) RunContext(ctx context.Context) error { return m.cpu.RunContext(ctx) }
+
+// Step executes one instruction. The configured MaxCycles budget is exact
+// and enforced here as well as in Run: a step that would begin at or beyond
+// the limit refuses to execute.
 func (m *Machine) Step() error { return m.cpu.Step() }
 
 // Halted reports whether the program has finished.
@@ -265,20 +293,22 @@ func Disassemble(source string) (string, error) {
 
 // CompileAndDisassemble compiles a Cm program and returns the target
 // machine's encoded listing — handy for comparing how the fixed-format
-// RISC I and the variable-length CX spell the same program.
+// RISC I and the variable-length CX spell the same program. RISC targets
+// share BuildAndRun's wide-addressing fallback, so any program that runs
+// also disassembles.
 func CompileAndDisassemble(source string, target Target) (string, error) {
-	res, err := cc.Compile(source, cc.Options{Target: target})
-	if err != nil {
-		return "", err
-	}
 	if target == CISC {
+		res, err := cc.Compile(source, cc.Options{Target: target})
+		if err != nil {
+			return "", err
+		}
 		img, err := cisc.Assemble(res.Asm)
 		if err != nil {
 			return "", err
 		}
 		return cisc.Disassemble(img), nil
 	}
-	img, err := asm.Assemble(res.Asm)
+	img, err := compileRISC(source, target)
 	if err != nil {
 		return "", err
 	}
@@ -316,7 +346,7 @@ type Lab struct {
 func NewLab() *Lab { return &Lab{l: exp.NewLab()} }
 
 // Experiment runs one reproduction experiment and returns its rendered
-// table(s). IDs are E1..E9; see DESIGN.md for the experiment index.
+// table(s). IDs are E1..E10; see DESIGN.md for the experiment index.
 func Experiment(id string) (string, error) {
 	return NewLab().Experiment(id)
 }
