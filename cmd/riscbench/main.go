@@ -2,12 +2,17 @@
 //
 // Usage:
 //
-//	riscbench            # run every experiment, E1..E9
-//	riscbench -exp E4    # just the execution-time comparison
-//	riscbench -json      # also write BENCH_risc1.json (machine-readable)
+//	riscbench                 # run every experiment, E1..E10
+//	riscbench -exp E4         # just the execution-time comparison
+//	riscbench -json           # also write BENCH_risc1.json (machine-readable)
+//	riscbench -timeout 30s    # abort any single configuration after 30s
+//	riscbench -inject hanoi   # fault-inject one benchmark (degradation demo)
 //
 // All experiments share one Lab, so benchmark configurations used by several
-// tables are simulated only once, concurrently.
+// tables are simulated only once, concurrently. A configuration that fails or
+// times out renders as an ERR cell; the rest of its table survives, the
+// failure is listed on stderr (and in the JSON report), and riscbench exits
+// nonzero.
 package main
 
 import (
@@ -15,10 +20,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 	"time"
 
 	"risc1"
 	"risc1/internal/exp"
+	"risc1/internal/mem"
 )
 
 // benchFile is where -json writes its report.
@@ -43,6 +51,13 @@ type benchReport struct {
 	Simulator   simThroughput      `json:"simulator_throughput"`
 	Experiments []experimentTiming `json:"experiments"`
 	Headline    headlineMetrics    `json:"headline_metrics"`
+	Failures    []failureReport    `json:"failures,omitempty"`
+}
+
+type failureReport struct {
+	Bench  string `json:"bench"`
+	Target string `json:"target"`
+	Error  string `json:"error"`
 }
 
 type simThroughput struct {
@@ -66,15 +81,34 @@ type headlineMetrics struct {
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment id (E1..E9) or all")
+	which := flag.String("exp", "all", "experiment id (E1..E10) or all")
 	jsonOut := flag.Bool("json", false, "write "+benchFile+" with throughput and headline metrics")
+	timeout := flag.Duration("timeout", 0, "per-configuration wall-clock limit (0 = none)")
+	inject := flag.String("inject", "", "benchmark name to run under an injected memory fault")
 	flag.Parse()
 
-	ids := risc1.ExperimentIDs()
+	valid := risc1.ExperimentIDs()
+	ids := valid
 	if *which != "all" {
+		if !slices.Contains(valid, *which) {
+			fmt.Fprintf(os.Stderr, "riscbench: unknown experiment %q (valid: %s, all)\n",
+				*which, strings.Join(valid, ", "))
+			os.Exit(2)
+		}
 		ids = []string{*which}
 	}
 	lab := exp.NewLab()
+	if *timeout > 0 {
+		lab.SetTimeout(*timeout)
+	}
+	if *inject != "" {
+		if _, ok := risc1.BenchmarkSource(*inject); !ok {
+			fmt.Fprintf(os.Stderr, "riscbench: unknown benchmark %q (valid: %s)\n",
+				*inject, strings.Join(risc1.BenchmarkNames(), ", "))
+			os.Exit(2)
+		}
+		lab.InjectFault(*inject, &mem.FaultPlan{FailNthWrite: 1})
+	}
 	var timings []experimentTiming
 	for _, id := range ids {
 		start := time.Now()
@@ -89,19 +123,32 @@ func main() {
 		fmt.Printf("[%s regenerated in %v]\n\n", id, elapsed.Round(time.Millisecond))
 	}
 
+	failures := lab.Failures()
 	if *jsonOut {
-		if err := writeReport(lab, timings); err != nil {
+		if err := writeReport(lab, timings, failures); err != nil {
 			fmt.Fprintf(os.Stderr, "riscbench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("[wrote %s]\n", benchFile)
 	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "riscbench: %d configuration(s) failed:\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s [%s]: %v\n", f.Bench, f.Target, f.Err)
+		}
+		os.Exit(1)
+	}
 }
 
 // writeReport measures raw simulator throughput and pulls the headline
 // numbers out of the (already warm) lab, then writes the JSON report.
-func writeReport(lab *exp.Lab, timings []experimentTiming) error {
+func writeReport(lab *exp.Lab, timings []experimentTiming, failures []exp.Failure) error {
 	rep := benchReport{Schema: "risc1-bench/1", Experiments: timings}
+	for _, f := range failures {
+		rep.Failures = append(rep.Failures, failureReport{
+			Bench: f.Bench, Target: f.Target.String(), Error: f.Err.Error(),
+		})
+	}
 
 	m := risc1.NewMachine(risc1.MachineConfig{})
 	if err := m.LoadAssembly(throughputAsm); err != nil {

@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	riscrun [-target windowed|flat|cisc] [-windows N] [-stats] prog.cm
-//	riscrun [-windows N] [-flat] [-stats] prog.s
+//	riscrun [-target windowed|flat|cisc] [-windows N] [-timeout D] [-stats] prog.cm
+//	riscrun [-windows N] [-flat] [-timeout D] [-stats] prog.s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ func main() {
 	flat := flag.Bool("flat", false, "disable register windows for .s sources")
 	stats := flag.Bool("stats", false, "print execution statistics")
 	trace := flag.Int("trace", 0, "print the first N executed instructions (.s sources)")
+	timeout := flag.Duration("timeout", 0, "abort execution after this wall-clock duration (0 = none)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: riscrun [-target T] [-stats] prog.cm|prog.s")
@@ -34,6 +36,13 @@ func main() {
 		fatal(err)
 	}
 	src := string(srcBytes)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var info *risc1.RunInfo
 	if strings.HasSuffix(path, ".s") {
@@ -50,7 +59,7 @@ func main() {
 				}
 			})
 		}
-		if err := m.Run(); err != nil {
+		if err := m.RunContext(ctx); err != nil {
 			fatal(err)
 		}
 		info = m.Info()
@@ -66,7 +75,7 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown target %q", *target))
 		}
-		info, err = risc1.BuildAndRun(src, t)
+		info, err = risc1.BuildAndRunContext(ctx, src, t)
 		if err != nil {
 			fatal(err)
 		}

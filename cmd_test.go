@@ -1,6 +1,7 @@
 package risc1_test
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -20,6 +21,58 @@ func runTool(t *testing.T, args ...string) string {
 		t.Fatalf("go run %v: %v\n%s", args, err, stderr.String())
 	}
 	return string(out)
+}
+
+// runToolErr is runTool for invocations expected to fail: it returns stdout,
+// stderr and the exit code instead of failing the test.
+func runToolErr(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	var errBuf strings.Builder
+	cmd.Stderr = &errBuf
+	out, err := cmd.Output()
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("go run %v: %v\n%s", args, err, errBuf.String())
+		}
+		code = ee.ExitCode()
+	}
+	return string(out), errBuf.String(), code
+}
+
+// TestRiscbenchBadExperiment pins the CLI contract: an unknown experiment ID
+// exits nonzero and names the valid ones.
+func TestRiscbenchBadExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests compile the tools")
+	}
+	_, stderr, code := runToolErr(t, "./cmd/riscbench", "-exp", "BOGUS")
+	if code == 0 {
+		t.Fatal("riscbench -exp BOGUS exited 0")
+	}
+	if !strings.Contains(stderr, "E1") || !strings.Contains(stderr, "E10") {
+		t.Fatalf("error does not list valid IDs:\n%s", stderr)
+	}
+}
+
+// TestRiscbenchInjectDegrades runs one experiment with a fault-injected
+// benchmark: the table must still render (ERR cell for the victim, real rows
+// elsewhere) and the process must exit nonzero reporting the failure.
+func TestRiscbenchInjectDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests compile the tools")
+	}
+	stdout, stderr, code := runToolErr(t, "./cmd/riscbench", "-exp", "E4", "-inject", "hanoi")
+	if code == 0 {
+		t.Fatal("riscbench with an injected fault exited 0")
+	}
+	if !strings.Contains(stdout, "ERR") || !strings.Contains(stdout, "sieve") {
+		t.Fatalf("degraded table wrong:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "hanoi") {
+		t.Fatalf("failure summary missing the victim:\n%s", stderr)
+	}
 }
 
 func TestCLIPipeline(t *testing.T) {

@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"risc1/internal/cc"
+	"risc1/internal/mem"
+	"risc1/internal/prog"
+)
+
+// TestLabDegradationOnInjectedFault poisons one benchmark and regenerates a
+// table: the poisoned kernel must render as ERR cells while every other row
+// survives with real numbers, and the failure must be reported for the exit
+// status / JSON aggregation.
+func TestLabDegradationOnInjectedFault(t *testing.T) {
+	l := NewLab()
+	l.InjectFault("hanoi", &mem.FaultPlan{FailNthWrite: 1})
+	out, err := Render(l, "E4")
+	if err != nil {
+		t.Fatalf("Render(E4) must survive an injected fault, got %v", err)
+	}
+	var hanoiRow string
+	okRows := 0
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.Contains(line, "hanoi"):
+			hanoiRow = line
+		case strings.Contains(line, "sieve") || strings.Contains(line, "fibonacci"):
+			okRows++
+		}
+	}
+	if !strings.Contains(hanoiRow, errCell) {
+		t.Errorf("hanoi row missing %s cell:\n%s", errCell, out)
+	}
+	if okRows == 0 {
+		t.Errorf("healthy rows missing from degraded table:\n%s", out)
+	}
+	if strings.Count(out, errCell) > strings.Count(hanoiRow, errCell) {
+		t.Errorf("ERR leaked beyond the poisoned row:\n%s", out)
+	}
+
+	fails := l.Failures()
+	if len(fails) == 0 {
+		t.Fatal("Failures() empty after injected fault")
+	}
+	for _, f := range fails {
+		if f.Bench != "hanoi" {
+			t.Errorf("unexpected failure for %s [%v]: %v", f.Bench, f.Target, f.Err)
+		}
+		var mf *mem.Fault
+		if !errors.As(f.Err, &mf) || !mf.Injected {
+			t.Errorf("failure cause = %v, want injected mem.Fault", f.Err)
+		}
+	}
+}
+
+// TestLabNegativeCaching checks a failed configuration is cached like a
+// successful one: the second Run returns the same placeholder without
+// re-simulating.
+func TestLabNegativeCaching(t *testing.T) {
+	l := NewLab()
+	l.InjectFault("sieve", &mem.FaultPlan{FailNthWrite: 1})
+	b, ok := prog.ByName("sieve")
+	if !ok {
+		t.Fatal("sieve missing from suite")
+	}
+	r1, err1 := l.Run(b, cc.RISCWindowed, Options{})
+	if err1 == nil || !r1.Failed() {
+		t.Fatalf("poisoned run succeeded: %v", err1)
+	}
+	r2, err2 := l.Run(b, cc.RISCWindowed, Options{})
+	if r2 != r1 {
+		t.Error("failed run not served from cache")
+	}
+	if err2 == nil {
+		t.Error("cached failure lost its error")
+	}
+}
+
+// TestLabTimeout bounds a configuration by wall clock: an expired per-run
+// deadline degrades exactly like any other failure.
+func TestLabTimeout(t *testing.T) {
+	l := NewLab()
+	l.SetTimeout(time.Nanosecond)
+	b, ok := prog.ByName("hanoi")
+	if !ok {
+		t.Fatal("hanoi missing from suite")
+	}
+	r, err := l.Run(b, cc.RISCWindowed, Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if !r.Failed() {
+		t.Error("timed-out run not marked failed")
+	}
+	if len(l.Failures()) != 1 {
+		t.Errorf("Failures() = %v, want the one timeout", l.Failures())
+	}
+}
+
+// TestLabFaultIsolation checks the poison stays scoped: a lab with an
+// injected fault for one benchmark runs every other benchmark cleanly, and a
+// fresh lab runs the poisoned one cleanly.
+func TestLabFaultIsolation(t *testing.T) {
+	l := NewLab()
+	l.InjectFault("hanoi", &mem.FaultPlan{FailNthWrite: 1})
+	b, ok := prog.ByName("sieve")
+	if !ok {
+		t.Fatal("sieve missing from suite")
+	}
+	if _, err := l.Run(b, cc.RISCWindowed, Options{}); err != nil {
+		t.Errorf("unpoisoned benchmark failed: %v", err)
+	}
+
+	clean := NewLab()
+	h, _ := prog.ByName("hanoi")
+	if _, err := clean.Run(h, cc.RISCWindowed, Options{}); err != nil {
+		t.Errorf("hanoi failed on a clean lab: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"risc1/internal/area"
 	"risc1/internal/cc"
@@ -14,6 +15,11 @@ import (
 	"risc1/internal/stats"
 	"risc1/internal/timing"
 )
+
+// errCell is what a failed configuration renders as in a table: the row
+// survives, the numbers don't pretend to exist, and the failure itself is
+// recorded in the lab (Lab.Failures) for the caller's exit status.
+const errCell = "ERR"
 
 // geomean of ratios, the paper's preferred aggregate for relative numbers.
 func geomean(vals []float64) float64 {
@@ -28,8 +34,9 @@ func geomean(vals []float64) float64 {
 }
 
 // suitePair warms and returns the full suite on two targets, with all the
-// simulations for both targets sharing one parallel worker pool.
-func suitePair(l *Lab, a, b cc.Target, opt Options) ([]*Run, []*Run, error) {
+// simulations for both targets sharing one parallel worker pool. Failed
+// benchmarks come back as ERR placeholders.
+func suitePair(l *Lab, a, b cc.Target, opt Options) ([]*Run, []*Run) {
 	all := prog.All()
 	jobs := make([]Job, 0, 2*len(all))
 	for _, bench := range all {
@@ -38,11 +45,8 @@ func suitePair(l *Lab, a, b cc.Target, opt Options) ([]*Run, []*Run, error) {
 	for _, bench := range all {
 		jobs = append(jobs, Job{Bench: bench, Target: b, Opt: opt})
 	}
-	runs, err := l.RunParallel(jobs)
-	if err != nil {
-		return nil, nil, err
-	}
-	return runs[:len(all)], runs[len(all):], nil
+	runs, _ := l.RunParallel(jobs)
+	return runs[:len(all)], runs[len(all):]
 }
 
 // ---------- E1: dynamic instruction mix ----------
@@ -57,13 +61,16 @@ type E1Result struct {
 }
 
 // E1InstructionMix runs the suite on windowed RISC I and aggregates.
+// Failed benchmarks are excluded from the mix and listed as ERR rows.
 func E1InstructionMix(l *Lab) (*E1Result, error) {
-	runs, err := l.SuiteParallel(cc.RISCWindowed, Options{})
-	if err != nil {
-		return nil, err
-	}
+	runs, _ := l.SuiteParallel(cc.RISCWindowed, Options{})
 	total := stats.New()
+	var failed []string
 	for _, r := range runs {
+		if r.Failed() {
+			failed = append(failed, r.Bench.Name)
+			continue
+		}
 		total.Add(r.Stats)
 	}
 	t := &report.Table{
@@ -83,6 +90,9 @@ func E1InstructionMix(l *Lab) (*E1Result, error) {
 	}
 	for _, e := range total.CategoryMix() {
 		ct.AddRow(e.Name, report.Num(e.Count), fmt.Sprintf("%.1f%%", e.Pct))
+	}
+	for _, name := range failed {
+		t.AddRow(errCell+" "+name, "-", "-")
 	}
 	return &E1Result{Total: total, Table: t, CatTable: ct}, nil
 }
@@ -131,10 +141,7 @@ type E3Result struct {
 
 // E3ProgramSize compares compiled code bytes, RISC I vs CX.
 func E3ProgramSize(l *Lab) (*E3Result, error) {
-	rw, cx, err := suitePair(l, cc.RISCWindowed, cc.CISC, Options{})
-	if err != nil {
-		return nil, err
-	}
+	rw, cx := suitePair(l, cc.RISCWindowed, cc.CISC, Options{})
 	res := &E3Result{Table: &report.Table{
 		Title:   "E3. Program size (code bytes)",
 		Note:    "(paper: RISC programs are only modestly larger, ~0.9-1.5x a VAX)",
@@ -142,6 +149,10 @@ func E3ProgramSize(l *Lab) (*E3Result, error) {
 	}}
 	var ratios []float64
 	for i := range rw {
+		if rw[i].Failed() || cx[i].Failed() {
+			res.Table.AddRow(rw[i].Bench.Name, errCell, errCell, errCell)
+			continue
+		}
 		row := E3Row{
 			Name:      rw[i].Bench.Name,
 			RiscBytes: rw[i].CodeBytes,
@@ -177,10 +188,7 @@ type E4Result struct {
 
 // E4ExecutionTime compares simulated wall time at each machine's clock.
 func E4ExecutionTime(l *Lab) (*E4Result, error) {
-	rw, cx, err := suitePair(l, cc.RISCWindowed, cc.CISC, Options{})
-	if err != nil {
-		return nil, err
-	}
+	rw, cx := suitePair(l, cc.RISCWindowed, cc.CISC, Options{})
 	res := &E4Result{Table: &report.Table{
 		Title:   "E4. Execution time (simulated)",
 		Note:    "(RISC I at a 400ns cycle vs CX at a 200ns microcycle; paper: RISC ~2-4x faster)",
@@ -188,6 +196,10 @@ func E4ExecutionTime(l *Lab) (*E4Result, error) {
 	}}
 	var ratios []float64
 	for i := range rw {
+		if rw[i].Failed() || cx[i].Failed() {
+			res.Table.AddRow(rw[i].Bench.Name, errCell, errCell, errCell)
+			continue
+		}
 		row := E4Row{
 			Name:        rw[i].Bench.Name,
 			RiscSeconds: rw[i].Seconds,
@@ -244,24 +256,18 @@ func E5CallTraffic(l *Lab) (*E5Result, error) {
 			jobs = append(jobs, Job{Bench: b, Target: t})
 		}
 	}
-	if _, err := l.RunParallel(jobs); err != nil {
-		return nil, err
-	}
+	l.RunParallel(jobs) // warm the cache; failures degrade per row below
 	for _, b := range prog.All() {
 		if !b.CallHeavy {
 			continue
 		}
-		w, err := l.Run(b, cc.RISCWindowed, Options{})
-		if err != nil {
-			return nil, err
-		}
-		f, err := l.Run(b, cc.RISCFlat, Options{})
-		if err != nil {
-			return nil, err
-		}
-		x, err := l.Run(b, cc.CISC, Options{})
-		if err != nil {
-			return nil, err
+		w, _ := l.Run(b, cc.RISCWindowed, Options{})
+		f, _ := l.Run(b, cc.RISCFlat, Options{})
+		x, _ := l.Run(b, cc.CISC, Options{})
+		if w.Failed() || f.Failed() || x.Failed() {
+			res.Table.AddRow(b.Name, errCell, errCell, errCell, errCell,
+				errCell, errCell, errCell)
+			continue
 		}
 		row := E5Row{
 			Name:          b.Name,
@@ -334,10 +340,9 @@ func E6WindowDepth(l *Lab) (*E6Result, error) {
 	for batch := 1; batch <= 4; batch++ {
 		jobs = append(jobs, Job{Bench: ackerBench, Target: cc.RISCWindowed, Opt: Options{SpillBatch: batch}})
 	}
-	if _, err := l.RunParallel(jobs); err != nil {
-		return nil, err
-	}
-	sweep := func(callHeavy bool) ([]E6Row, error) {
+	l.RunParallel(jobs) // warm the cache; failures degrade below
+	failed := map[string]bool{}
+	sweep := func(callHeavy bool) []E6Row {
 		var rows []E6Row
 		for _, n := range []int{3, 4, 6, 8, 12, 16} {
 			var calls, ovf, trapCycles uint64
@@ -345,9 +350,10 @@ func E6WindowDepth(l *Lab) (*E6Result, error) {
 				if b.CallHeavy != callHeavy {
 					continue
 				}
-				r, err := l.Run(b, cc.RISCWindowed, Options{Windows: n})
-				if err != nil {
-					return nil, err
+				r, _ := l.Run(b, cc.RISCWindowed, Options{Windows: n})
+				if r.Failed() {
+					failed[b.Name] = true
+					continue
 				}
 				calls += r.Stats.Calls
 				ovf += r.Stats.WindowOverflow
@@ -361,17 +367,10 @@ func E6WindowDepth(l *Lab) (*E6Result, error) {
 				ExtraSeconds: float64(trapCycles) * timing.RiscCycleNS * 1e-9,
 			})
 		}
-		return rows, nil
+		return rows
 	}
-	var err error
-	res.Rows, err = sweep(true)
-	if err != nil {
-		return nil, err
-	}
-	res.TypicalRows, err = sweep(false)
-	if err != nil {
-		return nil, err
-	}
+	res.Rows = sweep(true)
+	res.TypicalRows = sweep(false)
 	res.Table.AddRow("-- recursion-heavy kernels --", "", "", "", "")
 	for _, row := range res.Rows {
 		res.Table.AddRow(fmt.Sprintf("%d", row.Windows), report.Num(row.Calls),
@@ -389,9 +388,10 @@ func E6WindowDepth(l *Lab) (*E6Result, error) {
 	// behind the window-count choice. Aggregate over the whole suite.
 	agg := stats.New()
 	for _, b := range prog.All() {
-		r, err := l.Run(b, cc.RISCWindowed, Options{})
-		if err != nil {
-			return nil, err
+		r, _ := l.Run(b, cc.RISCWindowed, Options{})
+		if r.Failed() {
+			failed[b.Name] = true
+			continue
 		}
 		agg.Add(r.Stats)
 	}
@@ -410,9 +410,11 @@ func E6WindowDepth(l *Lab) (*E6Result, error) {
 	acker, _ := prog.ByName("acker")
 	res.Table.AddRow("-- spill-batch policy on acker (8 windows) --", "", "", "", "")
 	for batch := 1; batch <= 4; batch++ {
-		r, err := l.Run(acker, cc.RISCWindowed, Options{SpillBatch: batch})
-		if err != nil {
-			return nil, err
+		r, _ := l.Run(acker, cc.RISCWindowed, Options{SpillBatch: batch})
+		if r.Failed() {
+			failed[acker.Name] = true
+			res.Table.AddRow(fmt.Sprintf("batch=%d", batch), errCell, errCell, "", errCell)
+			continue
 		}
 		row := E6BatchRow{
 			Batch:   batch,
@@ -424,6 +426,14 @@ func E6WindowDepth(l *Lab) (*E6Result, error) {
 		res.Table.AddRow(fmt.Sprintf("batch=%d", batch),
 			report.Num(r.Stats.Calls), report.Num(row.Traps), "",
 			report.Seconds(row.Seconds))
+	}
+	if len(failed) > 0 {
+		names := make([]string, 0, len(failed))
+		for n := range failed {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		res.Table.AddRow(errCell+" (excluded): "+strings.Join(names, ", "), "", "", "", "")
 	}
 	return res, nil
 }
@@ -469,17 +479,13 @@ func E7DelaySlots(l *Lab) (*E7Result, error) {
 		jobs = append(jobs, Job{Bench: b, Target: cc.RISCWindowed, Opt: Options{NoDelayFill: true}})
 		jobs = append(jobs, Job{Bench: b, Target: cc.RISCWindowed})
 	}
-	if _, err := l.RunParallel(jobs); err != nil {
-		return nil, err
-	}
+	l.RunParallel(jobs) // warm the cache; failures degrade per row below
 	for _, b := range prog.All() {
-		nop, err := l.Run(b, cc.RISCWindowed, Options{NoDelayFill: true})
-		if err != nil {
-			return nil, err
-		}
-		opt, err := l.Run(b, cc.RISCWindowed, Options{})
-		if err != nil {
-			return nil, err
+		nop, _ := l.Run(b, cc.RISCWindowed, Options{NoDelayFill: true})
+		opt, _ := l.Run(b, cc.RISCWindowed, Options{})
+		if nop.Failed() || opt.Failed() {
+			res.Table.AddRow(b.Name, errCell, errCell, errCell, errCell, errCell)
+			continue
 		}
 		slots := opt.Stats.DelaySlotUseful + opt.Stats.DelaySlotNops
 		row := E7Row{
@@ -570,10 +576,7 @@ type E9Result struct {
 // more instructions, but total memory traffic stays comparable because each
 // fetch is simple and the windows remove data traffic.
 func E9MemoryTraffic(l *Lab) (*E9Result, error) {
-	rw, cx, err := suitePair(l, cc.RISCWindowed, cc.CISC, Options{})
-	if err != nil {
-		return nil, err
-	}
+	rw, cx := suitePair(l, cc.RISCWindowed, cc.CISC, Options{})
 	res := &E9Result{Table: &report.Table{
 		Title: "E9. Memory traffic (bytes moved)",
 		Note:  "(instruction fetch + data; RISC fetches more instruction bytes, moves less data)",
@@ -582,6 +585,10 @@ func E9MemoryTraffic(l *Lab) (*E9Result, error) {
 	}}
 	for i := range rw {
 		r, c := rw[i], cx[i]
+		if r.Failed() || c.Failed() {
+			res.Table.AddRow(r.Bench.Name, errCell, errCell, errCell, errCell, errCell)
+			continue
+		}
 		row := E9Row{
 			Name:      r.Bench.Name,
 			RiscFetch: r.Stats.FetchBytes, CiscFetch: c.Stats.FetchBytes,

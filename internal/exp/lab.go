@@ -10,20 +10,27 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"risc1/internal/asm"
 	"risc1/internal/cc"
 	"risc1/internal/cisc"
 	"risc1/internal/core"
+	"risc1/internal/mem"
 	"risc1/internal/prog"
 	"risc1/internal/stats"
 	"risc1/internal/timing"
 )
 
-// Run is one benchmark execution on one machine configuration.
+// Run is one benchmark execution on one machine configuration. A Run with a
+// non-nil Err is the placeholder for a failed or timed-out execution: Stats
+// is a fresh zero value so aggregations stay total, and table builders
+// render ERR cells for it instead of numbers.
 type Run struct {
 	Bench       prog.Benchmark
 	Target      cc.Target
@@ -33,6 +40,16 @@ type Run struct {
 	Seconds     float64 // simulated wall time at the machine's clock
 	Console     string
 	SlotsFilled int
+	Err         error // non-nil: this configuration failed to execute
+}
+
+// Failed reports whether this run is a failure placeholder.
+func (r *Run) Failed() bool { return r != nil && r.Err != nil }
+
+// failedRun builds the placeholder cached and returned for a failed
+// execution.
+func failedRun(b prog.Benchmark, target cc.Target, err error) *Run {
+	return &Run{Bench: b, Target: target, Stats: stats.New(), Err: err}
 }
 
 // Options configures a run.
@@ -40,12 +57,30 @@ type Options struct {
 	Windows     int  // register windows (0 = the paper's 8)
 	SpillBatch  int  // windows spilled per overflow trap (0 = 1)
 	NoDelayFill bool // leave NOPs in delay slots
+	// Fault, when non-nil, injects memory failures into the run (the plan
+	// is copied per execution, so one plan can safely serve many runs).
+	Fault *mem.FaultPlan
 }
 
 // Execute compiles, assembles and runs one benchmark on one target.
 // The console output is verified against the Go reference: an experiment
 // on a miscomputing simulator would be worthless.
 func Execute(b prog.Benchmark, target cc.Target, opt Options) (*Run, error) {
+	return ExecuteContext(context.Background(), b, target, opt)
+}
+
+// armFault installs a private copy of the plan so concurrent runs sharing
+// one Options value keep independent access counters.
+func armFault(m *mem.Memory, plan *mem.FaultPlan) {
+	if plan != nil {
+		p := *plan
+		m.SetFaultPlan(&p)
+	}
+}
+
+// ExecuteContext is Execute honoring ctx: cancellation or deadline expiry
+// aborts the simulation at the next run-batch boundary.
+func ExecuteContext(ctx context.Context, b prog.Benchmark, target cc.Target, opt Options) (*Run, error) {
 	res, err := cc.Compile(b.Source, cc.Options{Target: target, NoDelaySlotFill: opt.NoDelayFill})
 	if err != nil {
 		return nil, fmt.Errorf("%s on %v: %w", b.Name, target, err)
@@ -63,7 +98,8 @@ func Execute(b prog.Benchmark, target cc.Target, opt Options) (*Run, error) {
 		if err := m.Load(img); err != nil {
 			return nil, err
 		}
-		if err := m.Run(); err != nil {
+		armFault(m.Mem, opt.Fault)
+		if err := m.RunContext(ctx); err != nil {
 			return nil, fmt.Errorf("%s on %v: %w", b.Name, target, err)
 		}
 		run.Stats = m.Stats()
@@ -74,7 +110,11 @@ func Execute(b prog.Benchmark, target cc.Target, opt Options) (*Run, error) {
 		if err != nil {
 			// Programs whose data exceeds the global pointer's 8 KiB
 			// window fail the 13-bit range check; recompile with full
-			// 32-bit addressing.
+			// 32-bit addressing. Any other assembly error is genuine
+			// and reported as-is.
+			if !asm.IsOutOfRange(err) {
+				return nil, fmt.Errorf("%s on %v: %w", b.Name, target, err)
+			}
 			res, err = cc.Compile(b.Source, cc.Options{
 				Target: target, NoDelaySlotFill: opt.NoDelayFill, WideData: true})
 			if err != nil {
@@ -96,7 +136,8 @@ func Execute(b prog.Benchmark, target cc.Target, opt Options) (*Run, error) {
 		if err := m.Load(img); err != nil {
 			return nil, err
 		}
-		if err := m.Run(); err != nil {
+		armFault(m.Mem, opt.Fault)
+		if err := m.RunContext(ctx); err != nil {
 			return nil, fmt.Errorf("%s on %v: %w", b.Name, target, err)
 		}
 		run.Stats = m.Stats()
@@ -122,10 +163,18 @@ func split(symbols map[string]uint32, org uint32, size int) (code, data int) {
 // re-simulate. A Lab is safe for concurrent use: concurrent requests for the
 // same configuration share a single execution (singleflight), and the
 // parallel helpers below fan independent runs out over a bounded worker pool.
+//
+// The lab degrades gracefully: a failing or timed-out configuration is
+// cached as a failure placeholder (so it is not re-simulated by every
+// experiment that needs it), recorded for Failures, and returned alongside
+// its error so table builders can render an ERR cell and keep going.
 type Lab struct {
 	mu       sync.Mutex
 	cache    map[labKey]*Run
 	inflight map[labKey]*labCall
+	timeout  time.Duration
+	inject   map[string]*mem.FaultPlan
+	failures map[labKey]Failure
 }
 
 type labKey struct {
@@ -144,16 +193,75 @@ type labCall struct {
 
 // NewLab builds an empty lab.
 func NewLab() *Lab {
-	return &Lab{cache: map[labKey]*Run{}, inflight: map[labKey]*labCall{}}
+	return &Lab{
+		cache:    map[labKey]*Run{},
+		inflight: map[labKey]*labCall{},
+		inject:   map[string]*mem.FaultPlan{},
+		failures: map[labKey]Failure{},
+	}
 }
 
-// Run executes (or recalls) one benchmark run.
-func (l *Lab) Run(b prog.Benchmark, target cc.Target, opt Options) (*Run, error) {
-	k := labKey{b.Name, target, opt}
+// SetTimeout bounds every subsequent execution's wall time: a configuration
+// that exceeds d is aborted (within one run batch) and degraded to an ERR
+// placeholder. Zero restores the default of no limit.
+func (l *Lab) SetTimeout(d time.Duration) {
 	l.mu.Lock()
+	l.timeout = d
+	l.mu.Unlock()
+}
+
+// InjectFault arranges for every subsequent run of the named benchmark to
+// execute under the given memory-fault plan — the failure-injection hook
+// behind the degradation tests and riscbench's -inject flag. Runs that
+// already passed Options.Fault explicitly keep their own plan.
+func (l *Lab) InjectFault(bench string, plan *mem.FaultPlan) {
+	l.mu.Lock()
+	l.inject[bench] = plan
+	l.mu.Unlock()
+}
+
+// Failure records one configuration that could not execute.
+type Failure struct {
+	Bench  string
+	Target cc.Target
+	Opt    Options
+	Err    error
+}
+
+// Failures returns every failed configuration observed so far, in a
+// deterministic order.
+func (l *Lab) Failures() []Failure {
+	l.mu.Lock()
+	out := make([]Failure, 0, len(l.failures))
+	for _, f := range l.failures {
+		out = append(out, f)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		if out[i].Target != out[j].Target {
+			return out[i].Target < out[j].Target
+		}
+		return fmt.Sprint(out[i].Opt) < fmt.Sprint(out[j].Opt)
+	})
+	return out
+}
+
+// Run executes (or recalls) one benchmark run. On failure it returns both
+// the cached ERR placeholder and the error: callers building tables use the
+// placeholder, callers that must stop use the error.
+func (l *Lab) Run(b prog.Benchmark, target cc.Target, opt Options) (*Run, error) {
+	l.mu.Lock()
+	if p, ok := l.inject[b.Name]; ok && opt.Fault == nil {
+		opt.Fault = p
+	}
+	timeout := l.timeout
+	k := labKey{b.Name, target, opt}
 	if r, ok := l.cache[k]; ok {
 		l.mu.Unlock()
-		return r, nil
+		return r, r.Err
 	}
 	if c, ok := l.inflight[k]; ok {
 		l.mu.Unlock()
@@ -164,11 +272,21 @@ func (l *Lab) Run(b prog.Benchmark, target cc.Target, opt Options) (*Run, error)
 	l.inflight[k] = c
 	l.mu.Unlock()
 
-	c.r, c.err = Execute(b, target, opt)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	c.r, c.err = ExecuteContext(ctx, b, target, opt)
+	if c.err != nil {
+		c.r = failedRun(b, target, c.err)
+	}
 
 	l.mu.Lock()
-	if c.err == nil {
-		l.cache[k] = c.r
+	l.cache[k] = c.r
+	if c.err != nil {
+		l.failures[k] = Failure{Bench: b.Name, Target: target, Opt: opt, Err: c.err}
 	}
 	delete(l.inflight, k)
 	l.mu.Unlock()
@@ -184,8 +302,9 @@ type Job struct {
 }
 
 // RunParallel executes the jobs on a worker pool bounded by GOMAXPROCS and
-// returns the results in job order. If any job fails, the error of the
-// earliest failing job is returned.
+// returns the results in job order. Every slot is populated — failed jobs
+// yield ERR placeholders — and the error of the earliest failing job is
+// returned alongside, so callers choose between degrading and stopping.
 func (l *Lab) RunParallel(jobs []Job) ([]*Run, error) {
 	out := make([]*Run, len(jobs))
 	errs := make([]error, len(jobs))
@@ -211,23 +330,25 @@ func (l *Lab) RunParallel(jobs []Job) ([]*Run, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 	}
 	return out, nil
 }
 
-// Suite runs every benchmark on one target, serially.
+// Suite runs every benchmark on one target, serially. Failed benchmarks
+// yield ERR placeholders; the earliest failure is also returned.
 func (l *Lab) Suite(target cc.Target, opt Options) ([]*Run, error) {
 	var out []*Run
+	var firstErr error
 	for _, b := range prog.All() {
 		r, err := l.Run(b, target, opt)
-		if err != nil {
-			return nil, err
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 		out = append(out, r)
 	}
-	return out, nil
+	return out, firstErr
 }
 
 // SuiteParallel is Suite with the benchmark runs executing concurrently.
