@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	riscrun [-target windowed|flat|cisc] [-windows N] [-timeout D] [-stats] prog.cm
-//	riscrun [-windows N] [-flat] [-timeout D] [-stats] prog.s
+//	riscrun [-target windowed|flat|cisc] [-windows N] [-timeout D] [-max-cycles N] [-stats] prog.cm
+//	riscrun [-windows N] [-flat] [-timeout D] [-max-cycles N] [-stats] prog.s
 package main
 
 import (
@@ -25,6 +25,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print execution statistics")
 	trace := flag.Int("trace", 0, "print the first N executed instructions (.s sources)")
 	timeout := flag.Duration("timeout", 0, "abort execution after this wall-clock duration (0 = none)")
+	maxCycles := flag.Uint64("max-cycles", risc1.DefaultMaxCycles,
+		"abort after this many simulated cycles (0 = machine default); riscd enforces the same default budget")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: riscrun [-target T] [-stats] prog.cm|prog.s")
@@ -46,7 +48,7 @@ func main() {
 
 	var info *risc1.RunInfo
 	if strings.HasSuffix(path, ".s") {
-		m := risc1.NewMachine(risc1.MachineConfig{Windows: *windows, Flat: *flat})
+		m := risc1.NewMachine(risc1.MachineConfig{Windows: *windows, Flat: *flat, MaxCycles: *maxCycles})
 		if err := m.LoadAssembly(src); err != nil {
 			fatal(err)
 		}
@@ -75,7 +77,11 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown target %q", *target))
 		}
-		info, err = risc1.BuildAndRunContext(ctx, src, t)
+		img, err := risc1.CompileToImage(src, t)
+		if err != nil {
+			fatal(err)
+		}
+		info, err = risc1.RunImage(ctx, img, risc1.RunOptions{MaxCycles: *maxCycles})
 		if err != nil {
 			fatal(err)
 		}

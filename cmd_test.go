@@ -1,12 +1,16 @@
 package risc1_test
 
 import (
+	"bufio"
 	"errors"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // runTool invokes one of the repository's commands via `go run` and returns
@@ -133,5 +137,88 @@ int main() { putint(twice(21)); return 0; }`), 0o644); err != nil {
 	bench := runTool(t, "./cmd/riscbench", "-exp", "E2")
 	if !strings.Contains(bench, "RISC I (this repo)") {
 		t.Fatalf("riscbench E2 output:\n%s", bench)
+	}
+}
+
+// TestRiscdSmoke boots the riscd binary, hits /healthz and one /v1/run, and
+// checks SIGINT produces a clean, graceful exit. The binary is built (not
+// `go run`) so the signal reaches the server process directly.
+func TestRiscdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests compile the tools")
+	}
+	bin := filepath.Join(t.TempDir(), "riscd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/riscd").CombinedOutput(); err != nil {
+		t.Fatalf("go build riscd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// riscd logs "listening on <addr>" once the socket is bound.
+	var addr string
+	var logTail strings.Builder
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		logTail.WriteString(line + "\n")
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("riscd never reported its address:\n%s", logTail.String())
+	}
+	go func() { // keep draining so the child never blocks on stderr
+		for sc.Scan() {
+		}
+	}()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/run", "application/json",
+		strings.NewReader(`{"source":"int main() { putint(6 * 7); return 0; }"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"console":"42"`) {
+		t.Fatalf("run: %d %s", resp.StatusCode, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "riscd_requests_total") {
+		t.Fatalf("metrics: %d\n%s", code, body)
+	}
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("riscd did not exit cleanly on SIGINT: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("riscd did not shut down within 15s of SIGINT")
 	}
 }

@@ -1,0 +1,107 @@
+package risc1_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"risc1"
+	"risc1/internal/core"
+)
+
+// TestImageCompileOnceRunMany pins the serving layer's foundation: one
+// compiled Image runs concurrently on fresh machines with identical results.
+func TestImageCompileOnceRunMany(t *testing.T) {
+	img, err := risc1.CompileToImage(`
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { putint(fib(12)); return 0; }`, risc1.RISCWindowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Target() != risc1.RISCWindowed || img.Size() == 0 {
+		t.Fatalf("bad image: target %v size %d", img.Target(), img.Size())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			info, err := risc1.RunImage(context.Background(), img, risc1.RunOptions{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if info.Console != "144" {
+				t.Errorf("console = %q, want 144", info.Console)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestImageMatchesBuildAndRun checks the image path and the one-shot path
+// produce identical statistics on every target.
+func TestImageMatchesBuildAndRun(t *testing.T) {
+	src := `int main() { putint(6 * 7); return 0; }`
+	for _, target := range []risc1.Target{risc1.RISCWindowed, risc1.RISCFlat, risc1.CISC} {
+		direct, err := risc1.BuildAndRun(src, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := risc1.CompileToImage(src, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		staged, err := risc1.RunImage(context.Background(), img, risc1.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *staged != *direct {
+			t.Errorf("target %v: image run diverged:\n%+v\n%+v", target, staged, direct)
+		}
+		if dis := img.Disassemble(); len(dis) == 0 {
+			t.Errorf("target %v: empty disassembly", target)
+		}
+	}
+}
+
+// TestRunImageMaxCycles pins the budget plumbing: an infinite loop dies at
+// exactly the requested cycle.
+func TestRunImageMaxCycles(t *testing.T) {
+	img, err := risc1.AssembleToImage("main: jmpr alw,main\n nop\n", risc1.RISCWindowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = risc1.RunImage(context.Background(), img, risc1.RunOptions{MaxCycles: 500})
+	if !errors.Is(err, core.ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	var re *core.RunError
+	if !errors.As(err, &re) || re.Cycles != 500 {
+		t.Fatalf("budget not exact: %v", err)
+	}
+}
+
+// TestAssembleToImageCISC checks the CX assembler path of AssembleToImage.
+func TestAssembleToImageCISC(t *testing.T) {
+	asmText, err := risc1.CompileCm(
+		`int main() { putint(7); return 0; }`, risc1.CISC, risc1.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := risc1.AssembleToImage(asmText, risc1.CISC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := risc1.RunImage(context.Background(), img, risc1.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Console != "7" {
+		t.Errorf("console = %q, want 7", info.Console)
+	}
+}

@@ -16,14 +16,14 @@ import "risc1/internal/isa"
 
 // Transistor costs per cell, NMOS-era.
 const (
-	regCellT     = 6 // static dual-ported register bit
-	aluBitT      = 160
-	shifterBitT  = 60  // barrel shifter column
-	pcUnitT      = 1500
-	pswT         = 600
-	padsT        = 2000
-	romBitT      = 1 // microcode ROM bit
-	plaMinterm   = 2 // PLA product-term transistor cost per output
+	regCellT    = 6 // static dual-ported register bit
+	aluBitT     = 160
+	shifterBitT = 60 // barrel shifter column
+	pcUnitT     = 1500
+	pswT        = 600
+	padsT       = 2000
+	romBitT     = 1 // microcode ROM bit
+	plaMinterm  = 2 // PLA product-term transistor cost per output
 )
 
 // Block is one floorplan region.

@@ -108,9 +108,9 @@ type item struct {
 	addr uint32
 	// one of:
 	inst  *protoInst
-	data  []byte   // literal bytes (.byte/.half/.word with numeric values)
-	words []expr   // .word with symbolic values, 4 bytes each
-	space int      // .space
+	data  []byte // literal bytes (.byte/.half/.word with numeric values)
+	words []expr // .word with symbolic values, 4 bytes each
+	space int    // .space
 }
 
 // protoInst is an instruction before symbol resolution.

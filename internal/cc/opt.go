@@ -86,7 +86,7 @@ var movableOps = map[string]bool{
 }
 
 func movable(line string) bool {
-	if line == "" || strings.HasSuffix(strings.Fields(line+" x")[0], ":") {
+	if line == "" || strings.HasSuffix(strings.Fields(line + " x")[0], ":") {
 		return false
 	}
 	m := mnemonicOf(line)

@@ -14,20 +14,20 @@ func TestOperatorPrecedence(t *testing.T) {
 	}{
 		{"2 + 3 * 4", 14},
 		{"(2 + 3) * 4", 20},
-		{"10 - 4 - 3", 3},          // left associative
-		{"100 / 10 / 2", 5},        // left associative
-		{"1 << 2 + 1", 8},          // shift binds looser than +
-		{"4 & 2 | 1", 1},           // & binds tighter than |
-		{"1 | 2 ^ 2", 1},           // ^ between | and &
-		{"6 & 3 == 3", 6 & 1},      // comparison tighter than & (C's famous gotcha)
-		{"1 + 2 < 2 + 2", 1},       // + tighter than <
-		{"0 || 1 && 0", 0},         // && tighter than ||
-		{"1 ? 2 : 0 ? 3 : 4", 2},   // ?: right associative
+		{"10 - 4 - 3", 3},        // left associative
+		{"100 / 10 / 2", 5},      // left associative
+		{"1 << 2 + 1", 8},        // shift binds looser than +
+		{"4 & 2 | 1", 1},         // & binds tighter than |
+		{"1 | 2 ^ 2", 1},         // ^ between | and &
+		{"6 & 3 == 3", 6 & 1},    // comparison tighter than & (C's famous gotcha)
+		{"1 + 2 < 2 + 2", 1},     // + tighter than <
+		{"0 || 1 && 0", 0},       // && tighter than ||
+		{"1 ? 2 : 0 ? 3 : 4", 2}, // ?: right associative
 		{"0 ? 2 : 1 ? 3 : 4", 3},
 		{"-2 * -3", 6},
 		{"~0 & 15", 15},
 		{"!3 + 1", 1},
-		{"10 % 4 * 2", 4},          // % and * same level, left assoc
+		{"10 % 4 * 2", 4}, // % and * same level, left assoc
 	}
 	for _, c := range cases {
 		src := fmt.Sprintf("int main() { putint(%s); return 0; }", c.expr)

@@ -15,11 +15,11 @@ import (
 // registers r10..r15 and its argument registers to stay leaf-cheap.
 
 type rtRegs struct {
-	a, b             string // arguments
-	ret              string // result register
-	t1, t2, t3, t4   string
-	t5, t6           string
-	link             string
+	a, b           string // arguments
+	ret            string // result register
+	t1, t2, t3, t4 string
+	t5, t6         string
+	link           string
 }
 
 func (g *riscGen) rtRegs() rtRegs {

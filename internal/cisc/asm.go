@@ -48,16 +48,16 @@ type spec struct {
 }
 
 type item struct {
-	line  int
-	addr  uint32
-	op    Op
-	specs []spec
-	disp  expr // branch target (opdDisp)
-	count int64
+	line   int
+	addr   uint32
+	op     Op
+	specs  []spec
+	disp   expr // branch target (opdDisp)
+	count  int64
 	isInst bool
-	data  []byte
-	words []expr
-	space int
+	data   []byte
+	words  []expr
+	space  int
 }
 
 type casm struct {

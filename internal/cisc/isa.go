@@ -194,15 +194,15 @@ var nameTable = func() map[string]Op {
 type addrMode uint8
 
 const (
-	modeReg     addrMode = 0x0 // Rn            (1 byte)
-	modeDeref   addrMode = 0x1 // (Rn)          (1 byte)
-	modeDisp8   addrMode = 0x2 // d8(Rn)        (2 bytes)
-	modeDisp32  addrMode = 0x3 // d32(Rn)       (5 bytes)
-	modeImm8    addrMode = 0x4 // #imm8         (2 bytes, sign-extended)
-	modeImm32   addrMode = 0x5 // #imm32        (5 bytes)
-	modeAbs     addrMode = 0x6 // @addr         (5 bytes)
-	modeIndex   addrMode = 0x7 // (Rn)[Rx]      (2 bytes; Rx scaled by 4)
-	modeIndexB  addrMode = 0x8 // b(Rn)[Rx]     byte-scaled index (2 bytes)
+	modeReg    addrMode = 0x0 // Rn            (1 byte)
+	modeDeref  addrMode = 0x1 // (Rn)          (1 byte)
+	modeDisp8  addrMode = 0x2 // d8(Rn)        (2 bytes)
+	modeDisp32 addrMode = 0x3 // d32(Rn)       (5 bytes)
+	modeImm8   addrMode = 0x4 // #imm8         (2 bytes, sign-extended)
+	modeImm32  addrMode = 0x5 // #imm32        (5 bytes)
+	modeAbs    addrMode = 0x6 // @addr         (5 bytes)
+	modeIndex  addrMode = 0x7 // (Rn)[Rx]      (2 bytes; Rx scaled by 4)
+	modeIndexB addrMode = 0x8 // b(Rn)[Rx]     byte-scaled index (2 bytes)
 )
 
 // specSize returns the encoded size of a specifier in bytes.

@@ -126,10 +126,10 @@ func E2Characteristics() *report.Table {
 
 // E3Row is one benchmark's code-size comparison.
 type E3Row struct {
-	Name       string
-	RiscBytes  int
-	CiscBytes  int
-	Ratio      float64 // RISC / CISC: the paper reports ~0.9-1.5
+	Name      string
+	RiscBytes int
+	CiscBytes int
+	Ratio     float64 // RISC / CISC: the paper reports ~0.9-1.5
 }
 
 // E3Result is the program-size table.

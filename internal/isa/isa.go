@@ -256,11 +256,11 @@ func (i Inst) Cond() Cond { return Cond(i.Rd & 0xF) }
 
 // Encoding layout.
 const (
-	shiftOp  = 25
-	shiftSCC = 24
-	shiftRd  = 19
-	shiftRs1 = 14
-	shiftImm = 13
+	shiftOp   = 25
+	shiftSCC  = 24
+	shiftRd   = 19
+	shiftRs1  = 14
+	shiftImm  = 13
 	maskImm13 = 1<<13 - 1
 	maskImm19 = 1<<19 - 1
 )

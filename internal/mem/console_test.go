@@ -1,0 +1,76 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConsoleLimitDropsAndMarks pins the bounded-console contract: output
+// beyond the limit is dropped, the buffer is marked truncated, and what was
+// buffered before the limit survives intact.
+func TestConsoleLimitDropsAndMarks(t *testing.T) {
+	m := New(1 << 12)
+	m.SetConsoleLimit(8)
+	for i := 0; i < 20; i++ {
+		if err := m.Store32(ConsolePutc, uint32('a')); err != nil {
+			t.Fatalf("putc %d: %v", i, err)
+		}
+	}
+	if got := m.Console(); got != strings.Repeat("a", 8) {
+		t.Errorf("console = %q, want 8 a's", got)
+	}
+	if !m.ConsoleTruncated() {
+		t.Error("ConsoleTruncated = false after overflowing the limit")
+	}
+}
+
+// TestConsoleLimitWholeRendering checks a PutInt rendering that straddles
+// the limit is dropped whole rather than split mid-number.
+func TestConsoleLimitWholeRendering(t *testing.T) {
+	m := New(1 << 12)
+	m.SetConsoleLimit(6)
+	if err := m.Store32(ConsolePutInt, 1234); err != nil {
+		t.Fatal(err)
+	}
+	// 4 bytes buffered; "5678" would exceed 6 and must vanish entirely.
+	if err := m.Store32(ConsolePutInt, 5678); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Console(); got != "1234" {
+		t.Errorf("console = %q, want %q", got, "1234")
+	}
+	if !m.ConsoleTruncated() {
+		t.Error("ConsoleTruncated = false after a dropped rendering")
+	}
+}
+
+// TestConsoleDefaultLimit checks normal output is untouched and unmarked.
+func TestConsoleDefaultLimit(t *testing.T) {
+	m := New(1 << 12)
+	if err := m.Store32(ConsolePutInt, 0xFFFFFFFF); err != nil { // -1 signed
+		t.Fatal(err)
+	}
+	if err := m.Store32(ConsolePutc, uint32('\n')); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Console(); got != "-1\n" {
+		t.Errorf("console = %q, want %q", got, "-1\n")
+	}
+	if m.ConsoleTruncated() {
+		t.Error("ConsoleTruncated = true without hitting the limit")
+	}
+	// Writes past the dropped point still count as bus traffic.
+	if m.Writes != 8 {
+		t.Errorf("Writes = %d, want 8", m.Writes)
+	}
+}
+
+// TestSetConsoleLimitZeroRestoresDefault documents the n <= 0 contract.
+func TestSetConsoleLimitZeroRestoresDefault(t *testing.T) {
+	m := New(1 << 12)
+	m.SetConsoleLimit(4)
+	m.SetConsoleLimit(0)
+	if m.consoleLimit != DefaultConsoleLimit {
+		t.Errorf("consoleLimit = %d, want DefaultConsoleLimit", m.consoleLimit)
+	}
+}

@@ -5,6 +5,7 @@ package mem
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -19,6 +20,13 @@ const (
 	ConsolePutInt = ConsoleBase + 0x4
 	ConsoleStatus = ConsoleBase + 0x8
 )
+
+// DefaultConsoleLimit bounds the console device's buffered output. The suite
+// benchmarks print a handful of bytes, so the generous 1 MiB default never
+// affects the reproduction; it exists so a guest program in a tight PutInt
+// loop cannot grow a long-lived process without bound. Output beyond the
+// limit is dropped and the buffer is marked truncated.
+const DefaultConsoleLimit = 1 << 20
 
 // AccessKind distinguishes the failure modes a memory access can hit.
 type AccessKind uint8
@@ -133,8 +141,10 @@ func (m *Memory) injectFault(kind AccessKind, addr uint32, size int) error {
 // All multi-byte accesses must be naturally aligned, per the RISC I rule
 // that alignment keeps the memory interface single-cycle.
 type Memory struct {
-	ram     []byte
-	console strings.Builder
+	ram          []byte
+	console      strings.Builder
+	consoleLimit int  // bytes the console retains before dropping output
+	consoleTrunc bool // some console output was dropped at the limit
 
 	// Reads counts data loads, Writes data stores, in bytes, for the
 	// memory-traffic experiments (E5, E9). Fetch traffic is counted by
@@ -154,14 +164,40 @@ type Memory struct {
 
 // New returns a memory with size bytes of RAM starting at address 0.
 func New(size int) *Memory {
-	return &Memory{ram: make([]byte, size)}
+	return &Memory{ram: make([]byte, size), consoleLimit: DefaultConsoleLimit}
 }
 
 // Size returns the RAM size in bytes.
 func (m *Memory) Size() int { return len(m.ram) }
 
-// Console returns everything written to the console device so far.
+// Console returns everything written to the console device so far (up to
+// the console limit; see ConsoleTruncated).
 func (m *Memory) Console() string { return m.console.String() }
+
+// ConsoleTruncated reports whether console output was dropped because the
+// buffer reached its limit.
+func (m *Memory) ConsoleTruncated() bool { return m.consoleTrunc }
+
+// SetConsoleLimit caps the console buffer at n bytes; n <= 0 restores
+// DefaultConsoleLimit. Lowering the limit below what is already buffered
+// keeps the existing output and drops only subsequent writes.
+func (m *Memory) SetConsoleLimit(n int) {
+	if n <= 0 {
+		n = DefaultConsoleLimit
+	}
+	m.consoleLimit = n
+}
+
+// consoleAppend buffers s, dropping it (and marking truncation) once the
+// buffer is full. A rendering that straddles the limit is dropped whole, so
+// the console never ends mid-number.
+func (m *Memory) consoleAppend(s string) {
+	if m.console.Len()+len(s) > m.consoleLimit {
+		m.consoleTrunc = true
+		return
+	}
+	m.console.WriteString(s)
+}
 
 // ResetCounters zeroes the traffic counters without touching RAM contents.
 func (m *Memory) ResetCounters() { m.Reads, m.Writes = 0, 0 }
@@ -325,9 +361,9 @@ func (m *Memory) consoleStore(addr, v uint32, size int) error {
 	m.Writes += uint64(size)
 	switch addr {
 	case ConsolePutc:
-		m.console.WriteByte(uint8(v))
+		m.consoleAppend(string([]byte{uint8(v)}))
 	case ConsolePutInt:
-		fmt.Fprintf(&m.console, "%d", int32(v))
+		m.consoleAppend(strconv.FormatInt(int64(int32(v)), 10))
 	default:
 		// Writes to other device addresses are ignored, like a real bus.
 	}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"risc1"
+	"risc1/internal/asm"
+	"risc1/internal/cisc"
+	"risc1/internal/core"
+)
+
+// RunRequest is the body of POST /v1/run.
+type RunRequest struct {
+	// Source is Cm source (default) or machine-level assembly (Lang "asm").
+	Source string `json:"source"`
+	// Lang selects the front end: "cm" (default) compiles, "asm" assembles.
+	Lang string `json:"lang,omitempty"`
+	// Target is "windowed" (default), "flat" or "cisc".
+	Target string `json:"target,omitempty"`
+	// MaxCycles lowers the server's per-run cycle budget. It can only
+	// tighten the bound: values above the server ceiling are clamped.
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	// TimeoutMS lowers the server's per-run wall-clock deadline, likewise
+	// clamped to the server ceiling.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse is the body of a successful POST /v1/run.
+type RunResponse struct {
+	Console          string `json:"console"`
+	ConsoleTruncated bool   `json:"console_truncated,omitempty"`
+	Instructions     uint64 `json:"instructions"`
+	Cycles           uint64 `json:"cycles"`
+	SimNS            int64  `json:"sim_ns"` // simulated time at the paper's clock
+	CodeBytes        int    `json:"code_bytes"`
+	Calls            uint64 `json:"calls"`
+	MaxCallDepth     int    `json:"max_call_depth"`
+	WindowOverflows  uint64 `json:"window_overflows,omitempty"`
+	WindowUnderflows uint64 `json:"window_underflows,omitempty"`
+	// Cached reports the compiled image came from the server's LRU —
+	// the request skipped the compiler entirely.
+	Cached bool `json:"cached"`
+}
+
+// DisasmRequest is the body of POST /v1/disasm.
+type DisasmRequest struct {
+	Source string `json:"source"`
+	Lang   string `json:"lang,omitempty"`
+	Target string `json:"target,omitempty"`
+}
+
+// DisasmResponse is the body of a successful POST /v1/disasm.
+type DisasmResponse struct {
+	Listing string `json:"listing"`
+	Cached  bool   `json:"cached"`
+}
+
+// BenchmarkInfo describes one suite benchmark in GET /v1/benchmarks.
+type BenchmarkInfo struct {
+	Name      string `json:"name"`
+	EDN       string `json:"edn,omitempty"` // paper-era EDN tag, when applicable
+	Desc      string `json:"desc"`
+	CallHeavy bool   `json:"call_heavy"`
+}
+
+// ExperimentResponse is the body of GET /v1/experiments/{id}.
+type ExperimentResponse struct {
+	ID    string `json:"id"`
+	Table string `json:"table"`
+}
+
+// ErrorBody is the JSON envelope of every non-2xx response.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is a typed, machine-readable failure description.
+type ErrorDetail struct {
+	// Code is a stable identifier: bad_request, compile_error, deadline,
+	// cycle_limit, runtime_fault, overloaded, shutting_down, not_found,
+	// internal.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Diagnostics lists per-line compiler/assembler errors, when available.
+	Diagnostics []string `json:"diagnostics,omitempty"`
+	// PC, Inst and Cycle locate a runtime fault in the guest program.
+	PC    string `json:"pc,omitempty"`
+	Inst  string `json:"inst,omitempty"`
+	Cycle uint64 `json:"cycle,omitempty"`
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a typed error body.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: message}})
+}
+
+// compileErrorBody maps a compile/assemble failure to a 400 body, expanding
+// aggregated assembler diagnostics so clients see every problem at once.
+func compileErrorBody(err error) ErrorBody {
+	d := ErrorDetail{Code: "compile_error", Message: err.Error()}
+	var list asm.ErrorList
+	if errors.As(err, &list) {
+		for _, e := range list {
+			d.Diagnostics = append(d.Diagnostics, e.Error())
+		}
+	}
+	return ErrorBody{Error: d}
+}
+
+// runErrorStatus maps a failed simulation to its HTTP status and typed body:
+// 408 for a deadline, 503 for a canceled run (client gone or server
+// draining), 422 for a genuine guest-program fault or an exhausted cycle
+// budget — the request was well-formed, the program misbehaved.
+func runErrorStatus(err error) (int, ErrorBody) {
+	d := ErrorDetail{Code: "runtime_fault", Message: err.Error()}
+	status := http.StatusUnprocessableEntity
+
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status, d.Code = http.StatusRequestTimeout, "deadline"
+	case errors.Is(err, context.Canceled):
+		status, d.Code = http.StatusServiceUnavailable, "canceled"
+	case errors.Is(err, core.ErrMaxCycles), errors.Is(err, cisc.ErrMaxCycles):
+		d.Code = "cycle_limit"
+	}
+
+	var ce *core.RunError
+	var xe *cisc.RunError
+	switch {
+	case errors.As(err, &ce):
+		d.PC = fmt.Sprintf("%#08x", ce.PC)
+		d.Inst = ce.Inst
+		d.Cycle = ce.Cycles
+	case errors.As(err, &xe):
+		d.PC = fmt.Sprintf("%#08x", xe.PC)
+		d.Inst = xe.Inst
+		d.Cycle = xe.Cycles
+	}
+	return status, ErrorBody{Error: d}
+}
+
+// parseTarget maps the wire name to a Target.
+func parseTarget(s string) (risc1.Target, error) {
+	switch s {
+	case "", "windowed", "risc":
+		return risc1.RISCWindowed, nil
+	case "flat":
+		return risc1.RISCFlat, nil
+	case "cisc", "cx":
+		return risc1.CISC, nil
+	}
+	return 0, fmt.Errorf("unknown target %q (want windowed, flat or cisc)", s)
+}
+
+// parseLang normalizes the front-end selector.
+func parseLang(s string) (string, error) {
+	switch s {
+	case "", "cm", "c":
+		return "cm", nil
+	case "asm", "s":
+		return "asm", nil
+	}
+	return "", fmt.Errorf("unknown lang %q (want cm or asm)", s)
+}

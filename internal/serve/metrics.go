@@ -1,0 +1,136 @@
+// Hand-rolled Prometheus-text-format metrics. The repo's no-dependency rule
+// extends to the serving layer: the exposition format is simple enough that
+// a mutex, a few maps and a fixed histogram cover everything riscd needs.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. Simulated runs
+// span ~100µs (cache-hit fib) to whole seconds (cold matmul on CX), so the
+// buckets cover that range log-ish.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metrics aggregates the counters behind GET /metrics. One mutex guards it
+// all: every operation is a handful of map/slice updates, far below the
+// cost of the simulations being counted.
+type metrics struct {
+	mu        sync.Mutex
+	requests  map[string]map[int]uint64 // endpoint → HTTP status → count
+	bucketCnt []uint64                  // cumulative-style histogram counts per bucket
+	latSum    float64
+	latCount  uint64
+	simInstrs uint64 // cumulative simulated instructions across all runs
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:  map[string]map[int]uint64{},
+		bucketCnt: make([]uint64, len(latencyBuckets)),
+	}
+}
+
+// observe records one finished HTTP request.
+func (m *metrics) observe(endpoint string, status int, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus, ok := m.requests[endpoint]
+	if !ok {
+		byStatus = map[int]uint64{}
+		m.requests[endpoint] = byStatus
+	}
+	byStatus[status]++
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			m.bucketCnt[i]++
+		}
+	}
+	m.latSum += secs
+	m.latCount++
+}
+
+// addSimInstructions accumulates simulated work done on behalf of requests.
+func (m *metrics) addSimInstructions(n uint64) {
+	m.mu.Lock()
+	m.simInstrs += n
+	m.mu.Unlock()
+}
+
+// gauges are sampled at render time so /metrics always reflects the live
+// queue and pool state rather than a counter updated on a schedule.
+type gauges struct {
+	queueDepth   int
+	inflight     int
+	cacheHits    uint64
+	cacheMisses  uint64
+	cacheEntries int
+}
+
+// render writes the Prometheus text exposition. Output is deterministic
+// (labels sorted) so tests can assert on substrings without flaking.
+func (m *metrics) render(g gauges) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString("# HELP riscd_requests_total HTTP requests served, by endpoint and status.\n")
+	b.WriteString("# TYPE riscd_requests_total counter\n")
+	endpoints := make([]string, 0, len(m.requests))
+	for ep := range m.requests {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		statuses := make([]int, 0, len(m.requests[ep]))
+		for st := range m.requests[ep] {
+			statuses = append(statuses, st)
+		}
+		sort.Ints(statuses)
+		for _, st := range statuses {
+			fmt.Fprintf(&b, "riscd_requests_total{endpoint=%q,status=\"%d\"} %d\n",
+				ep, st, m.requests[ep][st])
+		}
+	}
+
+	b.WriteString("# HELP riscd_request_duration_seconds HTTP request latency.\n")
+	b.WriteString("# TYPE riscd_request_duration_seconds histogram\n")
+	for i, ub := range latencyBuckets {
+		fmt.Fprintf(&b, "riscd_request_duration_seconds_bucket{le=\"%g\"} %d\n", ub, m.bucketCnt[i])
+	}
+	fmt.Fprintf(&b, "riscd_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.latCount)
+	fmt.Fprintf(&b, "riscd_request_duration_seconds_sum %g\n", m.latSum)
+	fmt.Fprintf(&b, "riscd_request_duration_seconds_count %d\n", m.latCount)
+
+	b.WriteString("# HELP riscd_queue_depth Requests admitted but waiting for a worker.\n")
+	b.WriteString("# TYPE riscd_queue_depth gauge\n")
+	fmt.Fprintf(&b, "riscd_queue_depth %d\n", g.queueDepth)
+
+	b.WriteString("# HELP riscd_inflight_runs Requests holding a worker slot.\n")
+	b.WriteString("# TYPE riscd_inflight_runs gauge\n")
+	fmt.Fprintf(&b, "riscd_inflight_runs %d\n", g.inflight)
+
+	b.WriteString("# HELP riscd_image_cache_hits_total Compiled-image cache hits.\n")
+	b.WriteString("# TYPE riscd_image_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "riscd_image_cache_hits_total %d\n", g.cacheHits)
+
+	b.WriteString("# HELP riscd_image_cache_misses_total Compiled-image cache misses.\n")
+	b.WriteString("# TYPE riscd_image_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "riscd_image_cache_misses_total %d\n", g.cacheMisses)
+
+	b.WriteString("# HELP riscd_image_cache_entries Compiled images currently cached.\n")
+	b.WriteString("# TYPE riscd_image_cache_entries gauge\n")
+	fmt.Fprintf(&b, "riscd_image_cache_entries %d\n", g.cacheEntries)
+
+	b.WriteString("# HELP riscd_simulated_instructions_total Guest instructions simulated for /v1/run.\n")
+	b.WriteString("# TYPE riscd_simulated_instructions_total counter\n")
+	fmt.Fprintf(&b, "riscd_simulated_instructions_total %d\n", m.simInstrs)
+	return b.String()
+}

@@ -1,0 +1,434 @@
+// Package serve is riscd's simulation-as-a-service layer: an HTTP/JSON API
+// over the risc1 facade with the properties a long-lived, heavily-loaded
+// process needs and a library call does not — admission control with load
+// shedding, server-enforced cycle and wall-clock budgets on every run, a
+// compiled-image cache so repeat traffic skips the compiler, and Prometheus
+// metrics to prove all of it.
+//
+// The design follows the paper's thesis applied to serving: spend the budget
+// on the common fast path. The common case for benchmark traffic is
+// compile-once, run-many — so the unit of caching is the compiled Image,
+// keyed by a content hash of (lang, target, source), and a cache hit turns a
+// request into pure simulation. Everything else is bounded: a request beyond
+// pool+queue capacity is refused immediately with 429 instead of growing a
+// goroutine pile, and a guest program that loops forever dies at the cycle
+// budget or the deadline, whichever lands first.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"risc1"
+	"risc1/internal/prog"
+)
+
+// Defaults applied by Config.withDefaults.
+const (
+	// DefaultTimeout bounds one run's wall clock. Cached fib completes in
+	// ~10ms; ten seconds is two orders of magnitude of headroom.
+	DefaultTimeout = 10 * time.Second
+	// DefaultCacheEntries sizes the compiled-image LRU. A full benchmark
+	// suite across all three targets is ~40 images; 256 leaves room for
+	// many distinct user programs before anything hot is evicted.
+	DefaultCacheEntries = 256
+	// maxBodyBytes caps a request body; the largest suite benchmark is
+	// ~4 KiB of source, so 1 MiB is generous.
+	maxBodyBytes = 1 << 20
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers is the number of simulations run concurrently
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth is how many admitted requests may wait for a worker
+	// beyond the Workers already running (default 4×Workers; negative
+	// means no queue — admission is the worker pool alone).
+	QueueDepth int
+	// MaxCycles is the per-run cycle budget ceiling and default
+	// (default risc1.DefaultMaxCycles). Requests may lower it, never
+	// raise it.
+	MaxCycles uint64
+	// Timeout is the per-run wall-clock deadline ceiling and default
+	// (default DefaultTimeout). Requests may lower it, never raise it.
+	Timeout time.Duration
+	// CacheEntries sizes the compiled-image LRU (default
+	// DefaultCacheEntries; negative disables caching).
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = risc1.DefaultMaxCycles
+	}
+	if c.Timeout == 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+	return c
+}
+
+// Server is the riscd HTTP handler. Create one with New; it is safe for
+// concurrent use and implements http.Handler.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// Admission control. slots holds Workers+QueueDepth tickets: a request
+	// that cannot take one immediately is shed with 429. active holds
+	// Workers tickets: an admitted request waits here (the "queue") until
+	// a worker slot frees.
+	slots  chan struct{}
+	active chan struct{}
+
+	cache    *imageCache
+	lab      *risc1.Lab
+	met      *metrics
+	draining atomic.Bool
+
+	// baseCtx parents every simulation; cancelRuns aborts them all, which
+	// is how graceful shutdown drains a pool full of long guest programs.
+	baseCtx    context.Context
+	cancelRuns context.CancelFunc
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		slots:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		active: make(chan struct{}, cfg.Workers),
+		cache:  newImageCache(cfg.CacheEntries),
+		lab:    risc1.NewLab(),
+		met:    newMetrics(),
+	}
+	s.baseCtx, s.cancelRuns = context.WithCancel(context.Background())
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/disasm", s.handleDisasm)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Drain puts the server into shutdown mode: /healthz starts reporting 503
+// (so load balancers stop routing here) and new work is refused, while
+// requests already admitted keep running.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// CancelRuns aborts every in-flight simulation via context cancellation.
+// Call it after the HTTP server's own drain grace expires.
+func (s *Server) CancelRuns() { s.cancelRuns() }
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// endpointLabel collapses parameterized paths so metrics cardinality stays
+// bounded no matter what clients request.
+func endpointLabel(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/v1/experiments/"):
+		return "/v1/experiments/{id}"
+	case path == "/v1/run", path == "/v1/disasm", path == "/v1/benchmarks",
+		path == "/healthz", path == "/metrics":
+		return path
+	}
+	return "other"
+}
+
+// ServeHTTP dispatches with per-request metrics.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	s.met.observe(endpointLabel(r.URL.Path), rec.status, time.Since(start))
+}
+
+// admit takes an admission ticket and then a worker slot, returning a
+// release func. A nil release means the response has already been written:
+// 429 when pool+queue are full, 503 when draining, or the client gave up
+// while queued.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", "server is draining")
+		return nil
+	}
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		// Full pool and full queue: shed now. Retry-After is a best-effort
+		// hint — one server timeout from now the queue has surely moved.
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.Timeout.Seconds())+1))
+		writeError(w, http.StatusTooManyRequests, "overloaded",
+			fmt.Sprintf("worker pool (%d) and queue (%d) are full",
+				s.cfg.Workers, s.cfg.QueueDepth))
+		return nil
+	}
+	select {
+	case s.active <- struct{}{}:
+		return func() { <-s.active; <-s.slots }
+	case <-r.Context().Done():
+		<-s.slots
+		writeError(w, http.StatusServiceUnavailable, "canceled", "client gave up while queued")
+		return nil
+	case <-s.baseCtx.Done():
+		<-s.slots
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", "server is draining")
+		return nil
+	}
+}
+
+// decode reads a JSON body with the size cap applied.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return fmt.Errorf("body exceeds %d bytes", maxErr.Limit)
+		}
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// image returns the compiled image for a request, consulting the LRU first.
+// The bool reports a cache hit.
+func (s *Server) image(lang string, target risc1.Target, source string) (*risc1.Image, bool, error) {
+	k := imageKey(lang, target, source)
+	if img, ok := s.cache.get(k); ok {
+		return img, true, nil
+	}
+	var img *risc1.Image
+	var err error
+	if lang == "asm" {
+		img, err = risc1.AssembleToImage(source, target)
+	} else {
+		img, err = risc1.CompileToImage(source, target)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	s.cache.add(k, img)
+	return img, false, nil
+}
+
+// runCtx builds the context one simulation runs under: the request context
+// bounded by the effective deadline, and additionally canceled when the
+// server aborts in-flight runs at shutdown.
+func (s *Server) runCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.Timeout
+	if req := time.Duration(timeoutMS) * time.Millisecond; timeoutMS > 0 && req < timeout {
+		timeout = req
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// budget clamps a requested cycle budget to the server ceiling.
+func (s *Server) budget(requested uint64) uint64 {
+	if requested > 0 && requested < s.cfg.MaxCycles {
+		return requested
+	}
+	return s.cfg.MaxCycles
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "source is required")
+		return
+	}
+	target, err := parseTarget(req.Target)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	lang, err := parseLang(req.Lang)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	img, hit, err := s.image(lang, target, req.Source)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, compileErrorBody(err))
+		return
+	}
+
+	ctx, cancel := s.runCtx(r, req.TimeoutMS)
+	defer cancel()
+	info, err := risc1.RunImage(ctx, img, risc1.RunOptions{MaxCycles: s.budget(req.MaxCycles)})
+	if err != nil {
+		status, body := runErrorStatus(err)
+		writeJSON(w, status, body)
+		return
+	}
+	s.met.addSimInstructions(info.Instructions)
+	writeJSON(w, http.StatusOK, RunResponse{
+		Console:          info.Console,
+		ConsoleTruncated: info.ConsoleTruncated,
+		Instructions:     info.Instructions,
+		Cycles:           info.Cycles,
+		SimNS:            info.Time.Nanoseconds(),
+		CodeBytes:        info.CodeBytes,
+		Calls:            info.Calls,
+		MaxCallDepth:     info.MaxCallDepth,
+		WindowOverflows:  info.WindowOverflows,
+		WindowUnderflows: info.WindowUnderflows,
+		Cached:           hit,
+	})
+}
+
+func (s *Server) handleDisasm(w http.ResponseWriter, r *http.Request) {
+	var req DisasmRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "source is required")
+		return
+	}
+	target, err := parseTarget(req.Target)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	lang, err := parseLang(req.Lang)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	img, hit, err := s.image(lang, target, req.Source)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, compileErrorBody(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, DisasmResponse{Listing: img.Disassemble(), Cached: hit})
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	var out []BenchmarkInfo
+	for _, b := range prog.All() {
+		out = append(out, BenchmarkInfo{
+			Name: b.Name, EDN: b.EDN, Desc: b.Desc, CallHeavy: b.CallHeavy,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	known := false
+	for _, k := range risc1.ExperimentIDs() {
+		if k == id {
+			known = true
+			break
+		}
+	}
+	if !known {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("unknown experiment %q (want %s)", id,
+				strings.Join(risc1.ExperimentIDs(), ", ")))
+		return
+	}
+
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	// The lab deduplicates runs across experiments and across requests
+	// (singleflight), so repeated experiment traffic is nearly free after
+	// the first rendering.
+	table, err := s.lab.Experiment(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ExperimentResponse{ID: id, Table: table})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", "server is draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses, entries := s.cache.stats()
+	inflight := len(s.active)
+	queued := len(s.slots) - inflight
+	if queued < 0 {
+		queued = 0
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, s.met.render(gauges{
+		queueDepth:   queued,
+		inflight:     inflight,
+		cacheHits:    hits,
+		cacheMisses:  misses,
+		cacheEntries: entries,
+	}))
+}

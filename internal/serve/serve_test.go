@@ -1,0 +1,550 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const fibSrc = `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { putint(fib(10)); return 0; }`
+
+// loopAsm spins forever: the delayed jump targets itself.
+const loopAsm = "main: jmpr alw,main\n nop\n"
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func decodeError(t *testing.T, raw []byte) ErrorDetail {
+	t.Helper()
+	var e ErrorBody
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatalf("error body is not JSON: %v\n%s", err, raw)
+	}
+	return e.Error
+}
+
+// TestRunEndpoint runs one program on all three targets and checks the
+// result and the cache-hit flag on a repeat request.
+func TestRunEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, target := range []string{"windowed", "flat", "cisc"} {
+		resp, raw := postJSON(t, ts.URL+"/v1/run", RunRequest{Source: fibSrc, Target: target})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d\n%s", target, resp.StatusCode, raw)
+		}
+		var run RunResponse
+		if err := json.Unmarshal(raw, &run); err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+		if run.Console != "55" {
+			t.Errorf("%s: console = %q, want 55", target, run.Console)
+		}
+		if run.Cached {
+			t.Errorf("%s: first request reported a cache hit", target)
+		}
+		if run.Instructions == 0 || run.Cycles == 0 || run.CodeBytes == 0 {
+			t.Errorf("%s: empty stats: %+v", target, run)
+		}
+
+		resp, raw = postJSON(t, ts.URL+"/v1/run", RunRequest{Source: fibSrc, Target: target})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s repeat: status %d\n%s", target, resp.StatusCode, raw)
+		}
+		var again RunResponse
+		if err := json.Unmarshal(raw, &again); err != nil {
+			t.Fatal(err)
+		}
+		if !again.Cached {
+			t.Errorf("%s: repeat request missed the image cache", target)
+		}
+		if again.Console != run.Console || again.Cycles != run.Cycles {
+			t.Errorf("%s: cached run diverged: %+v vs %+v", target, again, run)
+		}
+	}
+}
+
+// TestRunAssembly accepts machine-level source via lang=asm.
+func TestRunAssembly(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := "main: add r0,#6,r10\n stl r10,(r0)#-252\n ret r25,#8\n nop\n"
+	resp, raw := postJSON(t, ts.URL+"/v1/run", RunRequest{Source: src, Lang: "asm"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d\n%s", resp.StatusCode, raw)
+	}
+	var run RunResponse
+	if err := json.Unmarshal(raw, &run); err != nil {
+		t.Fatal(err)
+	}
+	if run.Console != "6" {
+		t.Errorf("console = %q, want 6", run.Console)
+	}
+}
+
+// TestRunCompileError pins the 400 + typed diagnostics contract.
+func TestRunCompileError(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/v1/run",
+		RunRequest{Source: "int main( { return 0; }"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400\n%s", resp.StatusCode, raw)
+	}
+	if d := decodeError(t, raw); d.Code != "compile_error" {
+		t.Errorf("code = %q, want compile_error (%s)", d.Code, raw)
+	}
+
+	// Assembler failures aggregate per-line diagnostics.
+	resp, raw = postJSON(t, ts.URL+"/v1/run",
+		RunRequest{Source: "main: bogus r1\n worse r2\n", Lang: "asm"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("asm status = %d, want 400\n%s", resp.StatusCode, raw)
+	}
+	if d := decodeError(t, raw); len(d.Diagnostics) < 2 {
+		t.Errorf("want >=2 diagnostics, got %+v", d)
+	}
+}
+
+// TestRunBadRequests covers malformed JSON, empty source and bad enums.
+func TestRunBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"malformed": "{not json",
+		"empty":     `{"source":""}`,
+		"target":    `{"source":"int main(){return 0;}","target":"vax"}`,
+		"lang":      `{"source":"x","lang":"fortran"}`,
+		"unknown":   `{"source":"x","surprise":1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400\n%s", name, resp.StatusCode, raw)
+		}
+	}
+}
+
+// TestRunDeadline pins the 408 mapping: an infinite loop with a tiny
+// request deadline.
+func TestRunDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/v1/run",
+		RunRequest{Source: loopAsm, Lang: "asm", TimeoutMS: 50})
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("status = %d, want 408\n%s", resp.StatusCode, raw)
+	}
+	if d := decodeError(t, raw); d.Code != "deadline" {
+		t.Errorf("code = %q, want deadline", d.Code)
+	}
+}
+
+// TestRunCycleLimit pins the 422 mapping for an exhausted cycle budget,
+// including the fault location fields.
+func TestRunCycleLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/v1/run",
+		RunRequest{Source: loopAsm, Lang: "asm", MaxCycles: 1000})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422\n%s", resp.StatusCode, raw)
+	}
+	d := decodeError(t, raw)
+	if d.Code != "cycle_limit" {
+		t.Errorf("code = %q, want cycle_limit", d.Code)
+	}
+	if d.Cycle != 1000 || d.PC == "" || d.Inst == "" {
+		t.Errorf("fault location not populated: %+v", d)
+	}
+}
+
+// TestRunRuntimeFault pins 422 for a genuine guest fault (misaligned store).
+func TestRunRuntimeFault(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := "main: stl r0,(r0)#2\n ret r25,#8\n nop\n"
+	resp, raw := postJSON(t, ts.URL+"/v1/run", RunRequest{Source: src, Lang: "asm"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422\n%s", resp.StatusCode, raw)
+	}
+	if d := decodeError(t, raw); d.Code != "runtime_fault" {
+		t.Errorf("code = %q, want runtime_fault", d.Code)
+	}
+}
+
+// metricValue extracts one sample from Prometheus text output.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("metric %s not found in:\n%s", name, text)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestShedding429 fills a 1-worker, 0-queue server with an infinite loop
+// and checks the next request is refused immediately with 429 + Retry-After.
+func TestShedding429(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: -1, Timeout: 5 * time.Second})
+
+	slow := make(chan struct{})
+	go func() {
+		defer close(slow)
+		postJSON(t, ts.URL+"/v1/run",
+			RunRequest{Source: loopAsm, Lang: "asm", TimeoutMS: 1500})
+	}()
+
+	// Wait until the slow run holds the only worker slot.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		_, raw := getBody(t, ts.URL+"/metrics")
+		if metricValue(t, string(raw), "riscd_inflight_runs") >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow run never occupied the worker slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, raw := postJSON(t, ts.URL+"/v1/run", RunRequest{Source: fibSrc})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429\n%s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if d := decodeError(t, raw); d.Code != "overloaded" {
+		t.Errorf("code = %q, want overloaded", d.Code)
+	}
+	<-slow
+
+	// The shed request must show up in the request counters.
+	_, raw = getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(raw), `riscd_requests_total{endpoint="/v1/run",status="429"} 1`) {
+		t.Errorf("429 not counted:\n%s", raw)
+	}
+}
+
+// TestDrainRefusesNewWork pins the shutdown contract: after Drain, healthz
+// and run return 503 while the metrics endpoint stays up.
+func TestDrainRefusesNewWork(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.Drain()
+	if resp, _ := getBody(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz after Drain: %d, want 503", resp.StatusCode)
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/run", RunRequest{Source: fibSrc})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("run after Drain: %d, want 503\n%s", resp.StatusCode, raw)
+	}
+	if resp, _ := getBody(t, ts.URL+"/metrics"); resp.StatusCode != http.StatusOK {
+		t.Errorf("metrics after Drain: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestCancelRunsAbortsInflight starts an infinite run and kills it through
+// CancelRuns — the graceful-shutdown path for stuck guests.
+func TestCancelRunsAbortsInflight(t *testing.T) {
+	s, ts := newTestServer(t, Config{Timeout: 30 * time.Second})
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, ts.URL+"/v1/run", RunRequest{Source: loopAsm, Lang: "asm"})
+		done <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		_, raw := getBody(t, ts.URL+"/metrics")
+		if metricValue(t, string(raw), "riscd_inflight_runs") >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.CancelRuns()
+	select {
+	case status := <-done:
+		if status != http.StatusServiceUnavailable {
+			t.Errorf("canceled run: status %d, want 503", status)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("CancelRuns did not abort the in-flight run")
+	}
+}
+
+// TestDisasmEndpoint checks both languages disassemble.
+func TestDisasmEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/v1/disasm", DisasmRequest{Source: fibSrc, Target: "cisc"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d\n%s", resp.StatusCode, raw)
+	}
+	var d DisasmResponse
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.Listing, "fib") {
+		t.Errorf("listing lacks the fib symbol:\n%s", d.Listing)
+	}
+
+	// A disasm after a run of the same source hits the same image cache.
+	postJSON(t, ts.URL+"/v1/run", RunRequest{Source: fibSrc, Target: "cisc"})
+	resp, raw = postJSON(t, ts.URL+"/v1/disasm", DisasmRequest{Source: fibSrc, Target: "cisc"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal(resp.StatusCode)
+	}
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Cached {
+		t.Error("disasm after run of same source missed the cache")
+	}
+}
+
+// TestBenchmarksEndpoint checks the suite listing.
+func TestBenchmarksEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := getBody(t, ts.URL+"/v1/benchmarks")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var list []BenchmarkInfo
+	if err := json.Unmarshal(raw, &list); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, b := range list {
+		names[b.Name] = true
+	}
+	for _, want := range []string{"fib", "hanoi", "acker", "sieve", "search"} {
+		if !names[want] {
+			t.Errorf("benchmark %q missing from listing", want)
+		}
+	}
+}
+
+// TestExperimentEndpoint renders a static experiment and rejects unknown
+// IDs with 404.
+func TestExperimentEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := getBody(t, ts.URL+"/v1/experiments/E2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d\n%s", resp.StatusCode, raw)
+	}
+	var e ExperimentResponse
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "E2" || !strings.Contains(e.Table, "RISC I") {
+		t.Errorf("unexpected experiment body: %+v", e)
+	}
+
+	resp, raw = getBody(t, ts.URL+"/v1/experiments/E99")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404\n%s", resp.StatusCode, raw)
+	}
+	if d := decodeError(t, raw); d.Code != "not_found" {
+		t.Errorf("code = %q, want not_found", d.Code)
+	}
+}
+
+// TestHealthzAndMetrics smoke-checks the operational endpoints.
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || string(raw) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, raw)
+	}
+	postJSON(t, ts.URL+"/v1/run", RunRequest{Source: fibSrc})
+	_, raw = getBody(t, ts.URL+"/metrics")
+	text := string(raw)
+	for _, want := range []string{
+		`riscd_requests_total{endpoint="/v1/run",status="200"} 1`,
+		"riscd_request_duration_seconds_bucket",
+		"riscd_image_cache_misses_total 1",
+		"riscd_queue_depth 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	if metricValue(t, text, "riscd_simulated_instructions_total") <= 0 {
+		t.Error("simulated instruction counter did not advance")
+	}
+}
+
+// TestConsoleTruncationSurfaced runs a guest that floods the console and
+// checks the truncation marker reaches the response. The server's console
+// device cap (1 MiB) is what keeps such guests from growing the process.
+func TestConsoleTruncationSurfaced(t *testing.T) {
+	src := `
+int main() {
+    int i;
+    for (i = 0; i < 300000; i = i + 1) putint(1234567);
+    return 0;
+}`
+	_, ts := newTestServer(t, Config{Timeout: 60 * time.Second, MaxCycles: 400_000_000})
+	resp, raw := postJSON(t, ts.URL+"/v1/run", RunRequest{Source: src})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d\n%s", resp.StatusCode, raw)
+	}
+	var run RunResponse
+	if err := json.Unmarshal(raw, &run); err != nil {
+		t.Fatal(err)
+	}
+	if !run.ConsoleTruncated {
+		t.Error("console_truncated = false for a flooding guest")
+	}
+	if len(run.Console) > 1<<20 {
+		t.Errorf("console grew past the cap: %d bytes", len(run.Console))
+	}
+}
+
+// TestCacheHitRate drives repeated identical traffic and asserts the >90%
+// hit rate the acceptance criteria demand.
+func TestCacheHitRate(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const n = 40
+	for i := 0; i < n; i++ {
+		resp, raw := postJSON(t, ts.URL+"/v1/run", RunRequest{Source: fibSrc})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d\n%s", i, resp.StatusCode, raw)
+		}
+	}
+	_, raw := getBody(t, ts.URL+"/metrics")
+	hits := metricValue(t, string(raw), "riscd_image_cache_hits_total")
+	misses := metricValue(t, string(raw), "riscd_image_cache_misses_total")
+	if rate := hits / (hits + misses); rate <= 0.9 {
+		t.Errorf("cache hit rate = %.2f (hits %v, misses %v), want > 0.90", rate, hits, misses)
+	}
+}
+
+// TestConcurrentTrafficAndLeaks hammers the pool and a tiny LRU from many
+// goroutines (meaningful under -race), then asserts the server leaks no
+// goroutines once traffic stops.
+func TestConcurrentTrafficAndLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 8, CacheEntries: 4})
+	var wg sync.WaitGroup
+	var shed, ok, other atomic64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				// Cycle through more sources than cache entries so the
+				// LRU evicts under concurrent access.
+				src := fmt.Sprintf(
+					"int main() { putint(%d); return 0; }", (g*15+i)%6)
+				resp, raw := postJSON(t, ts.URL+"/v1/run", RunRequest{Source: src})
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.add(1)
+					var run RunResponse
+					if err := json.Unmarshal(raw, &run); err != nil {
+						t.Error(err)
+					} else if want := fmt.Sprint((g*15 + i) % 6); run.Console != want {
+						t.Errorf("console = %q, want %q", run.Console, want)
+					}
+				case http.StatusTooManyRequests:
+					shed.add(1)
+				default:
+					other.add(1)
+					t.Errorf("unexpected status %d: %s", resp.StatusCode, raw)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if ok.load() == 0 {
+		t.Fatal("no request succeeded")
+	}
+	t.Logf("ok=%d shed=%d other=%d", ok.load(), shed.load(), other.load())
+
+	ts.Close()
+	s.CancelRuns()
+
+	// The worker pool spawns nothing persistent: once the httptest server
+	// closes its keep-alive connections, the goroutine count must return
+	// to the baseline (small slack for the test runtime itself).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines: %d before, %d after\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// atomic64 is a tiny counter safe under -race without importing sync/atomic
+// typed wrappers everywhere.
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

@@ -73,14 +73,25 @@ func CompileCm(source string, target Target, opts CompileOptions) (string, error
 	return res.Asm, nil
 }
 
+// DefaultMaxCycles is the cycle budget applied when a caller does not pick
+// one: cmd/riscrun's -max-cycles default and the riscd serving layer's
+// per-request ceiling both share this constant, so the CLI and the service
+// enforce the same bound on runaway programs. (At the paper's 400 ns cycle
+// this is ~7 simulated minutes — far beyond any legitimate benchmark.)
+const DefaultMaxCycles uint64 = 1_000_000_000
+
 // RunInfo summarizes one program execution.
 type RunInfo struct {
-	Console      string
-	Instructions uint64
-	Cycles       uint64 // processor cycles (RISC) or microcycles (CX)
-	Time         time.Duration
-	CodeBytes    int
-	DataBytes    int
+	Console string
+	// ConsoleTruncated reports that the program printed more than the
+	// console device retains (mem.DefaultConsoleLimit) and the excess was
+	// dropped.
+	ConsoleTruncated bool
+	Instructions     uint64
+	Cycles           uint64 // processor cycles (RISC) or microcycles (CX)
+	Time             time.Duration
+	CodeBytes        int
+	DataBytes        int
 
 	Calls            uint64
 	MaxCallDepth     int
@@ -102,36 +113,115 @@ func BuildAndRun(source string, target Target) (*RunInfo, error) {
 // structured error (core.RunError / cisc.RunError) carrying the faulting PC,
 // its disassembly, the cycle count and a register snapshot.
 func BuildAndRunContext(ctx context.Context, source string, target Target) (*RunInfo, error) {
+	img, err := CompileToImage(source, target)
+	if err != nil {
+		return nil, err
+	}
+	return RunImage(ctx, img, RunOptions{})
+}
+
+// Image is a compiled, loadable program for one target machine. An Image is
+// immutable after creation — running it copies the bytes into a fresh
+// machine — so one Image can safely serve many concurrent RunImage calls.
+// This is the unit the riscd serving layer caches: compile once, run many.
+type Image struct {
+	target Target
+	risc   *asm.Image
+	cisc   *cisc.Image
+}
+
+// Target returns the machine the image was compiled for.
+func (img *Image) Target() Target { return img.target }
+
+// Size returns the image size in bytes (code plus initialized data).
+func (img *Image) Size() int {
+	if img.target == CISC {
+		return img.cisc.Size()
+	}
+	return len(img.risc.Bytes)
+}
+
+// Disassemble renders the image's encoded listing.
+func (img *Image) Disassemble() string {
+	if img.target == CISC {
+		return cisc.Disassemble(img.cisc)
+	}
+	return asm.Disassemble(img.risc)
+}
+
+// CompileToImage compiles a Cm program to a reusable Image for the given
+// target, including BuildAndRun's wide-addressing fallback for RISC targets.
+func CompileToImage(source string, target Target) (*Image, error) {
 	if target == CISC {
 		res, err := cc.Compile(source, cc.Options{Target: target})
 		if err != nil {
 			return nil, err
 		}
-		img, err := cisc.Assemble(res.Asm)
+		ci, err := cisc.Assemble(res.Asm)
 		if err != nil {
 			return nil, err
 		}
-		m := cisc.New(cisc.Config{})
-		if err := m.Load(img); err != nil {
+		return &Image{target: target, cisc: ci}, nil
+	}
+	ri, err := compileRISC(source, target)
+	if err != nil {
+		return nil, err
+	}
+	return &Image{target: target, risc: ri}, nil
+}
+
+// AssembleToImage assembles machine-level source to a reusable Image: RISC I
+// assembly for the RISC targets (RISCWindowed and RISCFlat differ only in
+// how the machine runs the image, not in its encoding), CX assembly for
+// CISC.
+func AssembleToImage(source string, target Target) (*Image, error) {
+	if target == CISC {
+		ci, err := cisc.Assemble(source)
+		if err != nil {
+			return nil, err
+		}
+		return &Image{target: target, cisc: ci}, nil
+	}
+	ri, err := asm.Assemble(source)
+	if err != nil {
+		return nil, err
+	}
+	return &Image{target: target, risc: ri}, nil
+}
+
+// RunOptions bounds one image execution.
+type RunOptions struct {
+	// MaxCycles aborts the run once the machine has simulated this many
+	// cycles (RISC) or microcycles (CX). Zero keeps the machine default.
+	MaxCycles uint64
+}
+
+// RunImage runs a compiled image to completion on a fresh machine of its
+// target, honoring ctx like BuildAndRunContext. The image is not modified,
+// so concurrent RunImage calls on one Image are safe.
+func RunImage(ctx context.Context, img *Image, opt RunOptions) (*RunInfo, error) {
+	if img.target == CISC {
+		m := cisc.New(cisc.Config{MaxCycles: opt.MaxCycles})
+		if err := m.Load(img.cisc); err != nil {
 			return nil, err
 		}
 		if err := m.RunContext(ctx); err != nil {
 			return nil, err
 		}
-		return ciscInfo(m, img), nil
+		return ciscInfo(m, img.cisc), nil
 	}
-	img, err := compileRISC(source, target)
-	if err != nil {
-		return nil, err
-	}
-	m := core.New(core.Config{Flat: target == RISCFlat, SaveStackBytes: 64 << 10})
-	if err := m.Load(img); err != nil {
+	m := core.New(core.Config{
+		Flat:           img.target == RISCFlat,
+		SaveStackBytes: 64 << 10,
+		MaxCycles:      opt.MaxCycles,
+	})
+	if err := m.Load(img.risc); err != nil {
 		return nil, err
 	}
 	if err := m.RunContext(ctx); err != nil {
 		return nil, err
 	}
-	return riscInfo(m, len(img.Bytes)), nil
+	return riscInfo(m, len(img.risc.Bytes)), nil
 }
 
 // compileRISC compiles and assembles a Cm program for a RISC target. When
@@ -159,6 +249,7 @@ func riscInfo(m *core.CPU, imageBytes int) *RunInfo {
 	s := m.Stats()
 	return &RunInfo{
 		Console:          m.Console(),
+		ConsoleTruncated: m.Mem.ConsoleTruncated(),
 		Instructions:     s.Instructions,
 		Cycles:           s.Cycles,
 		Time:             timing.RiscTime(s.Cycles),
@@ -176,16 +267,17 @@ func riscInfo(m *core.CPU, imageBytes int) *RunInfo {
 func ciscInfo(m *cisc.CPU, img *cisc.Image) *RunInfo {
 	s := m.Stats()
 	return &RunInfo{
-		Console:        m.Console(),
-		Instructions:   s.Instructions,
-		Cycles:         s.Cycles,
-		Time:           timing.CXTime(s.Cycles),
-		CodeBytes:      img.Size(),
-		Calls:          s.Calls,
-		MaxCallDepth:   s.MaxCallDepth,
-		DataReadBytes:  s.DataReads,
-		DataWriteBytes: s.DataWrites,
-		FetchBytes:     s.FetchBytes,
+		Console:          m.Console(),
+		ConsoleTruncated: m.Mem.ConsoleTruncated(),
+		Instructions:     s.Instructions,
+		Cycles:           s.Cycles,
+		Time:             timing.CXTime(s.Cycles),
+		CodeBytes:        img.Size(),
+		Calls:            s.Calls,
+		MaxCallDepth:     s.MaxCallDepth,
+		DataReadBytes:    s.DataReads,
+		DataWriteBytes:   s.DataWrites,
+		FetchBytes:       s.FetchBytes,
 	}
 }
 
