@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	ccm [-target windowed|flat|cisc] [-noopt] [-widedata] file.cm
+//	ccm [-target windowed|flat|cisc] [-noopt] [-widedata] [-lint] file.cm
+//
+// With -lint the compiled image is also run through the static analyzer
+// (see docs/LINT.md); findings go to stderr and error-severity findings
+// make the exit status 1.
 package main
 
 import (
@@ -19,6 +23,7 @@ func main() {
 	noopt := flag.Bool("noopt", false, "leave NOPs in delay slots (RISC targets)")
 	wide := flag.Bool("widedata", false, "full 32-bit global addressing (RISC targets)")
 	dis := flag.Bool("dis", false, "print the encoded listing instead of assembly source")
+	lintFlag := flag.Bool("lint", false, "statically analyze the compiled image; findings on stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ccm [-target windowed|flat|cisc] file.cm")
@@ -44,6 +49,18 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(out)
+	if *lintFlag {
+		diags, err := risc1.LintCm(string(src), t)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "ccm: lint: %s\n", d)
+		}
+		if risc1.Count(diags, risc1.SevError) > 0 {
+			os.Exit(1)
+		}
+	}
 }
 
 func parseTarget(s string) (risc1.Target, error) {

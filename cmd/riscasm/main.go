@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	riscasm [-o prog.bin] prog.s
+//	riscasm [-o prog.bin] [-lint] prog.s
+//
+// With -lint the assembled image is also run through the static analyzer
+// (see docs/LINT.md) under the windowed convention; findings go to stderr
+// and error-severity findings make the exit status 1.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"os"
 
 	"risc1/internal/asm"
+	"risc1/internal/lint"
 )
 
 // Magic identifies riscasm image files.
@@ -21,6 +26,7 @@ const Magic = "RISC1IMG"
 
 func main() {
 	out := flag.String("o", "", "write a binary image instead of a listing")
+	lintFlag := flag.Bool("lint", false, "statically analyze the assembled image; findings on stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: riscasm [-o out.bin] prog.s")
@@ -33,6 +39,15 @@ func main() {
 	img, err := asm.Assemble(string(src))
 	if err != nil {
 		fatal(err)
+	}
+	if *lintFlag {
+		diags := lint.Check(img, lint.Options{})
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "riscasm: lint: %s\n", d)
+		}
+		if lint.Count(diags, lint.SevError) > 0 {
+			os.Exit(1)
+		}
 	}
 	if *out == "" {
 		fmt.Print(asm.Disassemble(img))

@@ -2,6 +2,7 @@ package risc1_test
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
@@ -137,6 +138,113 @@ int main() { putint(twice(21)); return 0; }`), 0o644); err != nil {
 	bench := runTool(t, "./cmd/riscbench", "-exp", "E2")
 	if !strings.Contains(bench, "RISC I (this repo)") {
 		t.Fatalf("riscbench E2 output:\n%s", bench)
+	}
+}
+
+// TestRisclintCLI drives the analyzer CLI end to end: clean source passes
+// silently, a hazard is reported with its source line, -Werror turns the
+// warning into exit 1, and -json emits a machine-readable report.
+func TestRisclintCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests compile the tools")
+	}
+	dir := t.TempDir()
+
+	clean := filepath.Join(dir, "clean.cm")
+	if err := os.WriteFile(clean, []byte("int main() { putint(42); return 0; }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out := runTool(t, "./cmd/risclint", clean); out != "" {
+		t.Errorf("clean program produced output:\n%s", out)
+	}
+
+	// A store in a delayed call's slot runs in the callee's window.
+	hazard := filepath.Join(dir, "hazard.s")
+	src := "main:\n callr r25,f\n stl r9,(r0)#-252\n ret r25,#8\n nop\nf:\n ret r25,#0\n nop\n"
+	if err := os.WriteFile(hazard, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, "./cmd/risclint", hazard) // warning only: exit 0
+	if !strings.Contains(out, "hazard.s:3") || !strings.Contains(out, "[delay-slot]") {
+		t.Errorf("warning not reported with file:line and pass:\n%s", out)
+	}
+	stdout, _, code := runToolErr(t, "./cmd/risclint", "-Werror", hazard)
+	if code != 1 {
+		t.Errorf("-Werror on a warning: exit %d, want 1\n%s", code, stdout)
+	}
+
+	jsonOut := runTool(t, "./cmd/risclint", "-json", hazard)
+	var reports []struct {
+		File        string `json:"file"`
+		Diagnostics []struct {
+			Severity string `json:"severity"`
+			Pass     string `json:"pass"`
+			Line     int    `json:"line"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &reports); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, jsonOut)
+	}
+	if len(reports) != 1 || len(reports[0].Diagnostics) != 1 {
+		t.Fatalf("unexpected report shape: %s", jsonOut)
+	}
+	if d := reports[0].Diagnostics[0]; d.Severity != "warning" || d.Pass != "delay-slot" || d.Line != 3 {
+		t.Errorf("JSON diagnostic = %+v", d)
+	}
+
+	// Source that does not assemble is exit 2, not a finding. `go run`
+	// reports the child's code on stderr while exiting 1 itself.
+	broken := filepath.Join(dir, "broken.s")
+	if err := os.WriteFile(broken, []byte("main: bogus r1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := runToolErr(t, "./cmd/risclint", broken)
+	if code == 0 || !strings.Contains(stderr, "exit status 2") ||
+		!strings.Contains(stderr, "unknown mnemonic") {
+		t.Errorf("unassemblable source: exit %d\n%s", code, stderr)
+	}
+}
+
+// TestCompilerLintFlags checks the -lint pass-through on ccm and riscasm:
+// ccm surfaces the analyzer's recursion info on stderr without failing the
+// compile, and riscasm fails on an error-severity hazard.
+func TestCompilerLintFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests compile the tools")
+	}
+	dir := t.TempDir()
+
+	cm := filepath.Join(dir, "rec.cm")
+	rec := "int f(int n) { if (n < 2) return n; return f(n - 1); }\nint main() { putint(f(5)); return 0; }"
+	if err := os.WriteFile(cm, []byte(rec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/ccm", "-lint", cm)
+	var errBuf strings.Builder
+	cmd.Stderr = &errBuf
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("ccm -lint on info-only source failed: %v\n%s", err, errBuf.String())
+	}
+	if !strings.Contains(string(out), "f:") {
+		t.Errorf("assembly output suppressed by -lint:\n%s", out)
+	}
+	if !strings.Contains(errBuf.String(), "ccm: lint:") || !strings.Contains(errBuf.String(), "recursive") {
+		t.Errorf("recursion info missing from stderr:\n%s", errBuf.String())
+	}
+
+	// A transfer in a delay slot is an error: riscasm -lint must exit 1.
+	bad := filepath.Join(dir, "bad.s")
+	src := "main:\n jmpr alw,main\n jmpr alw,main\n"
+	if err := os.WriteFile(bad, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := runToolErr(t, "./cmd/riscasm", "-lint", bad)
+	if code != 1 {
+		t.Errorf("riscasm -lint on an error: exit %d, want 1\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "riscasm: lint:") {
+		t.Errorf("lint finding missing from stderr:\n%s", stderr)
 	}
 }
 

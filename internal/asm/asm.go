@@ -14,12 +14,25 @@ import (
 )
 
 // Image is an assembled program: a contiguous byte image placed at Org, an
-// entry point, and the symbol table.
+// entry point, the symbol table, and the source-line table that maps image
+// addresses back to the assembly text they came from.
 type Image struct {
 	Org     uint32
 	Bytes   []byte
 	Entry   uint32
 	Symbols map[string]uint32
+	// Lines records, per assembled item, which 1-based source line emitted
+	// the bytes at [Addr, Addr+Size). Sorted by Addr; LineFor queries it.
+	// Diagnostics produced after assembly (the lint passes, runtime fault
+	// reporters) use it to point at source rather than raw addresses.
+	Lines []LineSpan
+}
+
+// LineSpan ties one address range of the image to its source line.
+type LineSpan struct {
+	Addr uint32
+	Size uint32
+	Line int
 }
 
 // Size returns the image size in bytes.
@@ -29,6 +42,26 @@ func (img *Image) Size() int { return len(img.Bytes) }
 func (img *Image) Symbol(name string) (uint32, bool) {
 	v, ok := img.Symbols[name]
 	return v, ok
+}
+
+// LineFor returns the 1-based source line that emitted the byte at addr, or
+// 0 when the address is outside every recorded span (e.g. .space padding of
+// a hand-built image, or an image predating the line table).
+func (img *Image) LineFor(addr uint32) int {
+	lo, hi := 0, len(img.Lines)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		s := img.Lines[mid]
+		switch {
+		case addr < s.Addr:
+			hi = mid
+		case addr >= s.Addr+s.Size:
+			lo = mid + 1
+		default:
+			return s.Line
+		}
+	}
+	return 0
 }
 
 // Error is an assembly diagnostic tied to a source line.
@@ -138,11 +171,14 @@ type assembler struct {
 	symbols map[string]uint32
 	equs    map[string]int64
 	entry   string
-	org     uint32
-	orgSet  bool
-	pc      uint32
-	errs    ErrorList
-	line    int
+	// entryLine is where .entry appeared, so an undefined-entry diagnostic
+	// can point at the directive instead of arriving line-less.
+	entryLine int
+	org       uint32
+	orgSet    bool
+	pc        uint32
+	errs      ErrorList
+	line      int
 }
 
 // Assemble runs both passes over src and returns the linked image.

@@ -43,6 +43,9 @@ func (a *assembler) encode() (*Image, error) {
 
 	for _, it := range a.items {
 		off := it.addr - a.org
+		if size := a.itemSize(it); size > 0 {
+			img.Lines = append(img.Lines, LineSpan{Addr: it.addr, Size: size, Line: it.line})
+		}
 		switch {
 		case it.inst != nil:
 			w, err := a.encodeInst(it)
@@ -76,7 +79,7 @@ func (a *assembler) encode() (*Image, error) {
 	if a.entry != "" {
 		v, ok := a.symbols[a.entry]
 		if !ok {
-			return nil, &Error{Msg: fmt.Sprintf(".entry symbol %q undefined", a.entry)}
+			return nil, &Error{Line: a.entryLine, Msg: fmt.Sprintf(".entry symbol %q undefined", a.entry)}
 		}
 		img.Entry = v
 	} else if v, ok := a.symbols["main"]; ok {
@@ -149,6 +152,20 @@ func (a *assembler) encodeInst(it item) (uint32, error) {
 		return 0, &Error{Line: it.line, Msg: err.Error()}
 	}
 	return inst.Encode(), nil
+}
+
+// itemSize returns how many image bytes one parsed item occupies.
+func (a *assembler) itemSize(it item) uint32 {
+	switch {
+	case it.inst != nil:
+		return isa.InstBytes
+	case it.words != nil:
+		return uint32(4 * len(it.words))
+	case it.data != nil:
+		return uint32(len(it.data))
+	default:
+		return uint32(it.space)
+	}
 }
 
 func putWord(b []byte, v uint32) {

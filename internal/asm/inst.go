@@ -259,6 +259,7 @@ func (a *assembler) directive(name, rest string) {
 		a.pc = uint32(v)
 	case ".entry":
 		a.entry = strings.TrimSpace(rest)
+		a.entryLine = a.line
 		if !isIdent(a.entry) {
 			a.errorf(".entry: bad symbol %q", rest)
 		}

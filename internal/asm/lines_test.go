@@ -1,0 +1,97 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLineTable checks the per-item source-line spans the assembler records:
+// every instruction, word, and data byte maps back to the 1-based line that
+// emitted it, and padding stays unmapped.
+func TestLineTable(t *testing.T) {
+	img, err := Assemble(`; comment
+main:
+	add r1,#1,r2
+	ret r25,#8
+	nop
+	.word 1, 2
+msg:
+	.asciz "hi"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr uint32
+		want int
+	}{
+		{0, 3},  // add
+		{4, 4},  // ret
+		{8, 5},  // nop
+		{12, 6}, // .word, first
+		{16, 6}, // .word, second
+		{20, 8}, // .asciz first byte
+		{22, 8}, // .asciz inside the span
+	}
+	for _, c := range cases {
+		if got := img.LineFor(c.addr); got != c.want {
+			t.Errorf("LineFor(%#x) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+	if got := img.LineFor(0x1000); got != 0 {
+		t.Errorf("LineFor(outside) = %d, want 0", got)
+	}
+}
+
+// TestLineTableSpace checks that .space reservations map to the directive
+// that made them — a diagnostic about a buffer should point at its
+// declaration — and that items after the gap stay correct.
+func TestLineTableSpace(t *testing.T) {
+	img, err := Assemble(`main:
+	nop
+buf:
+	.space 8
+	.word 7
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := img.LineFor(4); got != 4 {
+		t.Errorf("LineFor(.space byte) = %d, want 4", got)
+	}
+	if got := img.LineFor(12); got != 5 {
+		t.Errorf("LineFor(.word after space) = %d, want 5", got)
+	}
+}
+
+// TestEntryUndefinedCarriesLine is the regression test for the one assembler
+// diagnostic that used to lose its source position: an .entry naming an
+// undefined symbol now points at the .entry directive's line.
+func TestEntryUndefinedCarriesLine(t *testing.T) {
+	_, err := Assemble(`; leading comment
+	.entry nowhere
+main:
+	nop
+`)
+	if err == nil {
+		t.Fatal("expected an error for undefined .entry symbol")
+	}
+	var line int
+	switch e := err.(type) {
+	case *Error:
+		line = e.Line
+	case ErrorList:
+		if len(e) == 0 {
+			t.Fatalf("empty error list")
+		}
+		line = e[0].Line
+	default:
+		t.Fatalf("unexpected error type %T: %v", err, err)
+	}
+	if line != 2 {
+		t.Errorf("error line = %d, want 2 (the .entry directive)", line)
+	}
+	if !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("error should name the symbol: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package cisc
+
+// FlowInfo summarizes one decoded CX instruction for static analysis: its
+// size, how control leaves it, and any absolute addresses its operand
+// specifiers reference. It is the decode hook package lint walks a CX image
+// with — decoding only, no execution.
+type FlowInfo struct {
+	Op   Op
+	Size int
+	// Target is a statically-known transfer target: the PC-relative
+	// destination of BR/Bcc, or the absolute operand of JMP/CALLS.
+	Target    uint32
+	HasTarget bool
+	// Conditional marks the Bcc family: the branch may fall through.
+	Conditional bool
+	// Call marks CALLS: Target (when known) is a procedure start whose
+	// first two bytes are a register-save mask, and execution resumes
+	// after the instruction when the callee returns.
+	Call bool
+	// Stops marks instructions control never falls out of: HALT, RET,
+	// BR, and JMP.
+	Stops bool
+	// AbsRefs lists the absolute-mode addresses the operand specifiers
+	// reference (data operands; JMP/CALLS targets are reported via
+	// Target instead).
+	AbsRefs []uint32
+}
+
+// DecodeFlow decodes the instruction at code[pos] (loaded at address addr).
+// ok is false when the byte stream there does not decode — an undefined
+// opcode or an operand running off the end of code.
+func DecodeFlow(code []byte, pos int, addr uint32) (FlowInfo, bool) {
+	if pos >= len(code) {
+		return FlowInfo{}, false
+	}
+	op := Op(code[pos])
+	info, ok := opTable[op]
+	if !ok {
+		return FlowInfo{}, false
+	}
+	f := FlowInfo{Op: op}
+	n := pos + 1
+	for _, kind := range info.operands {
+		switch kind {
+		case opdDisp:
+			if n+2 > len(code) {
+				return FlowInfo{}, false
+			}
+			d := int16(uint16(code[n])<<8 | uint16(code[n+1]))
+			f.Target = addr + uint32(n-pos) + 2 + uint32(int32(d))
+			f.HasTarget = true
+			n += 2
+		case opdCount:
+			if n >= len(code) {
+				return FlowInfo{}, false
+			}
+			n++
+		default:
+			if n >= len(code) {
+				return FlowInfo{}, false
+			}
+			mode := addrMode(code[n] >> 4)
+			size := specSize(mode)
+			if size == 0 || n+size > len(code) {
+				return FlowInfo{}, false
+			}
+			if mode == modeAbs {
+				v := uint32(code[n+1])<<24 | uint32(code[n+2])<<16 |
+					uint32(code[n+3])<<8 | uint32(code[n+4])
+				if op == OpJMP || op == OpCALLS {
+					f.Target, f.HasTarget = v, true
+				} else {
+					f.AbsRefs = append(f.AbsRefs, v)
+				}
+			}
+			n += size
+		}
+	}
+	f.Size = n - pos
+	switch op {
+	case OpCALLS:
+		f.Call = true
+	case OpHALT, OpRET, OpBR, OpJMP:
+		f.Stops = true
+	case OpBEQ, OpBNE, OpBGT, OpBLE, OpBGE, OpBLT, OpBHI, OpBLOS, OpBHIS, OpBLO:
+		f.Conditional = true
+	}
+	return f, true
+}

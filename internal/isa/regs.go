@@ -1,0 +1,75 @@
+package isa
+
+// Register use/def classification. These helpers describe which registers an
+// instruction reads and writes *architecturally* — the facts the lint
+// dataflow passes need — without executing anything. They deliberately know
+// nothing about register windows: CALL writes its Rd in the callee's window
+// and RET reads its Rd in the window being left; callers that care (the
+// window-depth and use-before-def passes) handle that shift themselves.
+
+// SourceRegs appends to dst the registers i reads and returns the result.
+// Store instructions read their Rd as the store data; RET/RETINT read Rd as
+// the return-address base; conditional jumps read no register through Rd
+// (it holds a condition). r0 appears like any other register — it always
+// reads as zero, so callers typically ignore it.
+func (i Inst) SourceRegs(dst []uint8) []uint8 {
+	if i.Op.Long() {
+		// LDHI, JMPR, CALLR, GTLPC carry only an immediate.
+		return dst
+	}
+	switch i.Op {
+	case OpCALLINT, OpGETPSW:
+		// Rd-only writers.
+		return dst
+	}
+	dst = append(dst, i.Rs1)
+	if !i.Imm {
+		dst = append(dst, i.Rs2)
+	}
+	switch {
+	case i.Op.Cat() == CatStore:
+		dst = append(dst, i.Rd) // store data
+	case i.Op == OpRET || i.Op == OpRETINT:
+		dst = append(dst, i.Rd) // return-address base
+	}
+	return dst
+}
+
+// DestReg returns the register i writes, if any. Writes to r0 are reported
+// (ok true) even though the hardware discards them: the delay-slot pass
+// distinguishes "writes r0" (an idiomatic NOP) from "writes nothing".
+func (i Inst) DestReg() (uint8, bool) {
+	switch i.Op.Cat() {
+	case CatALU, CatLoad:
+		return i.Rd, true
+	case CatMisc:
+		if i.Op == OpPUTPSW {
+			return 0, false
+		}
+		return i.Rd, true // LDHI, GTLPC, GETPSW
+	case CatControl:
+		switch i.Op {
+		case OpCALL, OpCALLR, OpCALLINT:
+			return i.Rd, true // link, written in the new window
+		}
+	}
+	return 0, false
+}
+
+// IsEffectFree reports whether executing i changes no architectural state: a
+// non-flag-setting ALU operation targeting r0, the assembler's nop. This is
+// the only instruction class that is safe in a CALL or RET delay slot, where
+// the register window has already moved.
+func (i Inst) IsEffectFree() bool {
+	return i.Op.Cat() == CatALU && i.Rd == 0 && !i.SCC
+}
+
+// IsCall reports whether i pushes a register window (CALL, CALLR, CALLINT).
+func (i Inst) IsCall() bool {
+	return i.Op == OpCALL || i.Op == OpCALLR || i.Op == OpCALLINT
+}
+
+// IsReturn reports whether i pops a register window (RET, RETINT).
+func (i Inst) IsReturn() bool {
+	return i.Op == OpRET || i.Op == OpRETINT
+}

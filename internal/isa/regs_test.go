@@ -1,0 +1,93 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSourceRegs(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Inst
+		want []uint8
+	}{
+		{"alu r/r", Inst{Op: OpADD, Rd: 3, Rs1: 1, Rs2: 2}, []uint8{1, 2}},
+		{"alu r/imm", Inst{Op: OpSUB, Rd: 3, Rs1: 4, Imm: true, Imm13: 7}, []uint8{4}},
+		{"load", Inst{Op: OpLDL, Rd: 5, Rs1: 9, Imm: true}, []uint8{9}},
+		{"store reads data", Inst{Op: OpSTL, Rd: 5, Rs1: 9, Imm: true}, []uint8{9, 5}},
+		{"ret reads base", Inst{Op: OpRET, Rd: 25, Imm: true, Imm13: 8}, []uint8{0, 25}},
+		{"jmp reads cond sources", Inst{Op: OpJMP, Rd: uint8(CondEQ), Rs1: 7, Rs2: 8}, []uint8{7, 8}},
+		{"long reads nothing", Inst{Op: OpLDHI, Rd: 3, Imm19: 1}, nil},
+		{"jmpr reads nothing", Inst{Op: OpJMPR, Rd: uint8(CondALW), Imm19: 8}, nil},
+		{"callint reads nothing", Inst{Op: OpCALLINT, Rd: 25}, nil},
+		{"getpsw reads nothing", Inst{Op: OpGETPSW, Rd: 4}, nil},
+		{"putpsw reads rs1", Inst{Op: OpPUTPSW, Rs1: 6, Imm: true}, []uint8{6}},
+	}
+	for _, c := range cases {
+		if got := c.in.SourceRegs(nil); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: SourceRegs = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDestReg(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Inst
+		reg  uint8
+		ok   bool
+	}{
+		{"alu", Inst{Op: OpADD, Rd: 3}, 3, true},
+		{"alu to r0", Inst{Op: OpADD, Rd: 0}, 0, true},
+		{"load", Inst{Op: OpLDBU, Rd: 7}, 7, true},
+		{"store writes memory only", Inst{Op: OpSTL, Rd: 7}, 0, false},
+		{"call links", Inst{Op: OpCALL, Rd: 25}, 25, true},
+		{"callr links", Inst{Op: OpCALLR, Rd: 25}, 25, true},
+		{"callint links", Inst{Op: OpCALLINT, Rd: 25}, 25, true},
+		{"ret", Inst{Op: OpRET, Rd: 25}, 0, false},
+		{"jmp", Inst{Op: OpJMP, Rd: uint8(CondALW)}, 0, false},
+		{"ldhi", Inst{Op: OpLDHI, Rd: 4}, 4, true},
+		{"gtlpc", Inst{Op: OpGTLPC, Rd: 4}, 4, true},
+		{"getpsw", Inst{Op: OpGETPSW, Rd: 4}, 4, true},
+		{"putpsw writes psw only", Inst{Op: OpPUTPSW, Rs1: 4}, 0, false},
+	}
+	for _, c := range cases {
+		reg, ok := c.in.DestReg()
+		if ok != c.ok || (ok && reg != c.reg) {
+			t.Errorf("%s: DestReg = (%d,%v), want (%d,%v)", c.name, reg, ok, c.reg, c.ok)
+		}
+	}
+}
+
+func TestIsEffectFree(t *testing.T) {
+	if !(Inst{Op: OpADD}).IsEffectFree() {
+		t.Error("the canonical nop (add r0,r0,r0) should be effect-free")
+	}
+	for name, in := range map[string]Inst{
+		"writes a register": {Op: OpADD, Rd: 1},
+		"sets flags":        {Op: OpADD, SCC: true},
+		"load":              {Op: OpLDL},
+		"store":             {Op: OpSTL},
+		"transfer":          {Op: OpJMPR, Rd: uint8(CondALW)},
+	} {
+		if in.IsEffectFree() {
+			t.Errorf("%s: IsEffectFree = true, want false", name)
+		}
+	}
+}
+
+func TestCallReturnClassifiers(t *testing.T) {
+	for _, op := range []Op{OpCALL, OpCALLR, OpCALLINT} {
+		if !(Inst{Op: op}).IsCall() {
+			t.Errorf("%s: IsCall = false", op)
+		}
+	}
+	for _, op := range []Op{OpRET, OpRETINT} {
+		if !(Inst{Op: op}).IsReturn() {
+			t.Errorf("%s: IsReturn = false", op)
+		}
+	}
+	if (Inst{Op: OpJMP}).IsCall() || (Inst{Op: OpJMPR}).IsReturn() {
+		t.Error("jumps are neither calls nor returns")
+	}
+}

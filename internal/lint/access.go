@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"risc1/internal/isa"
+	"risc1/internal/mem"
+)
+
+// checkTargets validates every statically-known transfer destination of
+// reachable code: it must land inside the code segment, on a word boundary,
+// and on a word that decodes. (Dynamic register targets are not checked —
+// that is what the suspicious-constant pass and the runtime are for.)
+// It also reports control that can run off the end of the code segment,
+// where the machine would fetch data.
+func (p *program) checkTargets() {
+	for i := 0; i < p.n; i++ {
+		if !p.reach[2*i] || !p.ok[i] {
+			continue
+		}
+		in := p.insts[i]
+		if in.Op.Transfers() {
+			a, known := p.targetAddr(i, in)
+			switch {
+			case !known:
+			case a < p.org || a >= p.codeEnd:
+				p.reportAt(SevError, "branch-target", i,
+					"transfer target 0x%08x lies outside the code segment [0x%08x,0x%08x)",
+					a, p.org, p.codeEnd)
+			case (a-p.org)%4 != 0:
+				p.reportAt(SevError, "branch-target", i,
+					"transfer target 0x%08x is not word-aligned", a)
+			default:
+				if tidx, _ := p.indexOf(a); !p.ok[tidx] {
+					p.reportAt(SevError, "branch-target", i,
+						"transfer target 0x%08x does not decode as an instruction", a)
+				}
+			}
+		}
+	}
+	p.checkFallsOffEnd()
+}
+
+// checkFallsOffEnd reports reachable control whose fallthrough is the first
+// word past the code segment. Only the last code word can fall through off
+// the end: as itself, as the untaken path of a conditional in its slot, or
+// as the return site of a call in its slot.
+func (p *program) checkFallsOffEnd() {
+	last := p.n - 1
+	if last < 0 || !p.ok[last] {
+		return
+	}
+	off := false
+	if p.reach[2*last] && !delayed(p.insts[last]) {
+		// Includes CALLINT; a delayed transfer there is the delay-slot
+		// pass's finding, not a fallthrough.
+		off = true
+	}
+	if p.reach[2*last+1] && last > 0 && p.ok[last-1] {
+		t := p.insts[last-1]
+		switch {
+		case (t.Op == isa.OpJMP || t.Op == isa.OpJMPR) && t.Cond() != isa.CondALW:
+			off = true
+		case t.IsCall():
+			off = true
+		}
+	}
+	if off {
+		p.reportAt(SevWarning, "cfg", last,
+			"control can run past the end of the code segment into data")
+	}
+}
+
+// checkMemAccess examines loads and stores whose effective address is fully
+// constant — the (r0)#imm idiom. Negative immediates reach the console
+// device at the top of the address space and are fine; anything else must
+// fall inside the loaded image, and word/halfword accesses must be aligned.
+// Register-based addressing (the common case: gp- and sp-relative) is not
+// statically evaluable and is left to the runtime's fault checks.
+func (p *program) checkMemAccess() {
+	for i := 0; i < p.n; i++ {
+		if !p.executed(i) || !p.ok[i] {
+			continue
+		}
+		in := p.insts[i]
+		cat := in.Op.Cat()
+		if cat != isa.CatLoad && cat != isa.CatStore {
+			continue
+		}
+		if in.Rs1 != 0 || !in.Imm {
+			continue
+		}
+		a := uint32(in.Imm13) // sign-extension wraps negatives to the top of memory
+		if a < mem.ConsoleBase {
+			if a < p.org || a >= p.imgEnd {
+				p.reportAt(SevWarning, "mem-access", i,
+					"constant address 0x%08x lies outside the loaded image [0x%08x,0x%08x) and the console device",
+					a, p.org, p.imgEnd)
+			}
+		}
+		switch in.Op {
+		case isa.OpLDL, isa.OpSTL:
+			if a%4 != 0 {
+				p.reportAt(SevError, "mem-access", i,
+					"misaligned 4-byte access at constant address 0x%08x", a)
+			}
+		case isa.OpLDSU, isa.OpLDSS, isa.OpSTS:
+			if a%2 != 0 {
+				p.reportAt(SevError, "mem-access", i,
+					"misaligned 2-byte access at constant address 0x%08x", a)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"fmt"
+
+	"risc1/internal/cisc"
+	"risc1/internal/mem"
+)
+
+// CheckCISC runs the checks that translate to the CX comparator machine.
+// CX has no delay slots or register windows, so the analysis is a
+// control-flow-following decode: starting from the entry and every CALLS
+// target, it verifies that each reachable byte position decodes, that
+// statically-known transfer targets stay inside the code segment, that
+// absolute-mode data operands hit the image or the console device, and that
+// control cannot run off the end of the code. Following the flow (rather
+// than decoding linearly) matters because CX instructions are
+// variable-length: a linear scan would lose frame and mis-decode everything
+// after the first data byte.
+func CheckCISC(img *cisc.Image) []Diagnostic {
+	code := img.Bytes
+	if ds, ok := img.Symbols[dataStartSym]; ok && ds >= img.Org && ds <= img.Org+uint32(len(img.Bytes)) {
+		code = img.Bytes[:ds-img.Org]
+	}
+	if len(code) == 0 {
+		return nil
+	}
+	org := img.Org
+	codeEnd := org + uint32(len(code))
+	imgEnd := org + uint32(len(img.Bytes))
+	inCode := func(a uint32) bool { return a >= org && a < codeEnd }
+
+	var diags []Diagnostic
+	report := func(sev Severity, pass string, pc uint32, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Severity: sev, Pass: pass, PC: pc, Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	visited := make(map[uint32]bool)
+	ranOff := false
+	// The machine CALLSes the entry, so it is a procedure start: its first
+	// two bytes are the register-save mask and execution begins after them.
+	wl := []uint32{img.Entry + 2}
+	if !inCode(img.Entry) {
+		report(SevError, "cisc-flow", img.Entry, "entry point lies outside the code segment")
+		wl = nil
+	}
+	for len(wl) > 0 {
+		a := wl[len(wl)-1]
+		wl = wl[:len(wl)-1]
+		if visited[a] {
+			continue
+		}
+		visited[a] = true
+		f, ok := cisc.DecodeFlow(code, int(a-org), a)
+		if !ok {
+			report(SevError, "cisc-flow", a, "reachable byte position does not decode as an instruction")
+			continue
+		}
+		for _, ref := range f.AbsRefs {
+			if ref < mem.ConsoleBase && (ref < org || ref >= imgEnd) {
+				report(SevWarning, "cisc-mem", a,
+					"absolute operand address 0x%08x lies outside the loaded image [0x%08x,0x%08x) and the console device",
+					ref, org, imgEnd)
+			}
+		}
+		if f.HasTarget {
+			if !inCode(f.Target) {
+				report(SevError, "cisc-flow", a,
+					"transfer target 0x%08x lies outside the code segment [0x%08x,0x%08x)",
+					f.Target, org, codeEnd)
+			} else {
+				t := f.Target
+				if f.Call {
+					// A CALLS target is a procedure start: its first two
+					// bytes are the register-save mask, not an opcode.
+					t += 2
+				}
+				if inCode(t) {
+					wl = append(wl, t)
+				}
+			}
+		}
+		if !f.Stops {
+			next := a + uint32(f.Size)
+			if !inCode(next) {
+				if !ranOff {
+					ranOff = true
+					report(SevWarning, "cisc-flow", a,
+						"control can run past the end of the code segment into data")
+				}
+			} else {
+				wl = append(wl, next)
+			}
+		}
+	}
+	sortDiags(diags)
+	return diags
+}

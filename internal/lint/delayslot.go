@@ -1,0 +1,51 @@
+package lint
+
+// checkDelaySlots examines the word after every reachable delayed transfer.
+// Three things can go wrong there:
+//
+//   - the transfer is the last code word, so its slot lies outside the code
+//     segment and the machine will fetch data (or fault);
+//   - the slot does not decode;
+//   - the slot holds another control transfer, so two transfers are in
+//     flight at once — the paper's hardware gives this no defined meaning.
+//
+// Additionally, on the windowed machine the slot of a CALL executes after
+// CWP has already slid to the callee's window, and the slot of a RET in the
+// window being returned to. An instruction with architectural effects there
+// touches registers of the wrong frame; the compiler always leaves a nop.
+// (Branch slots are different: the delay-slot filler hoists ALU ops, loads
+// and stores into them, which is the whole point of the delayed jump.)
+func (p *program) checkDelaySlots() {
+	for i := 0; i < p.n; i++ {
+		if !p.reach[2*i] || !p.ok[i] || !delayed(p.insts[i]) {
+			continue
+		}
+		t := p.insts[i]
+		j := i + 1
+		if j >= p.n {
+			p.reportAt(SevError, "delay-slot", i,
+				"delayed transfer in the last code word: its delay slot lies outside the code segment")
+			continue
+		}
+		if !p.ok[j] {
+			p.reportAt(SevError, "delay-slot", j,
+				"delay slot of `%s` does not decode as an instruction", t)
+			continue
+		}
+		s := p.insts[j]
+		if s.Op.Transfers() {
+			p.reportAt(SevError, "delay-slot", j,
+				"control transfer in the delay slot of `%s`: two transfers would be in flight at once", t)
+			continue
+		}
+		if !p.opts.Flat && (t.IsCall() || t.IsReturn()) && !s.IsEffectFree() {
+			which := "callee's"
+			if t.IsReturn() {
+				which = "returned-to"
+			}
+			p.reportAt(SevWarning, "delay-slot", j,
+				"delay slot of `%s` executes in the %s register window; `%s` has effects there (use nop)",
+				t, which, s)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package lint statically analyzes assembled RISC I images (and, for the
+// checks that translate, CX images) without running them. It decodes the
+// code segment, builds a control-flow graph that honors the machine's
+// delayed-transfer semantics — the instruction after every jump, call, or
+// return executes before control moves — and runs a small set of dataflow
+// passes over it:
+//
+//   - delay-slot: transfers or undecodable words in delay slots, effectful
+//     instructions in CALL/RET slots (which execute in the shifted register
+//     window on the windowed machine), and transfers in the last code word.
+//   - branch-target: statically-known jump and call targets that land
+//     outside the code segment, on a misaligned address, or on a word that
+//     does not decode.
+//   - reg-window: returns reachable at call depth 0 through a non-link
+//     register, guaranteed window spill traffic from deep static call
+//     chains, and recursion (unbounded window depth).
+//   - use-before-def: registers read on some path from the entry before any
+//     path has defined them.
+//   - mem-access: constant-address loads and stores that miss both the
+//     loaded image and the console device, and misaligned constant accesses.
+//   - unreachable: decodable, unlabeled code that no path reaches but that
+//     directly follows reachable code.
+//   - cfg: control that can run past the end of the code segment.
+//
+// The passes are tuned to be warning-free on the output of the Cm compiler
+// and on the repository's hand-written examples: anything the code
+// generator legitimately emits (stores hoisted into branch delay slots,
+// callee-save stores of not-yet-written registers, the `ret r25,#8` halt
+// convention at depth 0) is not a finding. Window-spill predictions and
+// recursion reports are SevInfo — facts about the program, not defects.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"risc1/internal/asm"
+	"risc1/internal/regwin"
+)
+
+// Severity ranks a finding. Info diagnostics never gate a build; the
+// risclint CLI exits nonzero on errors, and on warnings under -Werror.
+type Severity int
+
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("severity%d", int(s))
+	}
+}
+
+// MarshalText renders the severity as its name, so JSON output carries
+// "warning" rather than an enum ordinal.
+func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a severity name; it accepts what MarshalText emits.
+func (s *Severity) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "info":
+		*s = SevInfo
+	case "warning":
+		*s = SevWarning
+	case "error":
+		*s = SevError
+	default:
+		return fmt.Errorf("lint: unknown severity %q", b)
+	}
+	return nil
+}
+
+// Diagnostic is one finding, tied to the instruction address it concerns
+// and — when the image carries a line table — to the source line that
+// emitted it.
+type Diagnostic struct {
+	Severity Severity `json:"severity"`
+	Pass     string   `json:"pass"`
+	PC       uint32   `json:"pc"`
+	Line     int      `json:"line,omitempty"`
+	Disasm   string   `json:"disasm,omitempty"`
+	Message  string   `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s [%s] at 0x%08x", d.Severity, d.Message, d.Pass, d.PC)
+	if d.Disasm != "" {
+		fmt.Fprintf(&b, " `%s`", d.Disasm)
+	}
+	if d.Line > 0 {
+		fmt.Fprintf(&b, " (line %d)", d.Line)
+	}
+	return b.String()
+}
+
+// Count returns how many diagnostics are at least as severe as min.
+func Count(diags []Diagnostic, min Severity) int {
+	n := 0
+	for _, d := range diags {
+		if d.Severity >= min {
+			n++
+		}
+	}
+	return n
+}
+
+// Options tunes the analysis to the convention the image was built for.
+type Options struct {
+	// Flat marks an image built for the windowless ablation: calls and
+	// returns keep CWP fixed, so the register-window passes do not apply
+	// and the entry-defined register set follows the flat convention.
+	Flat bool
+	// Windows is the register-window count used for spill predictions
+	// (0 = regwin.DefaultWindows, the paper's 8).
+	Windows int
+}
+
+// Check analyzes an assembled RISC I image and returns its findings sorted
+// by address, most severe first within an address.
+func Check(img *asm.Image, opts Options) []Diagnostic {
+	if opts.Windows <= 0 {
+		opts.Windows = regwin.DefaultWindows
+	}
+	p := newProgram(img, opts)
+	if p == nil {
+		return nil
+	}
+	p.walk()
+	p.checkDelaySlots()
+	p.checkTargets()
+	p.checkMemAccess()
+	p.checkWindows()
+	p.checkUseBeforeDef()
+	p.checkUnreachable()
+	sortDiags(p.diags)
+	return p.diags
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].PC != diags[j].PC {
+			return diags[i].PC < diags[j].PC
+		}
+		if diags[i].Severity != diags[j].Severity {
+			return diags[i].Severity > diags[j].Severity
+		}
+		return diags[i].Pass < diags[j].Pass
+	})
+}

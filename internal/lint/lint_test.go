@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"risc1/internal/asm"
+	"risc1/internal/cisc"
+)
+
+// TestHazardCorpus assembles every file under testdata/hazards and checks
+// that it triggers exactly what its ";lint: <pass> <severity>" header
+// promises: each expectation matches at least one diagnostic, and every
+// warning-or-worse diagnostic is covered by an expectation.
+func TestHazardCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "hazards", "*.s"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no hazard corpus: %v (%d files)", err, len(files))
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type expect struct{ pass, sev string }
+			var expects []expect
+			sc := bufio.NewScanner(strings.NewReader(string(src)))
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if !strings.HasPrefix(line, ";lint:") {
+					continue
+				}
+				f := strings.Fields(strings.TrimPrefix(line, ";lint:"))
+				if len(f) != 2 {
+					t.Fatalf("bad expectation line %q", line)
+				}
+				expects = append(expects, expect{pass: f[0], sev: f[1]})
+			}
+			if len(expects) == 0 {
+				t.Fatalf("%s has no ;lint: expectations", file)
+			}
+			img, err := asm.Assemble(string(src))
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			diags := Check(img, Options{})
+			matched := func(e expect) bool {
+				for _, d := range diags {
+					if d.Pass == e.pass && d.Severity.String() == e.sev {
+						return true
+					}
+				}
+				return false
+			}
+			for _, e := range expects {
+				if !matched(e) {
+					t.Errorf("expected a %s %s diagnostic, got %v", e.pass, e.sev, diags)
+				}
+			}
+			for _, d := range diags {
+				if d.Severity < SevWarning {
+					continue
+				}
+				covered := false
+				for _, e := range expects {
+					if d.Pass == e.pass && d.Severity.String() == e.sev {
+						covered = true
+					}
+				}
+				if !covered {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, d := range diags {
+				if d.Line == 0 {
+					t.Errorf("diagnostic lost its source line: %s", d)
+				}
+			}
+		})
+	}
+}
+
+func TestCleanProgram(t *testing.T) {
+	img, err := asm.Assemble(`
+main:
+	li #42,r1
+	stl r1,(r0)#-252
+	ret r25,#8
+	nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Check(img, Options{}); len(diags) != 0 {
+		t.Errorf("clean program produced diagnostics: %v", diags)
+	}
+}
+
+// TestFlatOptions verifies the window-sensitive checks stand down for the
+// flat ablation, where CWP never moves.
+func TestFlatOptions(t *testing.T) {
+	src := `
+main:
+	callr r25,f
+	add r9,#0,r1
+	ret r25,#8
+	nop
+f:
+	ret r25,#0
+	nop
+`
+	img, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Count(Check(img, Options{}), SevWarning); got != 1 {
+		t.Errorf("windowed: want 1 call-slot warning, got %d", got)
+	}
+	if got := Count(Check(img, Options{Flat: true}), SevWarning); got != 0 {
+		t.Errorf("flat: want 0 warnings, got %d", got)
+	}
+}
+
+func TestWindowsOption(t *testing.T) {
+	// A 3-deep chain is fine with 8 windows but guaranteed spill with 3.
+	src := `
+main:
+	callr r25,f
+	nop
+	ret r25,#8
+	nop
+f:
+	callr r25,g
+	nop
+	ret r25,#0
+	nop
+g:
+	ret r25,#0
+	nop
+`
+	img, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Check(img, Options{}); len(diags) != 0 {
+		t.Errorf("8 windows: want no diagnostics, got %v", diags)
+	}
+	diags := Check(img, Options{Windows: 3})
+	if len(diags) != 1 || diags[0].Pass != "reg-window" || diags[0].Severity != SevInfo {
+		t.Errorf("3 windows: want one reg-window info, got %v", diags)
+	}
+}
+
+func TestDiagnosticJSON(t *testing.T) {
+	d := Diagnostic{Severity: SevWarning, Pass: "delay-slot", PC: 0x1004, Line: 7,
+		Disasm: "nop", Message: "m"}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"severity":"warning","pass":"delay-slot","pc":4100,"line":7,"disasm":"nop","message":"m"}`
+	if string(b) != want {
+		t.Errorf("json = %s, want %s", b, want)
+	}
+	var back Diagnostic
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Errorf("round trip = %+v, want %+v", back, d)
+	}
+	var sev Severity
+	if err := sev.UnmarshalText([]byte("nonsense")); err == nil {
+		t.Error("UnmarshalText accepted nonsense")
+	}
+}
+
+func TestCheckCISC(t *testing.T) {
+	clean, err := cisc.Assemble(`
+	.entry main
+main:
+	.mask
+	movl #5, r0
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := CheckCISC(clean); len(diags) != 0 {
+		t.Errorf("clean CX program produced diagnostics: %v", diags)
+	}
+
+	bad, err := cisc.Assemble(`
+	.entry main
+main:
+	.mask
+	jmp @0x4000
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := CheckCISC(bad)
+	found := false
+	for _, d := range diags {
+		if d.Pass == "cisc-flow" && d.Severity == SevError {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("out-of-segment jmp not flagged: %v", diags)
+	}
+}
+
+// TestCISCAbsOperand checks the absolute-operand bounds pass on CX.
+func TestCISCAbsOperand(t *testing.T) {
+	img, err := cisc.Assemble(`
+	.entry main
+main:
+	.mask
+	movl @0x00100000, r0
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := CheckCISC(img)
+	found := false
+	for _, d := range diags {
+		if d.Pass == "cisc-mem" && d.Severity == SevWarning {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("out-of-image absolute operand not flagged: %v", diags)
+	}
+}
+
+func TestSeverityStrings(t *testing.T) {
+	if SevInfo.String() != "info" || SevWarning.String() != "warning" || SevError.String() != "error" {
+		t.Error("severity names changed")
+	}
+	if Severity(9).String() != "severity9" {
+		t.Error("unknown severity should degrade, not panic")
+	}
+}

@@ -1,0 +1,6 @@
+;lint: delay-slot error
+; The delay slot always executes, so the word after a transfer must
+; decode; here it is data.
+main:
+	b main
+	.word 0

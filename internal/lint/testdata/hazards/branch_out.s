@@ -1,0 +1,9 @@
+;lint: branch-target error
+; A conditional branch whose literal displacement lands far outside the
+; code segment.
+main:
+	cmp r1,#0
+	beq #8192
+	nop
+	ret r25,#8
+	nop

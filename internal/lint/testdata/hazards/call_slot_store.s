@@ -1,0 +1,11 @@
+;lint: delay-slot warning
+; The delay slot of a CALL executes after CWP has slid to the callee's
+; window; this store runs in the wrong frame.
+main:
+	callr r25,f
+	stl r9,(r9)#0
+	ret r25,#8
+	nop
+f:
+	ret r25,#0
+	nop

@@ -1,0 +1,6 @@
+;lint: cfg warning
+; The last instruction is not a transfer, so control runs off the end of
+; the code segment.
+main:
+	add r0,#0,r1
+	add r1,#1,r1

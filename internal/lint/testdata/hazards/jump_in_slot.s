@@ -1,0 +1,9 @@
+;lint: delay-slot error
+; A transfer in the delay slot of another transfer: two delayed jumps
+; would be in flight at once.
+main:
+	b out
+	b out
+out:
+	ret r25,#8
+	nop

@@ -1,0 +1,11 @@
+;lint: delay-slot error
+; With the code/data split marked, labels are analyzed as entry points:
+; the hazard in the never-called handler is still found.
+main:
+	ret r25,#8
+	nop
+handler:
+	b handler
+	b handler
+__data_start:
+	.word 0

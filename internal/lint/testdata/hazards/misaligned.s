@@ -1,0 +1,6 @@
+;lint: mem-access error
+; A 4-byte access at a constant address that is not word-aligned.
+main:
+	ldl (r0)#6,r1
+	ret r25,#8
+	nop

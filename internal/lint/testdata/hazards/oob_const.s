@@ -1,0 +1,7 @@
+;lint: mem-access warning
+; A constant-address load that misses both the loaded image and the
+; console device.
+main:
+	ldl (r0)#4000,r1
+	ret r25,#8
+	nop

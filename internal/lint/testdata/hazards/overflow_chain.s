@@ -1,0 +1,51 @@
+;lint: reg-window info
+; Nine nested calls with 8 windows: only 7 activations stay resident, so
+; this chain spills on every traversal.
+main:
+	callr r25,f1
+	nop
+	ret r25,#8
+	nop
+f1:
+	callr r25,f2
+	nop
+	ret r25,#0
+	nop
+f2:
+	callr r25,f3
+	nop
+	ret r25,#0
+	nop
+f3:
+	callr r25,f4
+	nop
+	ret r25,#0
+	nop
+f4:
+	callr r25,f5
+	nop
+	ret r25,#0
+	nop
+f5:
+	callr r25,f6
+	nop
+	ret r25,#0
+	nop
+f6:
+	callr r25,f7
+	nop
+	ret r25,#0
+	nop
+f7:
+	callr r25,f8
+	nop
+	ret r25,#0
+	nop
+f8:
+	callr r25,f9
+	nop
+	ret r25,#0
+	nop
+f9:
+	ret r25,#0
+	nop

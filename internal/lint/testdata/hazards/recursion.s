@@ -1,0 +1,13 @@
+;lint: reg-window info
+; Recursion makes the register-window depth unbounded; spills begin past
+; N-1 nested activations.
+main:
+	callr r25,f
+	nop
+	ret r25,#8
+	nop
+f:
+	callr r25,f
+	nop
+	ret r25,#0
+	nop

@@ -1,0 +1,11 @@
+;lint: delay-slot warning
+; The delay slot of a RET executes in the window being returned to; the
+; add mutates the caller's r9 before the caller resumes.
+main:
+	callr r25,f
+	nop
+	ret r25,#8
+	nop
+f:
+	ret r25,#0
+	add r9,#4,r9

@@ -1,0 +1,6 @@
+;lint: delay-slot error
+; A delayed transfer in the last code word: its slot lies outside the
+; code segment, so the machine fetches whatever follows.
+main:
+	nop
+	b main

@@ -1,0 +1,6 @@
+;lint: reg-window error
+; A return at call depth 0 through a register other than the reset link:
+; it pops a window that was never pushed.
+main:
+	ret r1,#0
+	nop

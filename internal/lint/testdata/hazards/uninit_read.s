@@ -1,0 +1,7 @@
+;lint: use-before-def warning
+; r16 is a local-window register no path has written; reading it yields
+; whatever the window held.
+main:
+	add r16,#1,r17
+	ret r25,#8
+	nop

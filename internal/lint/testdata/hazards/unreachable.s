@@ -1,0 +1,10 @@
+;lint: unreachable warning
+; The add is orphaned behind an unconditional branch and carries no
+; label, so nothing can reach it.
+main:
+	b done
+	nop
+	add r1,#1,r2
+done:
+	ret r25,#8
+	nop

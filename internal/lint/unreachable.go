@@ -1,0 +1,28 @@
+package lint
+
+// checkUnreachable reports runs of decodable instructions that no path
+// reaches. To stay quiet on things that merely look like dead code, a run
+// is only a finding when it starts unlabeled (a label marks an interrupt
+// handler, an indirectly-called function, or data) and directly follows
+// reachable code — the classic shape of instructions orphaned behind an
+// unconditional transfer. Runs end at the first label, undecodable word, or
+// reachable instruction.
+func (p *program) checkUnreachable() {
+	for i := 0; i < p.n; {
+		if p.ok[i] && !p.executed(i) && !p.labels[i] && i > 0 && p.executed(i-1) {
+			j := i
+			for j < p.n && p.ok[j] && !p.executed(j) && !p.labels[j] {
+				j++
+			}
+			word := "words"
+			if j-i == 1 {
+				word = "word"
+			}
+			p.reportAt(SevWarning, "unreachable", i,
+				"unreachable code: %d %s no path from the entry or any label reaches", j-i, word)
+			i = j
+			continue
+		}
+		i++
+	}
+}

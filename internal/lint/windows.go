@@ -1,0 +1,131 @@
+package lint
+
+import "sort"
+
+// checkWindows runs the register-window depth analyses. Neither applies to
+// the flat ablation, where CWP never moves.
+//
+// Underflow: a RET reachable at minimum call depth 0 pops a window that was
+// never pushed. The one legitimate shape is the halt convention — `ret
+// r25,#8` through the reset-preset link register — so only returns through
+// other registers are findings.
+//
+// Spill pressure: the hardware keeps N-1 activations resident; a static
+// call chain deeper than that is guaranteed to spill on every traversal,
+// and recursion makes the depth unbounded. Spilling is handled correctly by
+// the machine, so both are SevInfo — the performance facts behind the
+// paper's window-overflow measurements, not defects.
+func (p *program) checkWindows() {
+	if p.opts.Flat {
+		return
+	}
+	for i := 0; i < p.n; i++ {
+		if !p.reach[2*i] || !p.ok[i] {
+			continue
+		}
+		in := p.insts[i]
+		if in.IsReturn() && p.minDepth[2*i] == 0 && in.Rd != linkReg {
+			p.reportAt(SevError, "reg-window", i,
+				"return through r%d at call depth 0 pops a register window that was never pushed "+
+					"(only the halt convention `ret r%d,#8` is defined here)", in.Rd, linkReg)
+		}
+	}
+	p.checkCallChains()
+}
+
+// checkCallChains builds a function-level call graph — functions are the
+// entry plus every statically-known call target — and measures the longest
+// acyclic chain of window pushes from the entry.
+//
+// A function's body is its CFG closure without crossing call-entry edges,
+// not a contiguous address range: the compiler's `__start` *jumps* to main,
+// so main's call sites belong to the entry function's chain even though
+// main sits between other functions in the image.
+func (p *program) checkCallChains() {
+	if p.entryIdx < 0 {
+		return
+	}
+	starts := map[int]bool{p.entryIdx: true}
+	for i := 0; i < p.n; i++ {
+		if !p.reach[2*i] || !p.ok[i] || !p.insts[i].IsCall() {
+			continue
+		}
+		if tidx, known := p.staticTarget(i, p.insts[i]); known {
+			starts[tidx] = true
+		}
+	}
+	type call struct{ site, callee int } // word indexes
+	callees := map[int][]call{}
+	for f := range starts {
+		body := make(map[int]bool) // node ids
+		wl := []int{2 * f}
+		for len(wl) > 0 {
+			node := wl[len(wl)-1]
+			wl = wl[:len(wl)-1]
+			if node >= 2*p.n || body[node] || !p.reach[node] {
+				continue
+			}
+			body[node] = true
+			idx := node / 2
+			if node%2 == 0 && p.ok[idx] && p.insts[idx].IsCall() {
+				if tidx, known := p.staticTarget(idx, p.insts[idx]); known {
+					callees[f] = append(callees[f], call{site: idx, callee: tidx})
+				}
+			}
+			for _, e := range p.edges(node) {
+				if !e.callee {
+					wl = append(wl, e.to)
+				}
+			}
+		}
+		// Deterministic order for the DFS below.
+		sort.Slice(callees[f], func(i, j int) bool { return callees[f][i].site < callees[f][j].site })
+	}
+
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := map[int]int{}
+	depth := map[int]int{} // max window pushes below a function
+	recursionAt := -1      // word index of the first back-edge call site
+	var visit func(f int) int
+	visit = func(f int) int {
+		switch color[f] {
+		case grey:
+			return -1 // back edge: recursion
+		case black:
+			return depth[f]
+		}
+		color[f] = grey
+		max := 0
+		for _, c := range callees[f] {
+			d := visit(c.callee)
+			if d < 0 {
+				if recursionAt < 0 {
+					recursionAt = c.site
+				}
+				continue
+			}
+			if 1+d > max {
+				max = 1 + d
+			}
+		}
+		color[f] = black
+		depth[f] = max
+		return max
+	}
+	maxPush := visit(p.entryIdx)
+
+	if recursionAt >= 0 {
+		p.reportAt(SevInfo, "reg-window", recursionAt,
+			"recursive call: register-window depth is unbounded, spills occur beyond %d nested activations",
+			p.opts.Windows-1)
+	}
+	if maxPush >= p.opts.Windows-1 {
+		p.report(SevInfo, "reg-window", p.img.Entry, p.entryIdx,
+			"static call chain reaches depth %d but only %d activations stay resident in %d windows: spill traffic is guaranteed",
+			maxPush, p.opts.Windows-1, p.opts.Windows)
+	}
+}

@@ -46,6 +46,24 @@ type RunResponse struct {
 	Cached bool `json:"cached"`
 }
 
+// LintRequest is the body of POST /v1/lint.
+type LintRequest struct {
+	Source string `json:"source"`
+	Lang   string `json:"lang,omitempty"`
+	Target string `json:"target,omitempty"`
+}
+
+// LintResponse is the body of a successful POST /v1/lint. A program that
+// compiles but trips the analyzer still gets a 200: the findings ARE the
+// result. Clients gate on Errors/Warnings.
+type LintResponse struct {
+	Diagnostics []risc1.Diagnostic `json:"diagnostics"`
+	Errors      int                `json:"errors"`
+	Warnings    int                `json:"warnings"`
+	Infos       int                `json:"infos"`
+	Cached      bool               `json:"cached"`
+}
+
 // DisasmRequest is the body of POST /v1/disasm.
 type DisasmRequest struct {
 	Source string `json:"source"`

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"risc1"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds. Simulated runs
@@ -27,13 +29,15 @@ type metrics struct {
 	bucketCnt []uint64                  // cumulative-style histogram counts per bucket
 	latSum    float64
 	latCount  uint64
-	simInstrs uint64 // cumulative simulated instructions across all runs
+	simInstrs uint64            // cumulative simulated instructions across all runs
+	lintFound map[string]uint64 // severity → findings reported by /v1/lint
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		requests:  map[string]map[int]uint64{},
 		bucketCnt: make([]uint64, len(latencyBuckets)),
+		lintFound: map[string]uint64{},
 	}
 }
 
@@ -55,6 +59,18 @@ func (m *metrics) observe(endpoint string, status int, d time.Duration) {
 	}
 	m.latSum += secs
 	m.latCount++
+}
+
+// addLintFindings counts the analyzer's findings by severity.
+func (m *metrics) addLintFindings(diags []risc1.Diagnostic) {
+	if len(diags) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, d := range diags {
+		m.lintFound[d.Severity.String()]++
+	}
 }
 
 // addSimInstructions accumulates simulated work done on behalf of requests.
@@ -132,5 +148,16 @@ func (m *metrics) render(g gauges) string {
 	b.WriteString("# HELP riscd_simulated_instructions_total Guest instructions simulated for /v1/run.\n")
 	b.WriteString("# TYPE riscd_simulated_instructions_total counter\n")
 	fmt.Fprintf(&b, "riscd_simulated_instructions_total %d\n", m.simInstrs)
+
+	b.WriteString("# HELP riscd_lint_findings_total Static-analyzer findings reported by /v1/lint, by severity.\n")
+	b.WriteString("# TYPE riscd_lint_findings_total counter\n")
+	sevs := make([]string, 0, len(m.lintFound))
+	for sev := range m.lintFound {
+		sevs = append(sevs, sev)
+	}
+	sort.Strings(sevs)
+	for _, sev := range sevs {
+		fmt.Fprintf(&b, "riscd_lint_findings_total{severity=%q} %d\n", sev, m.lintFound[sev])
+	}
 	return b.String()
 }

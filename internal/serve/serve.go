@@ -130,6 +130,7 @@ func New(cfg Config) *Server {
 	s.baseCtx, s.cancelRuns = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/disasm", s.handleDisasm)
+	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -163,8 +164,8 @@ func endpointLabel(path string) string {
 	switch {
 	case strings.HasPrefix(path, "/v1/experiments/"):
 		return "/v1/experiments/{id}"
-	case path == "/v1/run", path == "/v1/disasm", path == "/v1/benchmarks",
-		path == "/healthz", path == "/metrics":
+	case path == "/v1/run", path == "/v1/disasm", path == "/v1/lint",
+		path == "/v1/benchmarks", path == "/healthz", path == "/metrics":
 		return path
 	}
 	return "other"
@@ -362,6 +363,59 @@ func (s *Server) handleDisasm(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, DisasmResponse{Listing: img.Disassemble(), Cached: hit})
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	var req LintRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "source is required")
+		return
+	}
+	target, err := parseTarget(req.Target)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	lang, err := parseLang(req.Lang)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	// The analyzer shares the run path's image cache: linting a program you
+	// are about to run (or vice versa) compiles it exactly once.
+	img, hit, err := s.image(lang, target, req.Source)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, compileErrorBody(err))
+		return
+	}
+	diags := risc1.LintImage(img)
+	resp := LintResponse{Diagnostics: diags, Cached: hit}
+	if resp.Diagnostics == nil {
+		resp.Diagnostics = []risc1.Diagnostic{} // JSON: [] rather than null
+	}
+	for _, d := range diags {
+		switch d.Severity {
+		case risc1.SevError:
+			resp.Errors++
+		case risc1.SevWarning:
+			resp.Warnings++
+		default:
+			resp.Infos++
+		}
+	}
+	s.met.addLintFindings(diags)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {

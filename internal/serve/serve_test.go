@@ -358,6 +358,108 @@ func TestDisasmEndpoint(t *testing.T) {
 	}
 }
 
+// TestLintEndpoint checks the analyzer route: a recursive benchmark gets
+// its reg-window info (findings are a 200, not an error), a hazardous
+// assembly program gets its warning with a source line, and the findings
+// counter shows up in /metrics.
+func TestLintEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/v1/lint", LintRequest{Source: fibSrc, Target: "windowed"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d\n%s", resp.StatusCode, raw)
+	}
+	var rep LintResponse
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Warnings != 0 {
+		t.Errorf("compiled fib linted dirty: %+v", rep)
+	}
+	if rep.Infos == 0 {
+		t.Errorf("recursive fib produced no reg-window info: %+v", rep)
+	}
+
+	// A delayed call whose slot stores: the store runs in the callee's
+	// window — exactly the hazard the delay-slot pass exists for.
+	hazard := "main:\n callr r25,f\n stl r9,(r0)#-252\n ret r25,#8\n nop\nf:\n ret r25,#0\n nop\n"
+	resp, raw = postJSON(t, ts.URL+"/v1/lint", LintRequest{Source: hazard, Lang: "asm"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hazard status %d\n%s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Warnings != 1 || len(rep.Diagnostics) == 0 {
+		t.Fatalf("hazard not flagged: %+v", rep)
+	}
+	d := rep.Diagnostics[0]
+	if d.Pass != "delay-slot" || d.Line != 3 {
+		t.Errorf("diagnostic = %+v, want delay-slot at line 3", d)
+	}
+
+	// Same source again: the lint path shares the compiled-image cache.
+	resp, raw = postJSON(t, ts.URL+"/v1/lint", LintRequest{Source: hazard, Lang: "asm"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal(resp.StatusCode)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Cached {
+		t.Error("repeat lint missed the image cache")
+	}
+
+	_, raw = getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(raw), `riscd_lint_findings_total{severity="warning"} 2`) {
+		t.Errorf("lint findings counter missing or wrong:\n%s", raw)
+	}
+}
+
+// TestLintEndpointClean pins the empty-result shape: a warning-free program
+// yields an empty array (never null) and zero counts.
+func TestLintEndpointClean(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/v1/lint",
+		LintRequest{Source: "int main() { putint(42); return 0; }", Target: "flat"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d\n%s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), `"diagnostics":[]`) {
+		t.Errorf("clean program: want empty diagnostics array, got %s", raw)
+	}
+	var rep LintResponse
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors+rep.Warnings+rep.Infos != 0 {
+		t.Errorf("clean program reported findings: %+v", rep)
+	}
+}
+
+// TestLintEndpointBadInput covers the failure contract: source that does not
+// compile is a 400 compile_error (linting never ran), and request-shape
+// problems are plain 400s.
+func TestLintEndpointBadInput(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/v1/lint",
+		LintRequest{Source: "int main( { return 0; }"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400\n%s", resp.StatusCode, raw)
+	}
+	if d := decodeError(t, raw); d.Code != "compile_error" {
+		t.Errorf("code = %q, want compile_error (%s)", d.Code, raw)
+	}
+
+	resp, raw = postJSON(t, ts.URL+"/v1/lint", LintRequest{Source: "  "})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty source: status %d, want 400\n%s", resp.StatusCode, raw)
+	}
+	resp, raw = postJSON(t, ts.URL+"/v1/lint", LintRequest{Source: "int main() {}", Target: "vax"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad target: status %d, want 400\n%s", resp.StatusCode, raw)
+	}
+}
+
 // TestBenchmarksEndpoint checks the suite listing.
 func TestBenchmarksEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})

@@ -1,0 +1,149 @@
+package risc1_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"risc1"
+)
+
+var lintTargets = []struct {
+	name   string
+	target risc1.Target
+}{
+	{"windowed", risc1.RISCWindowed},
+	{"flat", risc1.RISCFlat},
+	{"cisc", risc1.CISC},
+}
+
+// TestLintBenchmarkCorpusClean is the golden gate behind the analyzer's
+// tuning: everything the Cm compiler emits for the paper's benchmark suite
+// must lint warning-free on every target. Info diagnostics are allowed —
+// recursion and window-spill predictions are facts, not defects — but they
+// may only come from the reg-window pass.
+func TestLintBenchmarkCorpusClean(t *testing.T) {
+	for _, name := range risc1.BenchmarkNames() {
+		src, ok := risc1.BenchmarkSource(name)
+		if !ok {
+			t.Fatalf("benchmark %q has no source", name)
+		}
+		for _, tt := range lintTargets {
+			diags, err := risc1.LintCm(src, tt.target)
+			if err != nil {
+				t.Errorf("%s/%s: %v", name, tt.name, err)
+				continue
+			}
+			for _, d := range diags {
+				if d.Severity >= risc1.SevWarning {
+					t.Errorf("%s/%s: compiled code linted dirty: %s", name, tt.name, d)
+				} else if d.Pass != "reg-window" {
+					t.Errorf("%s/%s: unexpected info outside reg-window: %s", name, tt.name, d)
+				}
+			}
+		}
+	}
+}
+
+// TestLintRecursiveBenchmarksReported pins the reg-window pass's positive
+// side: the suite's recursive programs each get exactly their unbounded-
+// depth info on the windowed target.
+func TestLintRecursiveBenchmarksReported(t *testing.T) {
+	recursive := map[string]bool{"fib": true, "acker": true, "hanoi": true, "qsort": true, "queens": true}
+	for name := range recursive {
+		src, ok := risc1.BenchmarkSource(name)
+		if !ok {
+			t.Fatalf("benchmark %q has no source", name)
+		}
+		diags, err := risc1.LintCm(src, risc1.RISCWindowed)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		found := false
+		for _, d := range diags {
+			if d.Pass == "reg-window" && d.Severity == risc1.SevInfo &&
+				strings.Contains(d.Message, "recursive") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: recursion not reported: %v", name, diags)
+		}
+	}
+}
+
+var codeLiteral = regexp.MustCompile("(?s)`([^`]*)`")
+
+// TestLintExamplesClean lints every Cm and assembly source embedded in the
+// examples/ programs: the repository's teaching corpus must also be
+// warning-free.
+func TestLintExamplesClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("examples", "*", "main.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no examples found: %v", err)
+	}
+	linted := 0
+	for _, file := range files {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range codeLiteral.FindAllStringSubmatch(string(b), -1) {
+			src := m[1]
+			var diags []risc1.Diagnostic
+			var derr error
+			switch {
+			case strings.Contains(src, "int main"):
+				diags, derr = risc1.LintCm(src, risc1.RISCWindowed)
+			case strings.Contains(src, "ret r25") || strings.Contains(src, ".entry"):
+				diags, derr = risc1.LintAssembly(src, risc1.RISCWindowed)
+			default:
+				continue // not a program literal
+			}
+			linted++
+			if derr != nil {
+				t.Errorf("%s literal %d: %v", file, i, derr)
+				continue
+			}
+			if n := risc1.Count(diags, risc1.SevWarning); n != 0 {
+				for _, d := range diags {
+					t.Errorf("%s literal %d: %s", file, i, d)
+				}
+			}
+		}
+	}
+	if linted < 4 {
+		t.Errorf("only %d example sources linted; extraction heuristic broke?", linted)
+	}
+}
+
+// TestLintImageAssemblyTargets checks the facade wiring: the same hazard
+// source yields the window warning on the windowed target and not on flat.
+func TestLintImageAssemblyTargets(t *testing.T) {
+	src := `
+main:
+	callr r25,f
+	add r9,#0,r1
+	ret r25,#8
+	nop
+f:
+	ret r25,#0
+	nop
+`
+	windowed, err := risc1.LintAssembly(src, risc1.RISCWindowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if risc1.Count(windowed, risc1.SevWarning) != 1 {
+		t.Errorf("windowed: want 1 warning, got %v", windowed)
+	}
+	flat, err := risc1.LintAssembly(src, risc1.RISCFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if risc1.Count(flat, risc1.SevWarning) != 0 {
+		t.Errorf("flat: want 0 warnings, got %v", flat)
+	}
+}

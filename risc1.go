@@ -34,6 +34,7 @@ import (
 	"risc1/internal/core"
 	"risc1/internal/exp"
 	"risc1/internal/isa"
+	"risc1/internal/lint"
 	"risc1/internal/prog"
 	"risc1/internal/timing"
 )
@@ -405,6 +406,56 @@ func CompileAndDisassemble(source string, target Target) (string, error) {
 		return "", err
 	}
 	return asm.Disassemble(img), nil
+}
+
+// Diagnostic is one static-analysis finding; see package lint.
+type Diagnostic = lint.Diagnostic
+
+// Severity ranks a Diagnostic.
+type Severity = lint.Severity
+
+// Diagnostic severities, least severe first.
+const (
+	SevInfo    = lint.SevInfo
+	SevWarning = lint.SevWarning
+	SevError   = lint.SevError
+)
+
+// Count returns how many diagnostics are at least as severe as min.
+func Count(diags []Diagnostic, min Severity) int { return lint.Count(diags, min) }
+
+// LintImage statically analyzes a compiled or assembled image: CFG
+// construction honoring the delayed-transfer semantics, then the dataflow
+// passes of package lint (delay-slot hazards, branch targets,
+// register-window depth, use-before-def, constant memory accesses,
+// unreachable code). CISC images get the subset of checks that translate to
+// the CX machine. The result is sorted by address; it is empty for a clean
+// image.
+func LintImage(img *Image) []Diagnostic {
+	if img.target == CISC {
+		return lint.CheckCISC(img.cisc)
+	}
+	return lint.Check(img.risc, lint.Options{Flat: img.target == RISCFlat})
+}
+
+// LintCm compiles a Cm program for the given target and lints the result —
+// the convenience behind ccm's -lint flag.
+func LintCm(source string, target Target) ([]Diagnostic, error) {
+	img, err := CompileToImage(source, target)
+	if err != nil {
+		return nil, err
+	}
+	return LintImage(img), nil
+}
+
+// LintAssembly assembles machine-level source for the given target and
+// lints the result — the convenience behind riscasm's -lint flag.
+func LintAssembly(source string, target Target) ([]Diagnostic, error) {
+	img, err := AssembleToImage(source, target)
+	if err != nil {
+		return nil, err
+	}
+	return LintImage(img), nil
 }
 
 // BenchmarkNames lists the benchmark suite.
