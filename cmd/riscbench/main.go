@@ -5,6 +5,7 @@
 //	riscbench                 # run every experiment, E1..E10
 //	riscbench -exp E4         # just the execution-time comparison
 //	riscbench -json           # also write BENCH_risc1.json (machine-readable)
+//	riscbench -engine step    # force the single-step reference engine
 //	riscbench -timeout 30s    # abort any single configuration after 30s
 //	riscbench -inject hanoi   # fault-inject one benchmark (degradation demo)
 //
@@ -20,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"slices"
 	"strings"
 	"time"
@@ -29,8 +31,12 @@ import (
 	"risc1/internal/mem"
 )
 
-// benchFile is where -json writes its report.
-const benchFile = "BENCH_risc1.json"
+// benchFile is where -json writes its report; historyFile accumulates one
+// dated JSON line per -json run so throughput can be tracked over time.
+const (
+	benchFile   = "BENCH_risc1.json"
+	historyFile = "BENCH_history.jsonl"
+)
 
 // throughputAsm is the tight arithmetic loop of the package's
 // BenchmarkSimulatorThroughput: 1M iterations of add/cmp/blt plus the
@@ -47,11 +53,30 @@ loop:	add r1,#1,r1
 `
 
 type benchReport struct {
-	Schema      string             `json:"schema"`
-	Simulator   simThroughput      `json:"simulator_throughput"`
-	Experiments []experimentTiming `json:"experiments"`
-	Headline    headlineMetrics    `json:"headline_metrics"`
-	Failures    []failureReport    `json:"failures,omitempty"`
+	Schema     string `json:"schema"`
+	Engine     string `json:"engine"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Simulator is the throughput under the engine the run used;
+	// SimulatorByEngine holds both engines for the speedup comparison.
+	Simulator         simThroughput            `json:"simulator_throughput"`
+	SimulatorByEngine map[string]simThroughput `json:"simulator_throughput_by_engine"`
+	BlockSpeedup      float64                  `json:"block_speedup_over_step"`
+	Experiments       []experimentTiming       `json:"experiments"`
+	Headline          headlineMetrics          `json:"headline_metrics"`
+	Failures          []failureReport          `json:"failures,omitempty"`
+}
+
+// historyEntry is one line of BENCH_history.jsonl.
+type historyEntry struct {
+	Date         string  `json:"date"`
+	Schema       string  `json:"schema"`
+	Engine       string  `json:"engine"`
+	GoVersion    string  `json:"go_version"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	StepIPS      float64 `json:"step_sim_instructions_per_sec"`
+	BlockIPS     float64 `json:"block_sim_instructions_per_sec"`
+	BlockSpeedup float64 `json:"block_speedup_over_step"`
 }
 
 type failureReport struct {
@@ -85,7 +110,14 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write "+benchFile+" with throughput and headline metrics")
 	timeout := flag.Duration("timeout", 0, "per-configuration wall-clock limit (0 = none)")
 	inject := flag.String("inject", "", "benchmark name to run under an injected memory fault")
+	engineFlag := flag.String("engine", "auto", "RISC execution engine for all runs: auto, block or step")
 	flag.Parse()
+
+	engine, err := risc1.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "riscbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	valid := risc1.ExperimentIDs()
 	ids := valid
@@ -98,6 +130,7 @@ func main() {
 		ids = []string{*which}
 	}
 	lab := exp.NewLab()
+	lab.SetEngine(engine)
 	if *timeout > 0 {
 		lab.SetTimeout(*timeout)
 	}
@@ -125,7 +158,7 @@ func main() {
 
 	failures := lab.Failures()
 	if *jsonOut {
-		if err := writeReport(lab, timings, failures); err != nil {
+		if err := writeReport(lab, engine, timings, failures); err != nil {
 			fmt.Fprintf(os.Stderr, "riscbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -140,30 +173,60 @@ func main() {
 	}
 }
 
-// writeReport measures raw simulator throughput and pulls the headline
-// numbers out of the (already warm) lab, then writes the JSON report.
-func writeReport(lab *exp.Lab, timings []experimentTiming, failures []exp.Failure) error {
-	rep := benchReport{Schema: "risc1-bench/1", Experiments: timings}
+// measureThroughput runs the reference loop once under the given engine.
+func measureThroughput(e risc1.Engine) (simThroughput, error) {
+	m := risc1.NewMachine(risc1.MachineConfig{Engine: e})
+	if err := m.LoadAssembly(throughputAsm); err != nil {
+		return simThroughput{}, err
+	}
+	start := time.Now()
+	if err := m.Run(); err != nil {
+		return simThroughput{}, err
+	}
+	secs := time.Since(start).Seconds()
+	instrs := m.Info().Instructions
+	return simThroughput{
+		Instructions:       instrs,
+		Seconds:            secs,
+		InstructionsPerSec: float64(instrs) / secs,
+	}, nil
+}
+
+// writeReport measures raw simulator throughput under both engines, pulls
+// the headline numbers out of the (already warm) lab, then writes the JSON
+// report and appends a dated line to the throughput history.
+func writeReport(lab *exp.Lab, engine risc1.Engine, timings []experimentTiming, failures []exp.Failure) error {
+	rep := benchReport{
+		Schema:      "risc1-bench/2",
+		Engine:      engine.String(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Experiments: timings,
+	}
 	for _, f := range failures {
 		rep.Failures = append(rep.Failures, failureReport{
 			Bench: f.Bench, Target: f.Target.String(), Error: f.Err.Error(),
 		})
 	}
 
-	m := risc1.NewMachine(risc1.MachineConfig{})
-	if err := m.LoadAssembly(throughputAsm); err != nil {
+	stepT, err := measureThroughput(risc1.EngineStep)
+	if err != nil {
 		return err
 	}
-	start := time.Now()
-	if err := m.Run(); err != nil {
+	blockT, err := measureThroughput(risc1.EngineBlock)
+	if err != nil {
 		return err
 	}
-	secs := time.Since(start).Seconds()
-	instrs := m.Info().Instructions
-	rep.Simulator = simThroughput{
-		Instructions:       instrs,
-		Seconds:            secs,
-		InstructionsPerSec: float64(instrs) / secs,
+	rep.SimulatorByEngine = map[string]simThroughput{
+		"step":  stepT,
+		"block": blockT,
+	}
+	if stepT.Seconds > 0 && blockT.Seconds > 0 {
+		rep.BlockSpeedup = blockT.InstructionsPerSec / stepT.InstructionsPerSec
+	}
+	rep.Simulator = blockT
+	if engine == risc1.EngineStep {
+		rep.Simulator = stepT
 	}
 
 	e3, err := exp.E3ProgramSize(lab)
@@ -211,5 +274,34 @@ func writeReport(lab *exp.Lab, timings []experimentTiming, failures []exp.Failur
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(benchFile, append(data, '\n'), 0o644)
+	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return appendHistory(historyEntry{
+		Date:         time.Now().UTC().Format(time.RFC3339),
+		Schema:       rep.Schema,
+		Engine:       rep.Engine,
+		GoVersion:    rep.GoVersion,
+		GOMAXPROCS:   rep.GOMAXPROCS,
+		StepIPS:      stepT.InstructionsPerSec,
+		BlockIPS:     blockT.InstructionsPerSec,
+		BlockSpeedup: rep.BlockSpeedup,
+	})
+}
+
+// appendHistory adds one JSON line to the throughput history file.
+func appendHistory(e historyEntry) error {
+	line, err := json.Marshal(&e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(historyFile, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

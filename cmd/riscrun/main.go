@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	riscrun [-target windowed|flat|cisc] [-windows N] [-timeout D] [-max-cycles N] [-stats] prog.cm
-//	riscrun [-windows N] [-flat] [-timeout D] [-max-cycles N] [-stats] prog.s
+//	riscrun [-target windowed|flat|cisc] [-windows N] [-engine E] [-timeout D] [-max-cycles N] [-stats] prog.cm
+//	riscrun [-windows N] [-flat] [-engine E] [-timeout D] [-max-cycles N] [-stats] prog.s
 package main
 
 import (
@@ -27,6 +27,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort execution after this wall-clock duration (0 = none)")
 	maxCycles := flag.Uint64("max-cycles", risc1.DefaultMaxCycles,
 		"abort after this many simulated cycles (0 = machine default); riscd enforces the same default budget")
+	engineFlag := flag.String("engine", "auto", "RISC execution engine: auto, block or step")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: riscrun [-target T] [-stats] prog.cm|prog.s")
@@ -39,6 +40,11 @@ func main() {
 	}
 	src := string(srcBytes)
 
+	engine, err := risc1.ParseEngine(*engineFlag)
+	if err != nil {
+		fatal(err)
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -48,7 +54,7 @@ func main() {
 
 	var info *risc1.RunInfo
 	if strings.HasSuffix(path, ".s") {
-		m := risc1.NewMachine(risc1.MachineConfig{Windows: *windows, Flat: *flat, MaxCycles: *maxCycles})
+		m := risc1.NewMachine(risc1.MachineConfig{Windows: *windows, Flat: *flat, MaxCycles: *maxCycles, Engine: engine})
 		if err := m.LoadAssembly(src); err != nil {
 			fatal(err)
 		}
@@ -81,7 +87,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		info, err = risc1.RunImage(ctx, img, risc1.RunOptions{MaxCycles: *maxCycles})
+		info, err = risc1.RunImage(ctx, img, risc1.RunOptions{MaxCycles: *maxCycles, Engine: engine})
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,141 @@
+package cfg
+
+import (
+	"testing"
+
+	"risc1/internal/asm"
+	"risc1/internal/isa"
+)
+
+func decode(t *testing.T, src string) *Program {
+	t.Helper()
+	img := asm.MustAssemble(src)
+	insts, ok := isa.DecodeBlock(img.Bytes)
+	return New(img.Org, insts, ok)
+}
+
+func allStraight(isa.Inst) bool { return true }
+
+func TestBlockSpanLoop(t *testing.T) {
+	p := decode(t, `
+	main:	add r0,#0,r1
+		li #10,r2
+	loop:	add r1,#1,r1
+		cmp r1,r2
+		blt loop
+		nop
+		ret r25,#8
+		nop
+	`)
+
+	// From the top: four straight words, then the blt and its slot.
+	s := p.BlockSpan(0, 64, allStraight)
+	if s.Body != 4 || !s.Term || s.Words() != 6 {
+		t.Fatalf("span from 0 = %+v (words %d), want body 4 + term", s, s.Words())
+	}
+
+	// Starting at a transfer: empty body, transfer + slot only.
+	s = p.BlockSpan(6, 64, allStraight)
+	if s.Body != 0 || !s.Term || s.Words() != 2 {
+		t.Fatalf("span from ret = %+v, want body 0 + term", s)
+	}
+}
+
+func TestBlockSpanLimits(t *testing.T) {
+	p := decode(t, `
+	main:	add r0,#0,r1
+		add r1,#1,r1
+		add r1,#2,r1
+		ret r25,#8
+		nop
+	`)
+
+	// maxWords caps the span even when the code runs on.
+	s := p.BlockSpan(0, 3, allStraight)
+	if s.Body != 1 || s.Term {
+		t.Fatalf("capped span = %+v, want body 1 no term", s)
+	}
+
+	// The caller's policy ends the span before a rejected instruction.
+	noAdd2 := func(in isa.Inst) bool { return in.Imm13 != 2 }
+	s = p.BlockSpan(0, 64, noAdd2)
+	if s.Body != 2 || s.Term {
+		t.Fatalf("policy span = %+v, want body 2 no term", s)
+	}
+
+	// A transfer whose slot is rejected is left out of the span too.
+	noNop := func(in isa.Inst) bool { return !(in.Op.Cat() == isa.CatALU && in.Rd == 0) }
+	s = p.BlockSpan(0, 64, noNop)
+	if s.Body != 3 || s.Term {
+		t.Fatalf("slot-rejected span = %+v, want body 3 no term", s)
+	}
+}
+
+func TestBlockSpanStopsAtCALLINT(t *testing.T) {
+	p := decode(t, `
+	main:	add r0,#0,r1
+		callint r25
+		ret r25,#8
+		nop
+	`)
+	s := p.BlockSpan(0, 64, allStraight)
+	if s.Body != 1 || s.Term {
+		t.Fatalf("span = %+v, want body 1 no term (CALLINT is slotless)", s)
+	}
+}
+
+func TestWalkCallDepth(t *testing.T) {
+	p := decode(t, `
+	main:	callr r25,f
+		nop
+		ret r25,#8
+		nop
+	f:	ret r25,#8
+		nop
+	`)
+	r := p.Walk(0, nil)
+	fi, ok := p.IndexOf(p.AddrOf(4))
+	if !ok || fi != 4 {
+		t.Fatalf("IndexOf round-trip failed: %d %v", fi, ok)
+	}
+	if !r.Reach[2*4] {
+		t.Fatal("callee f not reachable")
+	}
+	if d := r.MinDepth[2*4]; d != 1 {
+		t.Fatalf("callee depth = %d, want 1", d)
+	}
+	// The word after the call's slot is reached on the return edge, back
+	// at depth 0.
+	if d := r.MinDepth[2*2]; d != 0 {
+		t.Fatalf("post-call depth = %d, want 0", d)
+	}
+}
+
+func TestWalkUnknownRoots(t *testing.T) {
+	p := decode(t, `
+	main:	ret r25,#8
+		nop
+	isr:	ret r25,#8
+		nop
+	`)
+	r := p.Walk(0, []int{2})
+	if !r.Reach[2*2] {
+		t.Fatal("rooted word not reachable")
+	}
+	if d := r.MinDepth[2*2]; d != DepthUnknown {
+		t.Fatalf("rooted depth = %d, want DepthUnknown", d)
+	}
+}
+
+func TestIndexOfBounds(t *testing.T) {
+	p := decode(t, "main:\tret r25,#8\n\tnop\n")
+	if _, ok := p.IndexOf(p.Org + 1); ok {
+		t.Fatal("misaligned address resolved")
+	}
+	if _, ok := p.IndexOf(p.CodeEnd()); ok {
+		t.Fatal("end address resolved")
+	}
+	if idx, ok := p.IndexOf(p.Org); !ok || idx != 0 {
+		t.Fatalf("org resolved to %d,%v", idx, ok)
+	}
+}

@@ -22,3 +22,60 @@ func TestSelfModifyingCode(t *testing.T) {
 		t.Errorf("r1 = %d, want 106 (patched immediate was not used)", got)
 	}
 }
+
+// TestMemoInvalidationLastByte pins the write-watch window's boundary: a
+// store landing exactly on the LAST byte of a memoized maximum-length
+// (maxInstBytes) instruction. The suspect window reaches back
+// maxInstBytes-1 bytes before the store, so the entry at the instruction's
+// start is the very first index it covers — an off-by-one there would
+// replay the stale bytes forever. The 16-byte instruction is addl3 with
+// two 32-bit immediates and an absolute destination; the patch rewrites
+// the final byte (the low byte of the big-endian @res1 extension) to
+// redirect the result into res2.
+func TestMemoInvalidationLastByte(t *testing.T) {
+	const src = `
+	main:	.mask
+		clrl r5
+		moval patch, r3
+		moval res2, r4
+	patch:	addl3 #1000000, #2000000, @res1
+	after:	cmpl r5, #1
+		beq done
+		movl #1, r5
+		movb r4, 15(r3)
+		br patch
+	done:	movl @res1, r6
+		movl @res2, r7
+		ret
+		.align 4
+	res1:	.word 0
+	res2:	.word 0
+	`
+	img, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	patch, after := img.Symbols["patch"], img.Symbols["after"]
+	if got := after - patch; got != maxInstBytes {
+		t.Fatalf("patched instruction spans %d bytes, want maxInstBytes (%d)", got, maxInstBytes)
+	}
+	res1, res2 := img.Symbols["res1"], img.Symbols["res2"]
+	if (res1^res2)&^uint32(0xFF) != 0 {
+		t.Fatalf("res1 (%#x) and res2 (%#x) must differ only in the low byte", res1, res2)
+	}
+
+	c := New(Config{})
+	if err := c.Load(img); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	const want = 1000000 + 2000000
+	if got := c.Reg(6); got != want {
+		t.Errorf("res1 = %d, want %d (first, unpatched execution)", got, want)
+	}
+	if got := c.Reg(7); got != want {
+		t.Errorf("res2 = %d, want %d (stale memo replayed after a last-byte store)", got, want)
+	}
+}

@@ -20,16 +20,20 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		ret r25,#8
 		nop
 	`)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		c := New(Config{})
-		if err := c.Load(img); err != nil {
-			b.Fatal(err)
-		}
-		if err := c.Run(); err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(c.Stats().Instructions), "sim-instructions/op")
+	for _, e := range []Engine{EngineStep, EngineBlock} {
+		b.Run(e.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := New(Config{Engine: e})
+				if err := c.Load(img); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Run(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(c.Stats().Instructions), "sim-instructions/op")
+			}
+		})
 	}
 }
 

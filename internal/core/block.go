@@ -1,0 +1,807 @@
+// Basic-block superinstruction engine. Straight-line runs of predecoded
+// instructions — up to and including a delayed transfer plus its delay
+// slot — are compiled once into a flat list of specialized closures with
+// common pairs fused, and their fixed per-instruction accounting (cycle
+// cost, instruction count, opcode mix) is charged in one batched update
+// per block. Everything observable must match Step exactly: faults unwind
+// the accounting of the instructions that never ran and restore the
+// precise PC pair, MaxCycles refuses at the same instruction boundary,
+// and a store into the executing block stops it at the store (the
+// self-modifying-code contract of the predecode cache).
+package core
+
+import (
+	"risc1/internal/cfg"
+	"risc1/internal/isa"
+	"risc1/internal/timing"
+)
+
+// blockOp is one compiled body operation: one instruction, or a fused
+// pair whose first half cannot fault.
+type blockOp struct {
+	fn func(c *CPU) error
+	// fidx is the block-relative index of the op's faultable (last)
+	// instruction: a fault there unwinds everything after it.
+	fidx uint16
+	// store marks an op that may write memory; after it runs, the engine
+	// re-checks that the store did not invalidate this very block.
+	store bool
+}
+
+// instCost is the fixed accounting of one block instruction, kept
+// per-instruction so faults can unwind the unexecuted suffix.
+type instCost struct {
+	op     uint8
+	cycles uint8
+}
+
+// opCount aggregates the block's opcode mix for the batched charge.
+type opCount struct {
+	op uint8
+	n  uint32
+}
+
+// block is one compiled basic block.
+type block struct {
+	startPC uint32
+	nInst   int // instructions covered (== code words covered)
+
+	ops []blockOp
+
+	term     bool     // block ends with a delayed transfer + slot
+	termIdx  int      // block-relative index of the transfer (slot is termIdx+1)
+	termInst isa.Inst // the transfer, copied out of the predecode cache
+	// termPre is the compare-and-branch fusion: a fault-free final body
+	// instruction dispatched together with the transfer.
+	termPre func(c *CPU) error
+	// termFast is the specialized dispatch for JMP/JMPR terminators: they
+	// cannot fault, cannot halt, and add no dynamic cycles, so the slot
+	// may run without the halt and budget re-checks the generic path
+	// (CALL/RET through control) needs. When the final body instruction is
+	// a fault-free compare it is fused in (the compare-and-branch pair).
+	termFast func(c *CPU) (target uint32, taken bool)
+	// selfLoop marks a JMPR terminator whose taken target is the block's
+	// own leader: runBlock iterates such blocks in place, paying the
+	// dispatch overhead once per batch instead of once per trip.
+	selfLoop bool
+	// slotFn is nil when the slot is an effect-free nop (ALU into r0
+	// without SCC): r0 is hard-wired, so there is nothing to execute.
+	slotFn  func(c *CPU) error
+	slotNop bool
+
+	fixedCycles uint64 // batched per-category cost of every instruction
+	// cyclesButLast is fixedCycles minus the final instruction's cost: the
+	// block may start iff Cycles+cyclesButLast < MaxCycles, because fixed
+	// costs are monotone so only the last instruction's start can trip the
+	// budget first. (Dynamic spill/fill cycles at the transfer get their
+	// own re-check before the slot.)
+	cyclesButLast uint64
+	counts        []opCount
+	costs         []instCost
+}
+
+// noBlock is the cached "this word cannot start a block" answer, so
+// unblockable leaders are not re-scanned on every visit.
+var noBlock = &block{}
+
+// blockable reports whether in may occupy a block body or delay slot:
+// instructions with a fixed cycle cost whose semantics do not depend on
+// state the engine updates only at block boundaries. GTLPC reads lastPC
+// (stale mid-block) and PUTPSW flips the interrupt-enable bit, so both —
+// and every control transfer — stay on the single-step path.
+func blockable(in isa.Inst) bool {
+	switch in.Op.Cat() {
+	case isa.CatALU, isa.CatLoad, isa.CatStore:
+		return true
+	case isa.CatMisc:
+		return in.Op == isa.OpLDHI || in.Op == isa.OpGETPSW
+	}
+	return false
+}
+
+// categoryCycles is the fixed per-category cost execute charges.
+func categoryCycles(cat isa.Category) uint8 {
+	switch cat {
+	case isa.CatLoad:
+		return timing.RiscLoadCycles
+	case isa.CatStore:
+		return timing.RiscStoreCycles
+	case isa.CatControl:
+		return timing.RiscTransferCycles
+	case isa.CatALU:
+		return timing.RiscALUCycles
+	default:
+		return timing.RiscMiscCycles
+	}
+}
+
+// nextBlock resolves the block for the current machine state, or nil when
+// the state requires single-stepping: mid-delay-slot, an interrupt
+// pending, the PC outside the predecoded range, a budget (context batch)
+// smaller than the block, or MaxCycles close enough that the block could
+// overrun it.
+func (c *CPU) nextBlock(budget int) (*block, uint32) {
+	if c.inDelay || len(c.pendIRQ) > 0 {
+		return nil, 0
+	}
+	off := c.pc - c.codeOrg
+	if off&3 != 0 || off>>2 >= uint32(len(c.predec)) {
+		return nil, 0
+	}
+	w := off >> 2
+	b := c.blockAt(w)
+	if b.nInst == 0 || b.nInst > budget {
+		return nil, 0
+	}
+	if c.stat.Cycles+b.cyclesButLast >= c.cfg.MaxCycles {
+		return nil, 0
+	}
+	return b, w
+}
+
+// blockAt returns the compiled block leading at word w, compiling it on
+// first use.
+func (c *CPU) blockAt(w uint32) *block {
+	if b := c.blocks[w]; b != nil {
+		return b
+	}
+	b := c.compileBlock(int(w))
+	c.blocks[w] = b
+	return b
+}
+
+// compileBlock builds the block starting at word index start, or noBlock
+// if no blockable span begins there.
+func (c *CPU) compileBlock(start int) *block {
+	p := cfg.New(c.codeOrg, c.predec, c.predecOK)
+	span := p.BlockSpan(start, runBatch, blockable)
+	n := span.Words()
+	if n == 0 {
+		return noBlock
+	}
+	b := &block{
+		startPC: c.codeOrg + uint32(4*start),
+		nInst:   n,
+		term:    span.Term,
+		termIdx: span.Body,
+	}
+
+	b.costs = make([]instCost, n)
+	var agg [128]uint32
+	for j := 0; j < n; j++ {
+		in := &c.predec[start+j]
+		cyc := categoryCycles(in.Op.Cat())
+		b.costs[j] = instCost{op: uint8(in.Op) & 0x7F, cycles: cyc}
+		b.fixedCycles += uint64(cyc)
+		agg[uint8(in.Op)&0x7F]++
+	}
+	b.cyclesButLast = b.fixedCycles - uint64(b.costs[n-1].cycles)
+	for opv, cnt := range agg {
+		if cnt > 0 {
+			b.counts = append(b.counts, opCount{op: uint8(opv), n: cnt})
+		}
+	}
+
+	type compiled struct {
+		fn       func(*CPU) error
+		canFault bool
+		isStore  bool
+	}
+	cs := make([]compiled, span.Body)
+	for j := 0; j < span.Body; j++ {
+		in := &c.predec[start+j]
+		fn, canFault := compileStraight(in)
+		cs[j] = compiled{fn, canFault, in.Op.Cat() == isa.CatStore}
+	}
+
+	nBody := span.Body
+	if span.Term {
+		b.termInst = c.predec[start+span.Body]
+		termPC := b.blockPC(span.Body)
+		b.termFast = compileJump(&b.termInst, termPC)
+		slot := &c.predec[start+span.Body+1]
+		b.slotNop = isNop(slot)
+		if !b.slotNop {
+			// An effect-free nop slot (ALU into the hard-wired r0, no SCC)
+			// compiles to nothing; anything else executes.
+			b.slotFn, _ = compileStraight(slot)
+		}
+		if b.termInst.Op == isa.OpJMPR {
+			b.selfLoop = termPC+uint32(b.termInst.Imm19) == b.startPC
+		}
+		// Compare-and-branch fusion: a flag-setting SUB feeding a JMPR
+		// collapses into a single dispatch that computes the flags and the
+		// branch decision together.
+		if nBody > 0 {
+			if fused := fuseCmpBranch(&c.predec[start+nBody-1], &b.termInst, termPC); fused != nil {
+				b.termFast = fused
+				nBody--
+			}
+		}
+		// A remaining fault-free final body instruction still rides with
+		// the transfer dispatch.
+		if nBody > 0 && !cs[nBody-1].canFault {
+			b.termPre = cs[nBody-1].fn
+			nBody--
+		}
+	}
+
+	// Pair fusion: ALU+ALU, address-setup+load/store — any op that cannot
+	// fault merges with its successor into one dispatch.
+	for j := 0; j < nBody; {
+		if j+1 < nBody && !cs[j].canFault {
+			f1, f2 := cs[j].fn, cs[j+1].fn
+			b.ops = append(b.ops, blockOp{
+				fn:    func(c *CPU) error { _ = f1(c); return f2(c) },
+				fidx:  uint16(j + 1),
+				store: cs[j+1].isStore,
+			})
+			j += 2
+		} else {
+			b.ops = append(b.ops, blockOp{fn: cs[j].fn, fidx: uint16(j), store: cs[j].isStore})
+			j++
+		}
+	}
+	return b
+}
+
+// blockPC is the address of the block-relative instruction idx.
+func (b *block) blockPC(idx int) uint32 { return b.startPC + uint32(4*idx) }
+
+// runBlock executes b, iterating in place while b is a self-loop that
+// keeps branching back to its own leader. It reports how many
+// instructions it consumed from budget. Preconditions (nextBlock): not
+// halted, not in a delay slot, no interrupt pending, pc == b.startPC, no
+// Trace installed, and Cycles+cyclesButLast < MaxCycles.
+func (c *CPU) runBlock(w uint32, b *block, budget int) (int, error) {
+	consumed := 0
+	for {
+		// Batched accounting: charge the whole block up front. Every early
+		// exit below unwinds the instructions that did not run.
+		c.stat.Instructions += uint64(b.nInst)
+		c.stat.Cycles += b.fixedCycles
+		for _, oc := range b.counts {
+			c.opCounts[oc.op] += uint64(oc.n)
+		}
+		consumed += b.nInst
+
+		for i := range b.ops {
+			op := &b.ops[i]
+			if err := op.fn(c); err != nil {
+				return consumed, c.blockFault(b, int(op.fidx), err)
+			}
+			if op.store && c.blocks[w] != b {
+				// The store rewrote part of this very block (self-modifying
+				// code). Stop after the store — exactly where the predecode
+				// cache's step path would pick up the fresh bytes.
+				next := int(op.fidx) + 1
+				c.unwindBlock(b, next)
+				c.lastPC = b.blockPC(int(op.fidx))
+				c.pc = b.blockPC(next)
+				c.npc = c.pc + 4
+				return consumed, nil
+			}
+		}
+
+		if !b.term {
+			// Fell off the straight-line end; the next word single-steps.
+			end := b.blockPC(b.nInst)
+			c.lastPC = end - 4
+			c.pc = end
+			c.npc = end + 4
+			return consumed, nil
+		}
+
+		if b.termPre != nil {
+			_ = b.termPre(c)
+		}
+		termPC := b.blockPC(b.termIdx)
+		slotPC := termPC + 4
+		if b.termFast != nil {
+			// JMP/JMPR: no fault, no halt, no dynamic cycles — the slot
+			// runs unconditionally and the delay-slot state nets out to
+			// false.
+			target, taken := b.termFast(c)
+			c.lastPC = termPC
+			if taken {
+				c.npc = target
+				c.stat.TakenTransfers++
+			} else {
+				c.npc = slotPC + 4
+			}
+			c.stat.Transfers++
+			if b.slotNop {
+				c.stat.DelaySlotNops++
+			} else {
+				c.stat.DelaySlotUseful++
+				if err := b.slotFn(c); err != nil {
+					c.pc = slotPC
+					return consumed, c.runError(slotPC, err)
+				}
+			}
+			c.lastPC = slotPC
+			c.pc = c.npc
+			c.npc = c.pc + 4
+			// Loop-resident execution: the taken branch lands back on this
+			// block's leader and the machine is exactly at block entry, so
+			// iterate here under the same gates nextBlock would apply.
+			if taken && b.selfLoop &&
+				consumed+b.nInst <= budget &&
+				c.stat.Cycles+b.cyclesButLast < c.cfg.MaxCycles &&
+				c.blocks[w] == b {
+				continue
+			}
+			return consumed, nil
+		}
+		target, transferred, err := c.control(&b.termInst, termPC)
+		if err != nil {
+			// The transfer faulted in the window machinery; it stays
+			// charged (Step charges before executing), the slot never ran.
+			c.unwindBlock(b, b.termIdx+1)
+			if b.termIdx > 0 {
+				c.lastPC = termPC - 4
+			}
+			c.pc = termPC
+			c.npc = termPC + 4
+			return consumed, c.runError(termPC, err)
+		}
+		c.lastPC = termPC
+		c.pc = slotPC
+		if transferred {
+			c.npc = target
+			c.stat.TakenTransfers++
+		} else {
+			c.npc = slotPC + 4
+		}
+		// Every terminator is a delayed transfer: taken or not, it owns
+		// the slot.
+		c.stat.Transfers++
+		c.inDelay = true
+		if c.halted {
+			// RET to HaltAddr halts during the transfer itself; the slot
+			// never executes.
+			c.unwindBlock(b, b.termIdx+1)
+			return consumed, nil
+		}
+		// The transfer may have accrued dynamic spill/fill cycles; re-check
+		// the budget exactly where Step would, at the slot boundary.
+		if c.stat.Cycles-uint64(b.costs[b.termIdx+1].cycles) >= c.cfg.MaxCycles {
+			c.unwindBlock(b, b.termIdx+1)
+			return consumed, c.runError(c.pc, ErrMaxCycles)
+		}
+		c.inDelay = false
+		if b.slotNop {
+			c.stat.DelaySlotNops++
+		} else {
+			c.stat.DelaySlotUseful++
+		}
+		if b.slotFn != nil {
+			if err := b.slotFn(c); err != nil {
+				return consumed, c.runError(slotPC, err)
+			}
+		}
+		c.lastPC = slotPC
+		c.pc = c.npc
+		c.npc = c.pc + 4
+		return consumed, nil
+	}
+}
+
+// blockFault unwinds a body fault at block-relative instruction fidx and
+// restores the machine state Step would show: the faulting instruction is
+// current (and stays charged), nothing after it happened.
+func (c *CPU) blockFault(b *block, fidx int, err error) error {
+	c.unwindBlock(b, fidx+1)
+	fpc := b.blockPC(fidx)
+	if fidx > 0 {
+		c.lastPC = fpc - 4
+	}
+	c.pc = fpc
+	c.npc = fpc + 4
+	return c.runError(fpc, err)
+}
+
+// unwindBlock removes the batched accounting of instructions [from, nInst)
+// that a fault, a halt, or an invalidation bail-out kept from executing.
+func (c *CPU) unwindBlock(b *block, from int) {
+	for _, ic := range b.costs[from:] {
+		c.stat.Instructions--
+		c.stat.Cycles -= uint64(ic.cycles)
+		c.opCounts[ic.op]--
+	}
+}
+
+// condPred specializes a jump condition into a direct predicate, saving
+// the 16-way Holds dispatch on every executed branch.
+func condPred(cond isa.Cond) func(isa.Flags) bool {
+	switch cond {
+	case isa.CondNEV:
+		return func(isa.Flags) bool { return false }
+	case isa.CondALW:
+		return func(isa.Flags) bool { return true }
+	case isa.CondEQ:
+		return func(f isa.Flags) bool { return f.Z }
+	case isa.CondNE:
+		return func(f isa.Flags) bool { return !f.Z }
+	case isa.CondGT:
+		return func(f isa.Flags) bool { return !f.Z && f.N == f.V }
+	case isa.CondLE:
+		return func(f isa.Flags) bool { return f.Z || f.N != f.V }
+	case isa.CondGE:
+		return func(f isa.Flags) bool { return f.N == f.V }
+	case isa.CondLT:
+		return func(f isa.Flags) bool { return f.N != f.V }
+	case isa.CondHI:
+		return func(f isa.Flags) bool { return f.C && !f.Z }
+	case isa.CondLOS:
+		return func(f isa.Flags) bool { return !f.C || f.Z }
+	case isa.CondLO:
+		return func(f isa.Flags) bool { return !f.C }
+	case isa.CondHIS:
+		return func(f isa.Flags) bool { return f.C }
+	case isa.CondPL:
+		return func(f isa.Flags) bool { return !f.N }
+	case isa.CondMI:
+		return func(f isa.Flags) bool { return f.N }
+	case isa.CondNV:
+		return func(f isa.Flags) bool { return !f.V }
+	default: // isa.CondV
+		return func(f isa.Flags) bool { return f.V }
+	}
+}
+
+// fuseCmpBranch fuses the hottest terminator pair — a flag-setting SUB
+// (cmp) immediately before a JMPR — into one closure computing the
+// subtraction, the flag update and the branch decision on locals. Returns
+// nil when the pair does not match.
+func fuseCmpBranch(cmp *isa.Inst, jin *isa.Inst, jmpPC uint32) func(*CPU) (uint32, bool) {
+	if cmp.Op != isa.OpSUB || !cmp.SCC || jin.Op != isa.OpJMPR {
+		return nil
+	}
+	pred := condPred(jin.Cond())
+	tgt := jmpPC + uint32(jin.Imm19)
+	rd, rs1 := cmp.Rd, cmp.Rs1
+	step := func(c *CPU, x, y uint32) (uint32, bool) {
+		full := uint64(x) - uint64(y)
+		r := uint32(full)
+		c.Regs.Set(rd, r)
+		f := isa.Flags{
+			C: full <= 0xFFFFFFFF,
+			V: (x^y)&0x80000000 != 0 && (x^r)&0x80000000 != 0,
+			Z: r == 0,
+			N: int32(r) < 0,
+		}
+		c.flags = f
+		if pred(f) {
+			return tgt, true
+		}
+		return 0, false
+	}
+	if cmp.Imm {
+		y := uint32(cmp.Imm13)
+		return func(c *CPU) (uint32, bool) { return step(c, c.Regs.Get(rs1), y) }
+	}
+	rs2 := cmp.Rs2
+	return func(c *CPU) (uint32, bool) { return step(c, c.Regs.Get(rs1), c.Regs.Get(rs2)) }
+}
+
+// compileJump specializes a JMP/JMPR terminator, or returns nil for the
+// transfers that must go through control (calls and returns: window
+// machinery, halt detection, dynamic cycles).
+func compileJump(in *isa.Inst, pc uint32) func(*CPU) (uint32, bool) {
+	pred := condPred(in.Cond())
+	switch in.Op {
+	case isa.OpJMPR:
+		tgt := pc + uint32(in.Imm19)
+		return func(c *CPU) (uint32, bool) {
+			if pred(c.flags) {
+				return tgt, true
+			}
+			return 0, false
+		}
+	case isa.OpJMP:
+		rs1 := in.Rs1
+		if in.Imm {
+			d := uint32(in.Imm13)
+			return func(c *CPU) (uint32, bool) {
+				if pred(c.flags) {
+					return c.Regs.Get(rs1) + d, true
+				}
+				return 0, false
+			}
+		}
+		rs2 := in.Rs2
+		return func(c *CPU) (uint32, bool) {
+			if pred(c.flags) {
+				return c.Regs.Get(rs1) + c.Regs.Get(rs2), true
+			}
+			return 0, false
+		}
+	}
+	return nil
+}
+
+// compileStraight specializes one blockable instruction into a closure,
+// reporting whether it can fault (memory operations only).
+func compileStraight(in *isa.Inst) (fn func(*CPU) error, canFault bool) {
+	switch in.Op.Cat() {
+	case isa.CatALU:
+		return compileALU(in), false
+	case isa.CatLoad:
+		return compileLoad(in), true
+	case isa.CatStore:
+		return compileStore(in), true
+	default: // LDHI, GETPSW — the blockable CatMisc subset
+		return compileMisc(in), false
+	}
+}
+
+// addrFn builds the rs1+s2 effective-address computation.
+func addrFn(in *isa.Inst) func(*CPU) uint32 {
+	rs1 := in.Rs1
+	if in.Imm {
+		d := uint32(in.Imm13)
+		return func(c *CPU) uint32 { return c.Regs.Get(rs1) + d }
+	}
+	rs2 := in.Rs2
+	return func(c *CPU) uint32 { return c.Regs.Get(rs1) + c.Regs.Get(rs2) }
+}
+
+// setLoadFlags applies the SCC flag update of loads: Z/N from the value,
+// C/V cleared.
+func (c *CPU) setLoadFlags(v uint32) {
+	c.flags = isa.Flags{Z: v == 0, N: int32(v) < 0}
+}
+
+func compileALU(in *isa.Inst) func(*CPU) error {
+	op, rd, rs1, scc := in.Op, in.Rd, in.Rs1, in.SCC
+	useImm, imm, rs2 := in.Imm, uint32(in.Imm13), in.Rs2
+
+	// The hottest idioms get the shortest paths: plain ADD, and the
+	// compare (flag-setting SUB) that feeds every conditional branch.
+	if op == isa.OpADD && !scc {
+		if useImm {
+			return func(c *CPU) error { c.Regs.Set(rd, c.Regs.Get(rs1)+imm); return nil }
+		}
+		return func(c *CPU) error { c.Regs.Set(rd, c.Regs.Get(rs1)+c.Regs.Get(rs2)); return nil }
+	}
+	if op == isa.OpSUB && scc {
+		sub := func(c *CPU, x, y uint32) {
+			full := uint64(x) - uint64(y)
+			r := uint32(full)
+			c.Regs.Set(rd, r)
+			c.flags = isa.Flags{
+				C: full <= 0xFFFFFFFF,
+				V: (x^y)&0x80000000 != 0 && (x^r)&0x80000000 != 0,
+				Z: r == 0,
+				N: int32(r) < 0,
+			}
+		}
+		if useImm {
+			return func(c *CPU) error { sub(c, c.Regs.Get(rs1), imm); return nil }
+		}
+		return func(c *CPU) error { sub(c, c.Regs.Get(rs1), c.Regs.Get(rs2)); return nil }
+	}
+
+	src := func(c *CPU) (uint32, uint32) { return c.Regs.Get(rs1), imm }
+	if !useImm {
+		src = func(c *CPU) (uint32, uint32) { return c.Regs.Get(rs1), c.Regs.Get(rs2) }
+	}
+
+	switch op {
+	case isa.OpADD, isa.OpADDC:
+		withC := op == isa.OpADDC
+		if !scc {
+			return func(c *CPU) error {
+				a, b := src(c)
+				var carry uint32
+				if withC && c.flags.C {
+					carry = 1
+				}
+				c.Regs.Set(rd, a+b+carry)
+				return nil
+			}
+		}
+		return func(c *CPU) error {
+			a, b := src(c)
+			var carry uint64
+			if withC && c.flags.C {
+				carry = 1
+			}
+			full := uint64(a) + uint64(b) + carry
+			r := uint32(full)
+			c.Regs.Set(rd, r)
+			c.flags = isa.Flags{
+				C: full > 0xFFFFFFFF,
+				V: (a^b)&0x80000000 == 0 && (a^r)&0x80000000 != 0,
+				Z: r == 0,
+				N: int32(r) < 0,
+			}
+			return nil
+		}
+	case isa.OpSUB, isa.OpSUBC, isa.OpSUBR, isa.OpSUBCR:
+		rev := op == isa.OpSUBR || op == isa.OpSUBCR
+		withC := op == isa.OpSUBC || op == isa.OpSUBCR
+		if !scc {
+			return func(c *CPU) error {
+				x, y := src(c)
+				if rev {
+					x, y = y, x
+				}
+				var borrow uint32
+				if withC && !c.flags.C {
+					borrow = 1
+				}
+				c.Regs.Set(rd, x-y-borrow)
+				return nil
+			}
+		}
+		return func(c *CPU) error {
+			x, y := src(c)
+			if rev {
+				x, y = y, x
+			}
+			var borrow uint64
+			if withC && !c.flags.C {
+				borrow = 1
+			}
+			full := uint64(x) - uint64(y) - borrow
+			r := uint32(full)
+			c.Regs.Set(rd, r)
+			c.flags = isa.Flags{
+				C: full <= 0xFFFFFFFF, // carry = no borrow
+				V: (x^y)&0x80000000 != 0 && (x^r)&0x80000000 != 0,
+				Z: r == 0,
+				N: int32(r) < 0,
+			}
+			return nil
+		}
+	}
+
+	// Logical and shift group: same shape, op-specific combiner; SCC
+	// clears C/V.
+	var f func(a, b uint32) uint32
+	switch op {
+	case isa.OpAND:
+		f = func(a, b uint32) uint32 { return a & b }
+	case isa.OpOR:
+		f = func(a, b uint32) uint32 { return a | b }
+	case isa.OpXOR:
+		f = func(a, b uint32) uint32 { return a ^ b }
+	case isa.OpSLL:
+		f = func(a, b uint32) uint32 { return a << (b & 31) }
+	case isa.OpSRL:
+		f = func(a, b uint32) uint32 { return a >> (b & 31) }
+	default: // OpSRA
+		f = func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) }
+	}
+	if !scc {
+		return func(c *CPU) error {
+			a, b := src(c)
+			c.Regs.Set(rd, f(a, b))
+			return nil
+		}
+	}
+	return func(c *CPU) error {
+		a, b := src(c)
+		r := f(a, b)
+		c.Regs.Set(rd, r)
+		c.flags = isa.Flags{Z: r == 0, N: int32(r) < 0}
+		return nil
+	}
+}
+
+func compileLoad(in *isa.Inst) func(*CPU) error {
+	rd, scc := in.Rd, in.SCC
+	addr := addrFn(in)
+	switch in.Op {
+	case isa.OpLDL:
+		return func(c *CPU) error {
+			v, err := c.Mem.Load32(addr(c))
+			if err != nil {
+				return err
+			}
+			c.Regs.Set(rd, v)
+			if scc {
+				c.setLoadFlags(v)
+			}
+			return nil
+		}
+	case isa.OpLDSU:
+		return func(c *CPU) error {
+			h, err := c.Mem.Load16(addr(c))
+			if err != nil {
+				return err
+			}
+			v := uint32(h)
+			c.Regs.Set(rd, v)
+			if scc {
+				c.setLoadFlags(v)
+			}
+			return nil
+		}
+	case isa.OpLDSS:
+		return func(c *CPU) error {
+			h, err := c.Mem.Load16(addr(c))
+			if err != nil {
+				return err
+			}
+			v := uint32(int32(int16(h)))
+			c.Regs.Set(rd, v)
+			if scc {
+				c.setLoadFlags(v)
+			}
+			return nil
+		}
+	case isa.OpLDBU:
+		return func(c *CPU) error {
+			b, err := c.Mem.Load8(addr(c))
+			if err != nil {
+				return err
+			}
+			v := uint32(b)
+			c.Regs.Set(rd, v)
+			if scc {
+				c.setLoadFlags(v)
+			}
+			return nil
+		}
+	default: // OpLDBS
+		return func(c *CPU) error {
+			b, err := c.Mem.Load8(addr(c))
+			if err != nil {
+				return err
+			}
+			v := uint32(int32(int8(b)))
+			c.Regs.Set(rd, v)
+			if scc {
+				c.setLoadFlags(v)
+			}
+			return nil
+		}
+	}
+}
+
+func compileStore(in *isa.Inst) func(*CPU) error {
+	rd := in.Rd
+	addr := addrFn(in)
+	switch in.Op {
+	case isa.OpSTL:
+		return func(c *CPU) error { return c.Mem.Store32(addr(c), c.Regs.Get(rd)) }
+	case isa.OpSTS:
+		return func(c *CPU) error { return c.Mem.Store16(addr(c), uint16(c.Regs.Get(rd))) }
+	default: // OpSTB
+		return func(c *CPU) error { return c.Mem.Store8(addr(c), uint8(c.Regs.Get(rd))) }
+	}
+}
+
+func compileMisc(in *isa.Inst) func(*CPU) error {
+	rd := in.Rd
+	if in.Op == isa.OpLDHI {
+		v := uint32(in.Imm19&0x7FFFF) << 13
+		return func(c *CPU) error { c.Regs.Set(rd, v); return nil }
+	}
+	// GETPSW: ie and CWP are exact mid-block — nothing in a block body
+	// changes either.
+	return func(c *CPU) error {
+		var v uint32
+		if c.flags.C {
+			v |= pswC
+		}
+		if c.flags.V {
+			v |= pswV
+		}
+		if c.flags.N {
+			v |= pswN
+		}
+		if c.flags.Z {
+			v |= pswZ
+		}
+		if c.ie {
+			v |= pswIE
+		}
+		v |= uint32(c.Regs.CWP()&0xFF) << 16
+		c.Regs.Set(rd, v)
+		return nil
+	}
+}

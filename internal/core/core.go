@@ -60,6 +60,10 @@ type Config struct {
 	SpillBatch int
 	// MaxCycles aborts runaway programs (default 1e9).
 	MaxCycles uint64
+	// Engine selects the execution engine Run uses (default EngineAuto:
+	// block execution, single-step when a Trace is installed). Step is
+	// always the single-step oracle regardless of this knob.
+	Engine Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +178,12 @@ type CPU struct {
 	predec   []isa.Inst
 	predecOK []bool
 
+	// Block cache: blocks[w] is the compiled basic block leading at code
+	// word w (nil = not compiled yet, noBlock = cannot lead a block). The
+	// write watch drops blocks overlapping a store alongside the predecode
+	// lines.
+	blocks []*block
+
 	// Trace, when non-nil, is called after every executed instruction
 	// with its address and decoded form (before the PC advances).
 	Trace func(pc uint32, inst isa.Inst)
@@ -240,6 +250,7 @@ func (c *CPU) predecode(img *asm.Image) {
 	}
 	c.codeOrg = img.Org
 	c.predec, c.predecOK = isa.DecodeBlock(code)
+	c.blocks = make([]*block, len(c.predec))
 	c.Mem.SetWriteWatch(img.Org, img.Org+uint32(len(code)), c.invalidateCode)
 }
 
@@ -254,6 +265,25 @@ func (c *CPU) invalidateCode(addr uint32, size int) {
 	last := (hi - 1 - c.codeOrg) >> 2
 	for i := first; i <= last && i < uint32(len(c.predecOK)); i++ {
 		c.predecOK[i] = false
+	}
+	if len(c.blocks) == 0 {
+		return
+	}
+	// A compiled block caches every word it covers and is at most runBatch
+	// words long, so only leaders in the runBatch-1 words before the store
+	// can reach into it.
+	loW := int(first) - (runBatch - 1)
+	if loW < 0 {
+		loW = 0
+	}
+	for i := loW; i <= int(last) && i < len(c.blocks); i++ {
+		b := c.blocks[i]
+		if b == nil {
+			continue
+		}
+		if uint32(i) >= first || i+b.nInst > int(first) {
+			c.blocks[i] = nil
+		}
 	}
 }
 
@@ -326,6 +356,9 @@ func (c *CPU) Run() error { return c.RunContext(context.Background()) }
 // RunError wrapping ctx.Err(). The cycle limit itself is enforced exactly,
 // per instruction, inside Step.
 func (c *CPU) RunContext(ctx context.Context) error {
+	// The block engine is exact only without a per-instruction trace; the
+	// auto engine falls back to stepping there.
+	useBlocks := c.cfg.Engine != EngineStep && c.Trace == nil
 	done := ctx.Done()
 	for !c.halted {
 		if done != nil {
@@ -334,6 +367,25 @@ func (c *CPU) RunContext(ctx context.Context) error {
 				return c.runError(c.pc, ctx.Err())
 			default:
 			}
+		}
+		if useBlocks {
+			// Same cancellation granularity as the step loop: at most
+			// runBatch instructions between context checks.
+			for budget := runBatch; budget > 0 && !c.halted; {
+				if b, w := c.nextBlock(budget); b != nil {
+					n, err := c.runBlock(w, b, budget)
+					if err != nil {
+						return err
+					}
+					budget -= n
+					continue
+				}
+				if err := c.Step(); err != nil {
+					return err
+				}
+				budget--
+			}
+			continue
 		}
 		for i := 0; i < runBatch && !c.halted; i++ {
 			if err := c.Step(); err != nil {

@@ -1,0 +1,46 @@
+package core
+
+import "fmt"
+
+// Engine selects how Run executes instructions. Step is the oracle the
+// block engine is differentially tested against; the engines are
+// observationally identical (Stats, console, faults, final machine state).
+type Engine uint8
+
+const (
+	// EngineAuto picks block execution whenever it is exact — no
+	// per-instruction Trace installed — and single-steps otherwise.
+	EngineAuto Engine = iota
+	// EngineBlock forces basic-block execution. Individual instructions
+	// still single-step where a block cannot apply: delay slots entered
+	// mid-flight, pending interrupts, invalidated or undecodable code.
+	EngineBlock
+	// EngineStep forces the single-step interpreter: Step in a loop, the
+	// reference semantics.
+	EngineStep
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineBlock:
+		return "block"
+	case EngineStep:
+		return "step"
+	default:
+		return "auto"
+	}
+}
+
+// ParseEngine maps the flag/API spelling to an Engine. The empty string is
+// EngineAuto.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "auto":
+		return EngineAuto, nil
+	case "block":
+		return EngineBlock, nil
+	case "step":
+		return EngineStep, nil
+	}
+	return EngineAuto, fmt.Errorf("core: unknown engine %q (want auto, block or step)", s)
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"risc1/internal/asm"
+	"risc1/internal/isa"
+)
+
+// The block engine's contract is observational equivalence with Step.
+// Every test here runs the same image under both engines and requires the
+// complete visible machine state — PC pair, lastPC, flags, windows,
+// console, full Stats(), and fault identity — to match exactly.
+
+// runEngine loads img into a fresh CPU with the given engine and runs it.
+func runEngine(t *testing.T, cfg Config, e Engine, img *asm.Image) (*CPU, error) {
+	t.Helper()
+	cfg.Engine = e
+	c := New(cfg)
+	if err := c.Load(img); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return c, c.Run()
+}
+
+// diffEngines runs img under step and block engines and compares.
+func diffEngines(t *testing.T, cfg Config, src string) (*CPU, *CPU) {
+	t.Helper()
+	img := asm.MustAssemble(src)
+	cs, errS := runEngine(t, cfg, EngineStep, img)
+	cb, errB := runEngine(t, cfg, EngineBlock, img)
+	compareEngines(t, cs, cb, errS, errB)
+	return cs, cb
+}
+
+func compareEngines(t *testing.T, cs, cb *CPU, errS, errB error) {
+	t.Helper()
+	if (errS == nil) != (errB == nil) {
+		t.Fatalf("error mismatch:\nstep:  %v\nblock: %v", errS, errB)
+	}
+	if errS != nil {
+		var es, eb *RunError
+		if errors.As(errS, &es) != errors.As(errB, &eb) {
+			t.Fatalf("error type mismatch:\nstep:  %v\nblock: %v", errS, errB)
+		}
+		if es != nil {
+			if es.PC != eb.PC || es.Cycles != eb.Cycles || es.CWP != eb.CWP ||
+				es.Inst != eb.Inst || es.Err.Error() != eb.Err.Error() ||
+				!reflect.DeepEqual(es.Window, eb.Window) {
+				t.Fatalf("fault identity mismatch:\nstep:  %+v\nblock: %+v", es, eb)
+			}
+		} else if errS.Error() != errB.Error() {
+			t.Fatalf("error mismatch:\nstep:  %v\nblock: %v", errS, errB)
+		}
+	}
+	if cs.pc != cb.pc || cs.npc != cb.npc || cs.lastPC != cb.lastPC {
+		t.Fatalf("PC state mismatch: step pc=%#x npc=%#x last=%#x; block pc=%#x npc=%#x last=%#x",
+			cs.pc, cs.npc, cs.lastPC, cb.pc, cb.npc, cb.lastPC)
+	}
+	if cs.halted != cb.halted || cs.inDelay != cb.inDelay || cs.ie != cb.ie {
+		t.Fatalf("mode mismatch: step halted=%v inDelay=%v ie=%v; block halted=%v inDelay=%v ie=%v",
+			cs.halted, cs.inDelay, cs.ie, cb.halted, cb.inDelay, cb.ie)
+	}
+	if cs.flags != cb.flags {
+		t.Fatalf("flags mismatch: step %+v, block %+v", cs.flags, cb.flags)
+	}
+	if cs.callDepth != cb.callDepth || cs.savePtr != cb.savePtr || cs.Regs.CWP() != cb.Regs.CWP() {
+		t.Fatalf("window state mismatch: step depth=%d save=%#x cwp=%d; block depth=%d save=%#x cwp=%d",
+			cs.callDepth, cs.savePtr, cs.Regs.CWP(), cb.callDepth, cb.savePtr, cb.Regs.CWP())
+	}
+	for r := 0; r < isa.NumVisibleRegs; r++ {
+		if a, b := cs.Regs.Get(uint8(r)), cb.Regs.Get(uint8(r)); a != b {
+			t.Fatalf("r%d mismatch: step %#x, block %#x", r, a, b)
+		}
+	}
+	if a, b := cs.Console(), cb.Console(); a != b {
+		t.Fatalf("console mismatch: step %q, block %q", a, b)
+	}
+	ss, sb := cs.Stats(), cb.Stats()
+	if !reflect.DeepEqual(*ss, *sb) {
+		t.Fatalf("stats mismatch:\nstep:  %+v\nblock: %+v", *ss, *sb)
+	}
+}
+
+const loopSrc = `
+	main:	add r0,#0,r1
+		li #1000,r2
+	loop:	add r1,#1,r1
+		cmp r1,r2
+		blt loop
+		nop
+		stl r1,(r0)#` + putIntDisp + `
+		ret r25,#8
+		nop
+	`
+
+// recurseSrc is the canonical windowed recursion (sum via register
+// windows), deep enough to spill and refill.
+var recurseSrc = sumProgram(30)
+
+func TestEngineEquivalenceLoop(t *testing.T) {
+	cs, _ := diffEngines(t, Config{}, loopSrc)
+	if cs.Console() != "1000" {
+		t.Fatalf("console = %q, want 1000", cs.Console())
+	}
+}
+
+func TestEngineEquivalenceCallsAndSpills(t *testing.T) {
+	cs, _ := diffEngines(t, Config{}, recurseSrc)
+	if s := cs.Stats(); s.WindowOverflow == 0 || s.WindowUnderflow == 0 {
+		t.Fatalf("recursion did not exercise spills: %+v", s)
+	}
+}
+
+func TestEngineEquivalenceFlat(t *testing.T) {
+	diffEngines(t, Config{Flat: true}, loopSrc)
+	// Windowed recursion is wrong-by-construction on the flat machine
+	// (shared link register): it runs away, so cap the budget — the
+	// equivalence must hold on the capped divergence too.
+	diffEngines(t, Config{Flat: true, MaxCycles: 100000}, recurseSrc)
+}
+
+func TestEngineEquivalenceMemoryAndMisc(t *testing.T) {
+	diffEngines(t, Config{}, `
+	main:	li #buf,r1
+		li #0x1234,r2
+		stl r2,(r1)#0
+		sts r2,(r1)#4
+		stb r2,(r1)#6
+		ldl (r1)#0,r3
+		ldsu (r1)#4,r4
+		ldss (r1)#4,r5
+		ldbu (r1)#6,r6
+		ldbs (r1)#6,r7
+		ldhi r8,#5
+		getpsw r10
+		add! r3,r4,r11
+		sub! r0,r5,r12
+		and r2,#255,r13
+		or r2,#15,r14
+		xor r2,r3,r15
+		sll r2,#3,r16
+		srl r2,#2,r17
+		sra r12,#1,r18
+		addc r2,r3,r19
+		subc r2,#1,r20
+		subr r2,#0,r21
+		subcr r2,#0,r22
+		ret r25,#8
+		nop
+	buf:	.word 0
+		.word 0
+	`)
+}
+
+func TestEngineEquivalenceUntakenBranch(t *testing.T) {
+	diffEngines(t, Config{}, `
+	main:	add r0,#1,r1
+		cmp r1,#1
+		bne away            ; never taken: still owns its delay slot
+		add r1,#10,r1       ; useful slot work
+		cmp r1,#99
+		beq away
+		nop
+	away:	ret r25,#8
+		nop
+	`)
+}
+
+func TestEngineEquivalenceFaults(t *testing.T) {
+	cases := map[string]struct {
+		cfg Config
+		src string
+	}{
+		// A misaligned load in the middle of a straight-line block: the
+		// fault must unwind the batched accounting of everything after it.
+		"misaligned load mid-block": {Config{}, `
+	main:	add r0,#1,r1
+		add r1,#1,r2
+		ldl (r0)#2,r3
+		add r2,#1,r4
+		add r4,#1,r5
+		ret r25,#8
+		nop
+	`},
+		"store out of range": {Config{MemSize: 1 << 16}, `
+	main:	ldhi r1,#40
+		add r1,#0,r1
+		stl r1,(r1)#0
+		add r0,#1,r2
+		ret r25,#8
+		nop
+	`},
+		// Fault in the delay slot of a taken branch: PC/NPC must show the
+		// discontinuous pair.
+		"fault in delay slot": {Config{}, `
+	main:	add r0,#1,r1
+		b target
+		ldl (r0)#2,r3
+	target:	ret r25,#8
+		nop
+	`},
+		// The save stack fills during a call chain: the transfer itself
+		// faults after spill cycles were charged.
+		"save stack overflow": {Config{SaveStackBytes: 128}, recurseSrc},
+		// Execution falls into a word that does not decode.
+		"undecodable word": {Config{}, `
+	main:	add r0,#1,r1
+		add r1,#1,r2
+		.word 0xffffffff
+		ret r25,#8
+		nop
+	`},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			img := asm.MustAssemble(tc.src)
+			cs, errS := runEngine(t, tc.cfg, EngineStep, img)
+			cb, errB := runEngine(t, tc.cfg, EngineBlock, img)
+			if errS == nil {
+				t.Fatalf("expected a fault, got clean run")
+			}
+			compareEngines(t, cs, cb, errS, errB)
+		})
+	}
+}
+
+// TestEngineEquivalenceMaxCycles sweeps the cycle budget across every
+// boundary of the first few hundred cycles of both a tight loop and a
+// spill-heavy recursion. This pins the batched-accounting split: wherever
+// the budget lands — mid-block, at the transfer, at the delay slot after
+// dynamic spill cycles — both engines must refuse at the same instruction
+// with identical statistics.
+func TestEngineEquivalenceMaxCycles(t *testing.T) {
+	for name, src := range map[string]string{"loop": loopSrc, "recurse": recurseSrc} {
+		t.Run(name, func(t *testing.T) {
+			img := asm.MustAssemble(src)
+			for limit := uint64(1); limit <= 600; limit++ {
+				cs, errS := runEngine(t, Config{MaxCycles: limit}, EngineStep, img)
+				cb, errB := runEngine(t, Config{MaxCycles: limit}, EngineBlock, img)
+				compareEngines(t, cs, cb, errS, errB)
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceSelfModifyingBlock stores over an instruction two
+// words ahead in the store's own block: the block engine must stop at the
+// store and pick up the fresh bytes, exactly like the step engine's
+// predecode invalidation.
+func TestEngineEquivalenceSelfModifyingBlock(t *testing.T) {
+	cs, _ := diffEngines(t, Config{}, `
+	main:	li #target,r4
+		li #donor,r3
+		ldl (r3)#0,r1
+		stl r1,(r4)#0       ; overwrite target, later in this very block
+		add r0,#5,r2
+	target:	add r0,#7,r5        ; patched to "add r0,#99,r5" before it runs
+		ret r25,#8
+		nop
+	donor:	add r0,#99,r5
+	`)
+	if got := cs.Reg(5); got != 99 {
+		t.Fatalf("r5 = %d, want 99 (patch must take effect in-block)", got)
+	}
+}
+
+// TestEngineEquivalenceSelfModifyingSlot patches the delay slot of the
+// block's own terminator.
+func TestEngineEquivalenceSelfModifyingSlot(t *testing.T) {
+	cs, _ := diffEngines(t, Config{}, `
+	main:	li #slot,r4
+		li #donor,r3
+		ldl (r3)#0,r1
+		stl r1,(r4)#0       ; overwrite the branch's delay slot
+		b done
+	slot:	add r0,#7,r5        ; patched to "add r0,#99,r5"
+	done:	ret r25,#8
+		nop
+	donor:	add r0,#99,r5
+	`)
+	if got := cs.Reg(5); got != 99 {
+		t.Fatalf("r5 = %d, want 99 (patched slot must run fresh)", got)
+	}
+}
+
+func TestEngineEquivalenceSelfModLoop(t *testing.T) {
+	diffEngines(t, Config{}, `
+	main:	li #donor,r3
+		ldl (r3)#0,r1
+		li #patch,r4
+	patch:	add r0,#7,r2
+		cmp r2,#7
+		bne done
+		nop
+		stl r1,(r4)#0
+		b patch
+		nop
+	done:	ret r25,#8
+		nop
+	donor:	add r0,#77,r2
+	`)
+}
+
+// TestEngineEquivalenceInterrupt delivers a queued interrupt and runs the
+// handler round trip under both engines.
+func TestEngineEquivalenceInterrupt(t *testing.T) {
+	src := `
+	main:	add r0,#0,r1
+	loop:	add r1,#1,r1
+		cmp r1,#50
+		blt loop
+		nop
+		stl r1,(r0)#` + putIntDisp + `
+		ret r25,#8
+		nop
+		.align 4
+	handler: callint r16
+		add r5,#1,r5
+		retint r16,#0
+		nop
+	`
+	img := asm.MustAssemble(src)
+	vec, _ := img.Symbol("handler")
+	run := func(e Engine) (*CPU, error) {
+		c := New(Config{Engine: e})
+		if err := c.Load(img); err != nil {
+			t.Fatal(err)
+		}
+		c.Interrupt(vec)
+		return c, c.Run()
+	}
+	cs, errS := run(EngineStep)
+	cb, errB := run(EngineBlock)
+	compareEngines(t, cs, cb, errS, errB)
+	if cs.Console() != "50" {
+		t.Fatalf("console = %q, want 50", cs.Console())
+	}
+}
+
+// TestEngineAutoTraceFallsBack pins the auto engine's trace contract: a
+// per-instruction Trace sees every instruction even under EngineAuto.
+func TestEngineAutoTraceFallsBack(t *testing.T) {
+	img := asm.MustAssemble(loopSrc)
+	c := New(Config{Engine: EngineAuto})
+	if err := c.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	var traced uint64
+	c.Trace = func(pc uint32, inst isa.Inst) { traced++ }
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if traced != c.Stats().Instructions {
+		t.Fatalf("trace saw %d of %d instructions", traced, c.Stats().Instructions)
+	}
+}
+
+// TestParseEngine pins the knob's spellings.
+func TestParseEngine(t *testing.T) {
+	for s, want := range map[string]Engine{"": EngineAuto, "auto": EngineAuto, "block": EngineBlock, "step": EngineStep} {
+		got, err := ParseEngine(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseEngine(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Fatal("ParseEngine accepted garbage")
+	}
+}

@@ -113,6 +113,34 @@ func FuzzExec(f *testing.F) {
 	})
 }
 
+// FuzzEngineEquivalence is the differential fuzzer for the block engine:
+// the same code bytes run under the step oracle and the block engine, and
+// the complete observable outcome — PC state at three mid-run checkpoints
+// and at the end, Stats(), console output, and fault identity — must
+// match exactly. The checkpoints come from truncating MaxCycles, which
+// exercises the batched-accounting split at arbitrary block offsets.
+func FuzzEngineEquivalence(f *testing.F) {
+	f.Add(asm.MustAssemble(loopSrc).Bytes, uint32(30000))
+	f.Add(asm.MustAssemble(sumProgram(12)).Bytes, uint32(30000))
+	f.Add([]byte{0x22, 0x00, 0x00, 0x01, 0x88, 0x32, 0x00, 0x08}, uint32(100))
+	seed := make([]byte, 128)
+	rand.New(rand.NewSource(41)).Read(seed)
+	f.Add(seed, uint32(5000))
+	f.Fuzz(func(t *testing.T, code []byte, limit uint32) {
+		if len(code) == 0 || len(code) > 4096 {
+			return
+		}
+		budget := 1 + uint64(limit)%30000
+		img := &asm.Image{Org: 0, Entry: 0, Bytes: code}
+		for _, mc := range []uint64{budget/4 + 1, budget/2 + 1, budget} {
+			cfg := Config{MemSize: 1 << 16, MaxCycles: mc}
+			cs, errS := runEngine(t, cfg, EngineStep, img)
+			cb, errB := runEngine(t, cfg, EngineBlock, img)
+			compareEngines(t, cs, cb, errS, errB)
+		}
+	})
+}
+
 func countPct(s string) int {
 	n := 0
 	for i := 0; i+1 < len(s); i++ {

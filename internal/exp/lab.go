@@ -40,7 +40,10 @@ type Run struct {
 	Seconds     float64 // simulated wall time at the machine's clock
 	Console     string
 	SlotsFilled int
-	Err         error // non-nil: this configuration failed to execute
+	// Engine records the execution engine the run was simulated under
+	// (RISC targets only; the CX machine has a single interpreter).
+	Engine core.Engine
+	Err    error // non-nil: this configuration failed to execute
 }
 
 // Failed reports whether this run is a failure placeholder.
@@ -57,6 +60,11 @@ type Options struct {
 	Windows     int  // register windows (0 = the paper's 8)
 	SpillBatch  int  // windows spilled per overflow trap (0 = 1)
 	NoDelayFill bool // leave NOPs in delay slots
+	// Engine selects the core execution engine (auto, block, step) for
+	// RISC targets; the CX machine ignores it. Engine is part of the lab
+	// cache key, so runs simulated under different engines never share a
+	// cached result.
+	Engine core.Engine
 	// Fault, when non-nil, injects memory failures into the run (the plan
 	// is copied per execution, so one plan can safely serve many runs).
 	Fault *mem.FaultPlan
@@ -85,7 +93,7 @@ func ExecuteContext(ctx context.Context, b prog.Benchmark, target cc.Target, opt
 	if err != nil {
 		return nil, fmt.Errorf("%s on %v: %w", b.Name, target, err)
 	}
-	run := &Run{Bench: b, Target: target, SlotsFilled: res.SlotsFilled}
+	run := &Run{Bench: b, Target: target, SlotsFilled: res.SlotsFilled, Engine: opt.Engine}
 
 	switch target {
 	case cc.CISC:
@@ -132,6 +140,7 @@ func ExecuteContext(ctx context.Context, b prog.Benchmark, target cc.Target, opt
 			Windows:        opt.Windows,
 			SpillBatch:     opt.SpillBatch,
 			SaveStackBytes: 64 << 10,
+			Engine:         opt.Engine,
 		})
 		if err := m.Load(img); err != nil {
 			return nil, err
@@ -173,6 +182,7 @@ type Lab struct {
 	cache    map[labKey]*Run
 	inflight map[labKey]*labCall
 	timeout  time.Duration
+	engine   core.Engine
 	inject   map[string]*mem.FaultPlan
 	failures map[labKey]Failure
 }
@@ -207,6 +217,16 @@ func NewLab() *Lab {
 func (l *Lab) SetTimeout(d time.Duration) {
 	l.mu.Lock()
 	l.timeout = d
+	l.mu.Unlock()
+}
+
+// SetEngine sets the default execution engine for every subsequent run
+// that does not pick one explicitly (Options.Engine left at EngineAuto).
+// The resolved engine participates in the cache key, so switching engines
+// never reuses results simulated under the other one.
+func (l *Lab) SetEngine(e core.Engine) {
+	l.mu.Lock()
+	l.engine = e
 	l.mu.Unlock()
 }
 
@@ -256,6 +276,9 @@ func (l *Lab) Run(b prog.Benchmark, target cc.Target, opt Options) (*Run, error)
 	l.mu.Lock()
 	if p, ok := l.inject[b.Name]; ok && opt.Fault == nil {
 		opt.Fault = p
+	}
+	if opt.Engine == core.EngineAuto {
+		opt.Engine = l.engine
 	}
 	timeout := l.timeout
 	k := labKey{b.Name, target, opt}

@@ -2,24 +2,17 @@ package lint
 
 import (
 	"fmt"
-	"math"
 
 	"risc1/internal/asm"
+	"risc1/internal/cfg"
 	"risc1/internal/isa"
 )
 
-// The analyzer models delayed transfers with two nodes per code word i:
-// N_i ("normal"), the instruction executing on its own, and S_i ("slot"),
-// the same instruction executing as the delay slot of the transfer at i-1.
-// The slot is always the next sequential word, so the pairing is unique and
-// the whole graph fits in two flat arrays. Edges out of S_i are the
-// *transfer's* edges — by the time the slot has executed, control moves to
-// the transfer's target (or falls through, for an untaken conditional).
-//
-// Each node carries the minimum call depth at which the entry can reach it
-// (CALL/CALLINT push a window, RET/RETINT pop one). Labeled roots — symbols
-// analyzed as extra entry points when the image marks its code/data split —
-// have no meaningful depth and propagate "unknown".
+// The analyzer's graph — two nodes per code word, slot nodes carrying the
+// outer transfer's edges, min-call-depth worklist — lives in internal/cfg,
+// shared with the interpreter's block engine. This file binds it to the
+// image being linted: symbol-derived roots, the code/data split, and
+// diagnostic plumbing.
 
 // linkReg is r25, the link register of both calling conventions and the
 // register the reset linkage preselects so `ret r25,#8` at depth 0 halts.
@@ -29,11 +22,16 @@ const linkReg = 25
 // data. Hand-written sources may define it to get the same split.
 const dataStartSym = "__data_start"
 
-const depthUnknown = math.MaxInt
+const depthUnknown = cfg.DepthUnknown
+
+// cfgEdge is the shared package's edge type; the pass files predate the
+// extraction and keep the local name.
+type cfgEdge = cfg.Edge
 
 type program struct {
 	img  *asm.Image
 	opts Options
+	g    *cfg.Program
 
 	org     uint32
 	insts   []isa.Inst
@@ -67,14 +65,16 @@ func newProgram(img *asm.Image, opts Options) *program {
 	if len(insts) == 0 {
 		return nil
 	}
+	g := cfg.New(img.Org, insts, okv)
 	p := &program{
 		img:         img,
 		opts:        opts,
+		g:           g,
 		org:         img.Org,
 		insts:       insts,
 		ok:          okv,
-		n:           len(insts),
-		codeEnd:     img.Org + uint32(4*len(insts)),
+		n:           g.N(),
+		codeEnd:     g.CodeEnd(),
 		imgEnd:      img.Org + uint32(len(img.Bytes)),
 		hasDataMark: hasMark,
 		labels:      map[int]bool{},
@@ -97,14 +97,9 @@ func newProgram(img *asm.Image, opts Options) *program {
 	return p
 }
 
-func (p *program) addrOf(idx int) uint32 { return p.org + uint32(4*idx) }
+func (p *program) addrOf(idx int) uint32 { return p.g.AddrOf(idx) }
 
-func (p *program) indexOf(addr uint32) (int, bool) {
-	if addr < p.org || addr >= p.codeEnd || (addr-p.org)%4 != 0 {
-		return 0, false
-	}
-	return int((addr - p.org) / 4), true
-}
+func (p *program) indexOf(addr uint32) (int, bool) { return p.g.IndexOf(addr) }
 
 func (p *program) report(sev Severity, pass string, pc uint32, idx int, format string, args ...any) {
 	d := Diagnostic{
@@ -125,145 +120,36 @@ func (p *program) reportAt(sev Severity, pass string, idx int, format string, ar
 	p.report(sev, pass, p.addrOf(idx), idx, format, args...)
 }
 
-type cfgEdge struct {
-	to     int  // node id (idx*2, +1 for slot)
-	delta  int  // call-depth change along the edge
-	ret    bool // call-return edge: the callee may rewrite arg/result registers
-	callee bool // call-entry edge: crosses into another function
-}
+// delayed reports whether in owns a delay slot.
+func delayed(in isa.Inst) bool { return cfg.Delayed(in) }
 
-// delayed reports whether in owns a delay slot. Every control transfer does
-// except CALLINT, which the hardware takes immediately (it is the trap
-// entry path).
-func delayed(in isa.Inst) bool {
-	return in.Op.Transfers() && in.Op != isa.OpCALLINT
-}
-
-// targetAddr resolves a transfer's statically-known destination: the
-// PC-relative long formats always, the register forms only when they name
-// the constant-address idiom (r0 base + immediate).
+// targetAddr resolves a transfer's statically-known destination.
 func (p *program) targetAddr(idx int, in isa.Inst) (uint32, bool) {
-	switch in.Op {
-	case isa.OpJMPR, isa.OpCALLR:
-		return p.addrOf(idx) + uint32(in.Imm19), true
-	case isa.OpJMP, isa.OpCALL:
-		if in.Rs1 == 0 && in.Imm {
-			return uint32(in.Imm13), true
-		}
-	}
-	return 0, false
+	return p.g.TargetAddr(idx, in)
 }
 
-// staticTarget is targetAddr projected onto a code-word index; it reports
-// false for dynamic targets and for targets the branch-target pass flags.
+// staticTarget is targetAddr projected onto a code-word index.
 func (p *program) staticTarget(idx int, in isa.Inst) (int, bool) {
-	a, ok := p.targetAddr(idx, in)
-	if !ok {
-		return 0, false
-	}
-	return p.indexOf(a)
+	return p.g.StaticTarget(idx, in)
 }
 
-// edges enumerates a node's static successors. Nodes past either end and
-// undecodable words have none.
-func (p *program) edges(node int) []cfgEdge {
-	idx, slot := node/2, node%2 == 1
-	if idx >= p.n || !p.ok[idx] {
-		return nil
-	}
-	in := p.insts[idx]
-	if !slot {
-		if delayed(in) {
-			delta := 0
-			switch {
-			case in.IsCall():
-				delta = 1
-			case in.IsReturn():
-				delta = -1
-			}
-			return []cfgEdge{{to: 2*(idx+1) + 1, delta: delta}}
-		}
-		delta := 0
-		if in.Op == isa.OpCALLINT {
-			delta = 1
-		}
-		return []cfgEdge{{to: 2 * (idx + 1), delta: delta}}
-	}
-
-	// Slot of the transfer at idx-1: control now moves where the transfer
-	// decided. The depth at this node already reflects the window shift.
-	t := p.insts[idx-1]
-	var out []cfgEdge
-	switch {
-	case t.Op == isa.OpJMP || t.Op == isa.OpJMPR:
-		if tidx, known := p.staticTarget(idx-1, t); known && t.Cond() != isa.CondNEV {
-			out = append(out, cfgEdge{to: 2 * tidx})
-		}
-		if t.Cond() != isa.CondALW { // conditional (or never-taken): may fall through
-			out = append(out, cfgEdge{to: 2 * (idx + 1)})
-		}
-	case t.IsCall():
-		if tidx, known := p.staticTarget(idx-1, t); known {
-			out = append(out, cfgEdge{to: 2 * tidx, callee: true})
-		}
-		// Assume the callee returns: back to the word after the slot, in
-		// the caller's window.
-		out = append(out, cfgEdge{to: 2 * (idx + 1), delta: -1, ret: true})
-	case t.IsReturn():
-		// Dynamic destination; no static successors.
-	}
-	return out
-}
+// edges enumerates a node's static successors.
+func (p *program) edges(node int) []cfgEdge { return p.g.Edges(node) }
 
 // walk computes reachability and minimum call depth over the node graph.
 // Roots: the entry at depth 0, plus — when the image marks its code/data
 // split — every labeled code word at unknown depth (interrupt handlers and
 // indirectly-called functions are reachable even when no static path shows
-// it). Depths only ever decrease, so the worklist terminates.
+// it).
 func (p *program) walk() {
-	p.reach = make([]bool, 2*p.n)
-	p.minDepth = make([]int, 2*p.n)
-	for i := range p.minDepth {
-		p.minDepth[i] = depthUnknown
-	}
-	var wl []int
-	push := func(node, d int) {
-		if node < 0 || node >= 2*p.n {
-			return
-		}
-		changed := !p.reach[node]
-		p.reach[node] = true
-		if d != depthUnknown && d < p.minDepth[node] {
-			p.minDepth[node] = d
-			changed = true
-		}
-		if changed {
-			wl = append(wl, node)
-		}
-	}
-	if p.entryIdx >= 0 {
-		push(2*p.entryIdx, 0)
-	}
+	var roots []int
 	if p.hasDataMark {
 		for idx := range p.labels {
-			push(2*idx, depthUnknown)
+			roots = append(roots, idx)
 		}
 	}
-	for len(wl) > 0 {
-		node := wl[len(wl)-1]
-		wl = wl[:len(wl)-1]
-		d := p.minDepth[node]
-		for _, e := range p.edges(node) {
-			nd := depthUnknown
-			if d != depthUnknown {
-				nd = d + e.delta
-				if nd < 0 {
-					nd = 0
-				}
-			}
-			push(e.to, nd)
-		}
-	}
+	r := p.g.Walk(p.entryIdx, roots)
+	p.reach, p.minDepth = r.Reach, r.MinDepth
 }
 
 // executed reports whether any mode of word idx is reachable.

@@ -70,10 +70,10 @@ func (p *program) checkUseBeforeDef() {
 		}
 		for _, e := range p.edges(node) {
 			v := out
-			if e.ret {
+			if e.Ret {
 				v |= retClobber
 			}
-			seed(e.to, v)
+			seed(e.To, v)
 		}
 	}
 

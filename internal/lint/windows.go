@@ -73,8 +73,8 @@ func (p *program) checkCallChains() {
 				}
 			}
 			for _, e := range p.edges(node) {
-				if !e.callee {
-					wl = append(wl, e.to)
+				if !e.Callee {
+					wl = append(wl, e.To)
 				}
 			}
 		}

@@ -27,6 +27,9 @@ type RunRequest struct {
 	// TimeoutMS lowers the server's per-run wall-clock deadline, likewise
 	// clamped to the server ceiling.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Engine selects the RISC execution engine: "auto" (default), "block"
+	// or "step". CISC runs ignore it.
+	Engine string `json:"engine,omitempty"`
 }
 
 // RunResponse is the body of a successful POST /v1/run.

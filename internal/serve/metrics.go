@@ -30,6 +30,7 @@ type metrics struct {
 	latSum    float64
 	latCount  uint64
 	simInstrs uint64            // cumulative simulated instructions across all runs
+	runs      map[string]uint64 // execution engine → /v1/run simulations started
 	lintFound map[string]uint64 // severity → findings reported by /v1/lint
 }
 
@@ -37,6 +38,7 @@ func newMetrics() *metrics {
 	return &metrics{
 		requests:  map[string]map[int]uint64{},
 		bucketCnt: make([]uint64, len(latencyBuckets)),
+		runs:      map[string]uint64{},
 		lintFound: map[string]uint64{},
 	}
 }
@@ -71,6 +73,13 @@ func (m *metrics) addLintFindings(diags []risc1.Diagnostic) {
 	for _, d := range diags {
 		m.lintFound[d.Severity.String()]++
 	}
+}
+
+// addRun counts one /v1/run simulation by the engine it executed under.
+func (m *metrics) addRun(engine string) {
+	m.mu.Lock()
+	m.runs[engine]++
+	m.mu.Unlock()
 }
 
 // addSimInstructions accumulates simulated work done on behalf of requests.
@@ -144,6 +153,17 @@ func (m *metrics) render(g gauges) string {
 	b.WriteString("# HELP riscd_image_cache_entries Compiled images currently cached.\n")
 	b.WriteString("# TYPE riscd_image_cache_entries gauge\n")
 	fmt.Fprintf(&b, "riscd_image_cache_entries %d\n", g.cacheEntries)
+
+	b.WriteString("# HELP riscd_runs_total Simulations executed for /v1/run, by execution engine.\n")
+	b.WriteString("# TYPE riscd_runs_total counter\n")
+	engines := make([]string, 0, len(m.runs))
+	for e := range m.runs {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+	for _, e := range engines {
+		fmt.Fprintf(&b, "riscd_runs_total{engine=%q} %d\n", e, m.runs[e])
+	}
 
 	b.WriteString("# HELP riscd_simulated_instructions_total Guest instructions simulated for /v1/run.\n")
 	b.WriteString("# TYPE riscd_simulated_instructions_total counter\n")

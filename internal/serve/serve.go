@@ -293,6 +293,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
+	engine, err := risc1.ParseEngine(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
 
 	release := s.admit(w, r)
 	if release == nil {
@@ -308,7 +313,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.runCtx(r, req.TimeoutMS)
 	defer cancel()
-	info, err := risc1.RunImage(ctx, img, risc1.RunOptions{MaxCycles: s.budget(req.MaxCycles)})
+	info, err := risc1.RunImage(ctx, img, risc1.RunOptions{MaxCycles: s.budget(req.MaxCycles), Engine: engine})
+	s.met.addRun(engine.String())
 	if err != nil {
 		status, body := runErrorStatus(err)
 		writeJSON(w, status, body)
@@ -350,7 +356,6 @@ func (s *Server) handleDisasm(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-
 	release := s.admit(w, r)
 	if release == nil {
 		return
@@ -385,7 +390,6 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-
 	release := s.admit(w, r)
 	if release == nil {
 		return

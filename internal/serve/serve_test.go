@@ -650,3 +650,45 @@ type atomic64 struct {
 
 func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
 func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
+
+// TestRunEngineSelection pins the engine knob on /v1/run: both engines
+// produce identical results, the engine spelling is validated, and the
+// per-engine run counter shows up in /metrics.
+func TestRunEngineSelection(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := "main: add r0,#6,r10\n stl r10,(r0)#-252\n ret r25,#8\n nop\n"
+	var got [2]RunResponse
+	for i, engine := range []string{"step", "block"} {
+		resp, raw := postJSON(t, ts.URL+"/v1/run",
+			RunRequest{Source: src, Lang: "asm", Engine: engine})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("engine %q: status %d\n%s", engine, resp.StatusCode, raw)
+		}
+		if err := json.Unmarshal(raw, &got[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got[1].Cached = got[0].Cached // the image cache hit is the only allowed difference
+	if got[0] != got[1] {
+		t.Errorf("engines disagree:\nstep:  %+v\nblock: %+v", got[0], got[1])
+	}
+
+	resp, raw := postJSON(t, ts.URL+"/v1/run",
+		RunRequest{Source: src, Lang: "asm", Engine: "warp"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad engine: status %d\n%s", resp.StatusCode, raw)
+	}
+	if d := decodeError(t, raw); d.Code != "bad_request" {
+		t.Errorf("bad engine: code %q, want bad_request", d.Code)
+	}
+
+	_, raw = getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`riscd_runs_total{engine="step"} 1`,
+		`riscd_runs_total{engine="block"} 1`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -52,6 +52,24 @@ const (
 	CISC = cc.CISC
 )
 
+// Engine selects how the RISC I core executes: basic-block compilation
+// (the default), or the single-step reference interpreter. The engines are
+// observationally identical — same console, statistics, faults — and
+// differ only in speed; see core.Engine.
+type Engine = core.Engine
+
+// The execution engines. EngineAuto resolves to block execution unless a
+// per-instruction trace is installed.
+const (
+	EngineAuto  = core.EngineAuto
+	EngineBlock = core.EngineBlock
+	EngineStep  = core.EngineStep
+)
+
+// ParseEngine maps the CLI/API spelling ("auto", "block", "step", or
+// empty for auto) to an Engine.
+func ParseEngine(s string) (Engine, error) { return core.ParseEngine(s) }
+
 // CompileOptions tunes Cm compilation.
 type CompileOptions struct {
 	// NoDelaySlotFill keeps a NOP in every delayed-transfer slot.
@@ -195,6 +213,9 @@ type RunOptions struct {
 	// MaxCycles aborts the run once the machine has simulated this many
 	// cycles (RISC) or microcycles (CX). Zero keeps the machine default.
 	MaxCycles uint64
+	// Engine selects the RISC core execution engine. The CX machine has a
+	// single interpreter and ignores it.
+	Engine Engine
 }
 
 // RunImage runs a compiled image to completion on a fresh machine of its
@@ -215,6 +236,7 @@ func RunImage(ctx context.Context, img *Image, opt RunOptions) (*RunInfo, error)
 		Flat:           img.target == RISCFlat,
 		SaveStackBytes: 64 << 10,
 		MaxCycles:      opt.MaxCycles,
+		Engine:         opt.Engine,
 	})
 	if err := m.Load(img.risc); err != nil {
 		return nil, err
@@ -288,6 +310,8 @@ type MachineConfig struct {
 	Flat      bool // disable window sliding
 	MemSize   int  // RAM bytes (0 = 1 MiB)
 	MaxCycles uint64
+	// Engine selects the execution engine (auto, block, step).
+	Engine Engine
 }
 
 // Machine is an assembly-level RISC I processor.
@@ -303,6 +327,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 		Flat:      cfg.Flat,
 		MemSize:   cfg.MemSize,
 		MaxCycles: cfg.MaxCycles,
+		Engine:    cfg.Engine,
 	})}
 }
 
