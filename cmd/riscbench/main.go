@@ -6,6 +6,7 @@
 //	riscbench -exp E4         # just the execution-time comparison
 //	riscbench -json           # also write BENCH_risc1.json (machine-readable)
 //	riscbench -engine step    # force the single-step reference engine
+//	riscbench -profile -      # dump the reference loop's heat profile as JSON
 //	riscbench -timeout 30s    # abort any single configuration after 30s
 //	riscbench -inject hanoi   # fault-inject one benchmark (degradation demo)
 //
@@ -58,13 +59,28 @@ type benchReport struct {
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	// Simulator is the throughput under the engine the run used;
-	// SimulatorByEngine holds both engines for the speedup comparison.
+	// SimulatorByEngine holds all three engines for the speedup ladder.
 	Simulator         simThroughput            `json:"simulator_throughput"`
 	SimulatorByEngine map[string]simThroughput `json:"simulator_throughput_by_engine"`
 	BlockSpeedup      float64                  `json:"block_speedup_over_step"`
-	Experiments       []experimentTiming       `json:"experiments"`
-	Headline          headlineMetrics          `json:"headline_metrics"`
-	Failures          []failureReport          `json:"failures,omitempty"`
+	TraceSpeedup      float64                  `json:"trace_speedup_over_block"`
+	// TraceCoverage describes the trace tier's dynamic-fusion coverage on
+	// the reference loop: how much of the instruction stream retired
+	// inside compiled traces and which opcode n-grams measured hottest.
+	TraceCoverage traceCoverage      `json:"trace_coverage"`
+	Experiments   []experimentTiming `json:"experiments"`
+	Headline      headlineMetrics    `json:"headline_metrics"`
+	Failures      []failureReport    `json:"failures,omitempty"`
+}
+
+// traceCoverage is the trace tier's fusion-coverage summary.
+type traceCoverage struct {
+	HotBlocks           int                `json:"hot_blocks"`
+	TracesCompiled      uint64             `json:"traces_compiled"`
+	TraceSideExits      uint64             `json:"trace_side_exits"`
+	TraceInvalidations  uint64             `json:"trace_invalidations"`
+	TraceInstructionPct float64            `json:"trace_instruction_pct"`
+	TopNGrams           []risc1.NGramCount `json:"top_ngrams"`
 }
 
 // historyEntry is one line of BENCH_history.jsonl.
@@ -76,7 +92,10 @@ type historyEntry struct {
 	GOMAXPROCS   int     `json:"gomaxprocs"`
 	StepIPS      float64 `json:"step_sim_instructions_per_sec"`
 	BlockIPS     float64 `json:"block_sim_instructions_per_sec"`
+	TraceIPS     float64 `json:"trace_sim_instructions_per_sec"`
 	BlockSpeedup float64 `json:"block_speedup_over_step"`
+	TraceSpeedup float64 `json:"trace_speedup_over_block"`
+	TracePct     float64 `json:"trace_instruction_pct"`
 }
 
 type failureReport struct {
@@ -110,7 +129,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write "+benchFile+" with throughput and headline metrics")
 	timeout := flag.Duration("timeout", 0, "per-configuration wall-clock limit (0 = none)")
 	inject := flag.String("inject", "", "benchmark name to run under an injected memory fault")
-	engineFlag := flag.String("engine", "auto", "RISC execution engine for all runs: auto, block or step")
+	engineFlag := flag.String("engine", "auto", "RISC execution engine for all runs: auto, block, step or trace")
+	profileOut := flag.String("profile", "", "write the reference loop's execution-heat profile as JSON to this file (- for stdout)")
 	flag.Parse()
 
 	engine, err := risc1.ParseEngine(*engineFlag)
@@ -157,6 +177,12 @@ func main() {
 	}
 
 	failures := lab.Failures()
+	if *profileOut != "" {
+		if err := writeBenchProfile(*profileOut, engine); err != nil {
+			fmt.Fprintf(os.Stderr, "riscbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonOut {
 		if err := writeReport(lab, engine, timings, failures); err != nil {
 			fmt.Fprintf(os.Stderr, "riscbench: %v\n", err)
@@ -173,15 +199,16 @@ func main() {
 	}
 }
 
-// measureThroughput runs the reference loop once under the given engine.
-func measureThroughput(e risc1.Engine) (simThroughput, error) {
+// measureThroughput runs the reference loop once under the given engine,
+// returning the machine so the caller can mine its profile.
+func measureThroughput(e risc1.Engine) (simThroughput, *risc1.Machine, error) {
 	m := risc1.NewMachine(risc1.MachineConfig{Engine: e})
 	if err := m.LoadAssembly(throughputAsm); err != nil {
-		return simThroughput{}, err
+		return simThroughput{}, nil, err
 	}
 	start := time.Now()
 	if err := m.Run(); err != nil {
-		return simThroughput{}, err
+		return simThroughput{}, nil, err
 	}
 	secs := time.Since(start).Seconds()
 	instrs := m.Info().Instructions
@@ -189,15 +216,59 @@ func measureThroughput(e risc1.Engine) (simThroughput, error) {
 		Instructions:       instrs,
 		Seconds:            secs,
 		InstructionsPerSec: float64(instrs) / secs,
-	}, nil
+	}, m, nil
 }
 
-// writeReport measures raw simulator throughput under both engines, pulls
+// writeBenchProfile runs the reference loop on a trace-capable engine and
+// dumps its execution-heat profile in riscrun's -profile JSON shape.
+func writeBenchProfile(path string, engine risc1.Engine) error {
+	if engine == risc1.EngineBlock || engine == risc1.EngineStep {
+		engine = risc1.EngineTrace // heat is only counted on the trace tier
+	}
+	_, m, err := measureThroughput(engine)
+	if err != nil {
+		return err
+	}
+	info := m.Info()
+	dump := struct {
+		Schema             string               `json:"schema"`
+		Engine             string               `json:"engine"`
+		TracesCompiled     uint64               `json:"traces_compiled"`
+		TraceSideExits     uint64               `json:"trace_side_exits"`
+		TraceInvalidations uint64               `json:"trace_invalidations"`
+		TraceInstructions  uint64               `json:"trace_instructions"`
+		HotBlocks          int                  `json:"hot_blocks"`
+		Blocks             []risc1.BlockProfile `json:"blocks"`
+		NGrams             []risc1.NGramCount   `json:"ngrams"`
+	}{
+		Schema:             "risc1-profile/1",
+		Engine:             engine.String(),
+		TracesCompiled:     info.TracesCompiled,
+		TraceSideExits:     info.TraceSideExits,
+		TraceInvalidations: info.TraceInvalidations,
+		TraceInstructions:  info.TraceInstructions,
+		HotBlocks:          info.HotBlocks,
+		Blocks:             m.Profile(),
+		NGrams:             append(m.HotNGrams(2, 8), m.HotNGrams(3, 8)...),
+	}
+	out, err := json.MarshalIndent(&dump, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// writeReport measures raw simulator throughput under all engines, pulls
 // the headline numbers out of the (already warm) lab, then writes the JSON
 // report and appends a dated line to the throughput history.
 func writeReport(lab *exp.Lab, engine risc1.Engine, timings []experimentTiming, failures []exp.Failure) error {
 	rep := benchReport{
-		Schema:      "risc1-bench/2",
+		Schema:      "risc1-bench/3",
 		Engine:      engine.String(),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
@@ -209,24 +280,48 @@ func writeReport(lab *exp.Lab, engine risc1.Engine, timings []experimentTiming, 
 		})
 	}
 
-	stepT, err := measureThroughput(risc1.EngineStep)
+	stepT, _, err := measureThroughput(risc1.EngineStep)
 	if err != nil {
 		return err
 	}
-	blockT, err := measureThroughput(risc1.EngineBlock)
+	blockT, _, err := measureThroughput(risc1.EngineBlock)
+	if err != nil {
+		return err
+	}
+	traceT, traceM, err := measureThroughput(risc1.EngineTrace)
 	if err != nil {
 		return err
 	}
 	rep.SimulatorByEngine = map[string]simThroughput{
 		"step":  stepT,
 		"block": blockT,
+		"trace": traceT,
 	}
 	if stepT.Seconds > 0 && blockT.Seconds > 0 {
 		rep.BlockSpeedup = blockT.InstructionsPerSec / stepT.InstructionsPerSec
 	}
-	rep.Simulator = blockT
-	if engine == risc1.EngineStep {
+	if blockT.Seconds > 0 && traceT.Seconds > 0 {
+		rep.TraceSpeedup = traceT.InstructionsPerSec / blockT.InstructionsPerSec
+	}
+	traceInfo := traceM.Info()
+	rep.TraceCoverage = traceCoverage{
+		HotBlocks:          traceInfo.HotBlocks,
+		TracesCompiled:     traceInfo.TracesCompiled,
+		TraceSideExits:     traceInfo.TraceSideExits,
+		TraceInvalidations: traceInfo.TraceInvalidations,
+		TopNGrams:          traceM.HotNGrams(3, 8),
+	}
+	if traceInfo.Instructions > 0 {
+		rep.TraceCoverage.TraceInstructionPct =
+			100 * float64(traceInfo.TraceInstructions) / float64(traceInfo.Instructions)
+	}
+	switch engine {
+	case risc1.EngineStep:
 		rep.Simulator = stepT
+	case risc1.EngineBlock:
+		rep.Simulator = blockT
+	default: // auto and trace both run the trace tier
+		rep.Simulator = traceT
 	}
 
 	e3, err := exp.E3ProgramSize(lab)
@@ -285,7 +380,10 @@ func writeReport(lab *exp.Lab, engine risc1.Engine, timings []experimentTiming, 
 		GOMAXPROCS:   rep.GOMAXPROCS,
 		StepIPS:      stepT.InstructionsPerSec,
 		BlockIPS:     blockT.InstructionsPerSec,
+		TraceIPS:     traceT.InstructionsPerSec,
 		BlockSpeedup: rep.BlockSpeedup,
+		TraceSpeedup: rep.TraceSpeedup,
+		TracePct:     rep.TraceCoverage.TraceInstructionPct,
 	})
 }
 

@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	riscrun [-target windowed|flat|cisc] [-windows N] [-engine E] [-timeout D] [-max-cycles N] [-stats] prog.cm
-//	riscrun [-windows N] [-flat] [-engine E] [-timeout D] [-max-cycles N] [-stats] prog.s
+//	riscrun [-target windowed|flat|cisc] [-windows N] [-engine E] [-timeout D] [-max-cycles N] [-stats] [-profile F] prog.cm
+//	riscrun [-windows N] [-flat] [-engine E] [-timeout D] [-max-cycles N] [-stats] [-profile F] prog.s
+//
+// -profile dumps the run's execution-heat profile — block leaders with
+// their dispatch counts and trace membership, plus the measured dynamic
+// opcode n-grams and the trace tier's counters — as JSON to the given
+// file ("-" for stdout). Heat is collected by the trace-capable engines
+// (auto, trace); under -engine block or step the profile is empty.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +24,43 @@ import (
 
 	"risc1"
 )
+
+// profileDump is the JSON shape behind -profile, shared with riscbench.
+type profileDump struct {
+	Schema             string               `json:"schema"`
+	Engine             string               `json:"engine"`
+	TracesCompiled     uint64               `json:"traces_compiled"`
+	TraceSideExits     uint64               `json:"trace_side_exits"`
+	TraceInvalidations uint64               `json:"trace_invalidations"`
+	TraceInstructions  uint64               `json:"trace_instructions"`
+	HotBlocks          int                  `json:"hot_blocks"`
+	Blocks             []risc1.BlockProfile `json:"blocks"`
+	NGrams             []risc1.NGramCount   `json:"ngrams"`
+}
+
+func writeProfile(path string, engine risc1.Engine, info *risc1.RunInfo) error {
+	dump := profileDump{
+		Schema:             "risc1-profile/1",
+		Engine:             engine.String(),
+		TracesCompiled:     info.TracesCompiled,
+		TraceSideExits:     info.TraceSideExits,
+		TraceInvalidations: info.TraceInvalidations,
+		TraceInstructions:  info.TraceInstructions,
+		HotBlocks:          info.HotBlocks,
+		Blocks:             info.Profile,
+		NGrams:             info.NGrams,
+	}
+	out, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
 
 func main() {
 	target := flag.String("target", "windowed", "machine for .cm sources: windowed, flat or cisc")
@@ -27,7 +71,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort execution after this wall-clock duration (0 = none)")
 	maxCycles := flag.Uint64("max-cycles", risc1.DefaultMaxCycles,
 		"abort after this many simulated cycles (0 = machine default); riscd enforces the same default budget")
-	engineFlag := flag.String("engine", "auto", "RISC execution engine: auto, block or step")
+	engineFlag := flag.String("engine", "auto", "RISC execution engine: auto, block, step or trace")
+	profile := flag.String("profile", "", "write the execution-heat profile as JSON to this file (- for stdout)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: riscrun [-target T] [-stats] prog.cm|prog.s")
@@ -72,6 +117,10 @@ func main() {
 		}
 		info = m.Info()
 		info.Console = m.Console()
+		if *profile != "" {
+			info.Profile = m.Profile()
+			info.NGrams = append(m.HotNGrams(2, 8), m.HotNGrams(3, 8)...)
+		}
 	} else {
 		t := risc1.RISCWindowed
 		switch *target {
@@ -87,13 +136,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		info, err = risc1.RunImage(ctx, img, risc1.RunOptions{MaxCycles: *maxCycles, Engine: engine})
+		info, err = risc1.RunImage(ctx, img, risc1.RunOptions{
+			MaxCycles: *maxCycles, Engine: engine, Profile: *profile != "",
+		})
 		if err != nil {
 			fatal(err)
 		}
 	}
 
 	fmt.Println(info.Console)
+	if *profile != "" {
+		if err := writeProfile(*profile, engine, info); err != nil {
+			fatal(err)
+		}
+	}
 	if *stats {
 		fmt.Printf("instructions: %d\ncycles:       %d\nsim time:     %v\n",
 			info.Instructions, info.Cycles, info.Time)

@@ -3,6 +3,7 @@ package risc1_test
 import (
 	"context"
 	"errors"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -60,7 +61,7 @@ func TestImageMatchesBuildAndRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if *staged != *direct {
+		if !reflect.DeepEqual(staged, direct) {
 			t.Errorf("target %v: image run diverged:\n%+v\n%+v", target, staged, direct)
 		}
 		if dis := img.Disassemble(); len(dis) == 0 {

@@ -20,7 +20,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		ret r25,#8
 		nop
 	`)
-	for _, e := range []Engine{EngineStep, EngineBlock} {
+	for _, e := range []Engine{EngineStep, EngineBlock, EngineTrace} {
 		b.Run(e.String(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {

@@ -69,6 +69,12 @@ type block struct {
 	slotFn  func(c *CPU) error
 	slotNop bool
 
+	// nBody is how many leading body instructions ops covers: the body
+	// minus anything the terminator dispatch absorbed (termPre, the fused
+	// compare of a compare-and-branch pair). The trace tier re-fuses the
+	// same [start, start+nBody) span with its profile-guided repertoire.
+	nBody int
+
 	fixedCycles uint64 // batched per-category cost of every instruction
 	// cyclesButLast is fixedCycles minus the final instruction's cost: the
 	// block may start iff Cycles+cyclesButLast < MaxCycles, because fixed
@@ -226,6 +232,7 @@ func (c *CPU) compileBlock(start int) *block {
 		}
 	}
 
+	b.nBody = nBody
 	// Pair fusion: ALU+ALU, address-setup+load/store — any op that cannot
 	// fault merges with its successor into one dispatch.
 	for j := 0; j < nBody; {

@@ -61,9 +61,13 @@ type Config struct {
 	// MaxCycles aborts runaway programs (default 1e9).
 	MaxCycles uint64
 	// Engine selects the execution engine Run uses (default EngineAuto:
-	// block execution, single-step when a Trace is installed). Step is
-	// always the single-step oracle regardless of this knob.
+	// trace-tier block execution, single-step when a Trace is installed).
+	// Step is always the single-step oracle regardless of this knob.
 	Engine Engine
+	// HotThreshold is how many executions warm a block leader before the
+	// trace tier (EngineAuto/EngineTrace) compiles a superblock there
+	// (default 16). Lower values trade compile churn for earlier traces.
+	HotThreshold uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +88,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCycles == 0 {
 		c.MaxCycles = 1e9
+	}
+	if c.HotThreshold == 0 {
+		c.HotThreshold = 16
 	}
 	return c
 }
@@ -184,6 +191,18 @@ type CPU struct {
 	// lines.
 	blocks []*block
 
+	// Trace tier (EngineAuto/EngineTrace): heat[w] counts executions of
+	// the block leading at word w; traces[w] is the compiled superblock
+	// headed there (noTrace = tried, not worth it; the slice is allocated
+	// on first compile). The write watch drops any live trace overlapping
+	// a store alongside the blocks, bumping traceGen so a running turbo
+	// trace notices at its next store.
+	heat       []uint64
+	traces     []*trace
+	liveTraces []*trace
+	traceGen   uint64
+	traceStat  TraceStats
+
 	// Trace, when non-nil, is called after every executed instruction
 	// with its address and decoded form (before the PC advances).
 	Trace func(pc uint32, inst isa.Inst)
@@ -251,6 +270,10 @@ func (c *CPU) predecode(img *asm.Image) {
 	c.codeOrg = img.Org
 	c.predec, c.predecOK = isa.DecodeBlock(code)
 	c.blocks = make([]*block, len(c.predec))
+	c.heat = make([]uint64, len(c.predec))
+	c.traces = nil
+	c.liveTraces = nil
+	c.traceStat = TraceStats{}
 	c.Mem.SetWriteWatch(img.Org, img.Org+uint32(len(code)), c.invalidateCode)
 }
 
@@ -265,7 +288,10 @@ func (c *CPU) invalidateCode(addr uint32, size int) {
 	last := (hi - 1 - c.codeOrg) >> 2
 	for i := first; i <= last && i < uint32(len(c.predecOK)); i++ {
 		c.predecOK[i] = false
+		// Rewritten words carry new code: their heat profile is stale.
+		c.heat[i] = 0
 	}
+	c.invalidateTraces(first, last)
 	if len(c.blocks) == 0 {
 		return
 	}
@@ -356,9 +382,10 @@ func (c *CPU) Run() error { return c.RunContext(context.Background()) }
 // RunError wrapping ctx.Err(). The cycle limit itself is enforced exactly,
 // per instruction, inside Step.
 func (c *CPU) RunContext(ctx context.Context) error {
-	// The block engine is exact only without a per-instruction trace; the
-	// auto engine falls back to stepping there.
+	// The compiled engines are exact only without a per-instruction trace
+	// callback; the auto engine falls back to stepping there.
 	useBlocks := c.cfg.Engine != EngineStep && c.Trace == nil
+	useTraces := useBlocks && c.cfg.Engine != EngineBlock
 	done := ctx.Done()
 	for !c.halted {
 		if done != nil {
@@ -372,10 +399,31 @@ func (c *CPU) RunContext(ctx context.Context) error {
 			// Same cancellation granularity as the step loop: at most
 			// runBatch instructions between context checks.
 			for budget := runBatch; budget > 0 && !c.halted; {
+				if useTraces {
+					n, err := c.runHotTrace(budget)
+					if err != nil {
+						return err
+					}
+					if n > 0 {
+						budget -= n
+						continue
+					}
+					if n < 0 {
+						// A trace is headed here but the batch remainder
+						// cannot fit an iteration; restart on a fresh batch.
+						break
+					}
+				}
 				if b, w := c.nextBlock(budget); b != nil {
 					n, err := c.runBlock(w, b, budget)
 					if err != nil {
+						if useTraces {
+							c.bumpHeat(w, b, n)
+						}
 						return err
+					}
+					if useTraces {
+						c.bumpHeat(w, b, n)
 					}
 					budget -= n
 					continue

@@ -3,21 +3,29 @@ package core
 import "fmt"
 
 // Engine selects how Run executes instructions. Step is the oracle the
-// block engine is differentially tested against; the engines are
+// compiled engines are differentially tested against; the engines are
 // observationally identical (Stats, console, faults, final machine state).
 type Engine uint8
 
 const (
-	// EngineAuto picks block execution whenever it is exact — no
-	// per-instruction Trace installed — and single-steps otherwise.
+	// EngineAuto picks the fastest exact engine: the trace tier (block
+	// execution plus profile-guided superblocks once a leader warms up)
+	// whenever it is exact — no per-instruction Trace installed — and
+	// single-steps otherwise.
 	EngineAuto Engine = iota
-	// EngineBlock forces basic-block execution. Individual instructions
-	// still single-step where a block cannot apply: delay slots entered
-	// mid-flight, pending interrupts, invalidated or undecodable code.
+	// EngineBlock forces basic-block execution without the trace tier.
+	// Individual instructions still single-step where a block cannot
+	// apply: delay slots entered mid-flight, pending interrupts,
+	// invalidated or undecodable code.
 	EngineBlock
 	// EngineStep forces the single-step interpreter: Step in a loop, the
 	// reference semantics.
 	EngineStep
+	// EngineTrace forces the trace/superblock tier: block execution with
+	// heat counters, compiling hot paths that span taken delayed branches
+	// into guarded superblocks. Cold code still runs on blocks and single
+	// steps exactly like EngineBlock.
+	EngineTrace
 )
 
 func (e Engine) String() string {
@@ -26,6 +34,8 @@ func (e Engine) String() string {
 		return "block"
 	case EngineStep:
 		return "step"
+	case EngineTrace:
+		return "trace"
 	default:
 		return "auto"
 	}
@@ -41,6 +51,8 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineBlock, nil
 	case "step":
 		return EngineStep, nil
+	case "trace":
+		return EngineTrace, nil
 	}
-	return EngineAuto, fmt.Errorf("core: unknown engine %q (want auto, block or step)", s)
+	return EngineAuto, fmt.Errorf("core: unknown engine %q (want auto, block, step or trace)", s)
 }

@@ -9,15 +9,21 @@ import (
 	"risc1/internal/isa"
 )
 
-// The block engine's contract is observational equivalence with Step.
-// Every test here runs the same image under both engines and requires the
-// complete visible machine state — PC pair, lastPC, flags, windows,
-// console, full Stats(), and fault identity — to match exactly.
+// The compiled engines' contract is observational equivalence with Step.
+// Every test here runs the same image under the step oracle, the block
+// engine and the trace tier, and requires the complete visible machine
+// state — PC pair, lastPC, flags, windows, console, full Stats(), and
+// fault identity — to match exactly.
 
 // runEngine loads img into a fresh CPU with the given engine and runs it.
+// The trace engine gets an aggressive HotThreshold (unless the test set
+// one) so superblocks actually compile inside small test workloads.
 func runEngine(t *testing.T, cfg Config, e Engine, img *asm.Image) (*CPU, error) {
 	t.Helper()
 	cfg.Engine = e
+	if e == EngineTrace && cfg.HotThreshold == 0 {
+		cfg.HotThreshold = 2
+	}
 	c := New(cfg)
 	if err := c.Load(img); err != nil {
 		t.Fatalf("load: %v", err)
@@ -25,62 +31,67 @@ func runEngine(t *testing.T, cfg Config, e Engine, img *asm.Image) (*CPU, error)
 	return c, c.Run()
 }
 
-// diffEngines runs img under step and block engines and compares.
+// diffEngines runs img under the step oracle and both compiled engines
+// and requires all three to agree.
 func diffEngines(t *testing.T, cfg Config, src string) (*CPU, *CPU) {
 	t.Helper()
 	img := asm.MustAssemble(src)
 	cs, errS := runEngine(t, cfg, EngineStep, img)
 	cb, errB := runEngine(t, cfg, EngineBlock, img)
-	compareEngines(t, cs, cb, errS, errB)
+	compareEngines(t, "block", cs, cb, errS, errB)
+	ct, errT := runEngine(t, cfg, EngineTrace, img)
+	compareEngines(t, "trace", cs, ct, errS, errT)
 	return cs, cb
 }
 
-func compareEngines(t *testing.T, cs, cb *CPU, errS, errB error) {
+// compareEngines checks co (ran under the engine called name) against the
+// step oracle cs.
+func compareEngines(t *testing.T, name string, cs, co *CPU, errS, errO error) {
 	t.Helper()
-	if (errS == nil) != (errB == nil) {
-		t.Fatalf("error mismatch:\nstep:  %v\nblock: %v", errS, errB)
+	if (errS == nil) != (errO == nil) {
+		t.Fatalf("error mismatch:\nstep: %v\n%s: %v", errS, name, errO)
 	}
 	if errS != nil {
-		var es, eb *RunError
-		if errors.As(errS, &es) != errors.As(errB, &eb) {
-			t.Fatalf("error type mismatch:\nstep:  %v\nblock: %v", errS, errB)
+		var es, eo *RunError
+		if errors.As(errS, &es) != errors.As(errO, &eo) {
+			t.Fatalf("error type mismatch:\nstep: %v\n%s: %v", errS, name, errO)
 		}
 		if es != nil {
-			if es.PC != eb.PC || es.Cycles != eb.Cycles || es.CWP != eb.CWP ||
-				es.Inst != eb.Inst || es.Err.Error() != eb.Err.Error() ||
-				!reflect.DeepEqual(es.Window, eb.Window) {
-				t.Fatalf("fault identity mismatch:\nstep:  %+v\nblock: %+v", es, eb)
+			if es.PC != eo.PC || es.Cycles != eo.Cycles || es.CWP != eo.CWP ||
+				es.Inst != eo.Inst || es.Err.Error() != eo.Err.Error() ||
+				!reflect.DeepEqual(es.Window, eo.Window) {
+				t.Fatalf("fault identity mismatch:\nstep: %+v\n%s: %+v", es, name, eo)
 			}
-		} else if errS.Error() != errB.Error() {
-			t.Fatalf("error mismatch:\nstep:  %v\nblock: %v", errS, errB)
+		} else if errS.Error() != errO.Error() {
+			t.Fatalf("error mismatch:\nstep: %v\n%s: %v", errS, name, errO)
 		}
 	}
-	if cs.pc != cb.pc || cs.npc != cb.npc || cs.lastPC != cb.lastPC {
-		t.Fatalf("PC state mismatch: step pc=%#x npc=%#x last=%#x; block pc=%#x npc=%#x last=%#x",
-			cs.pc, cs.npc, cs.lastPC, cb.pc, cb.npc, cb.lastPC)
+	if cs.pc != co.pc || cs.npc != co.npc || cs.lastPC != co.lastPC {
+		t.Fatalf("PC state mismatch: step pc=%#x npc=%#x last=%#x; %s pc=%#x npc=%#x last=%#x",
+			cs.pc, cs.npc, cs.lastPC, name, co.pc, co.npc, co.lastPC)
 	}
-	if cs.halted != cb.halted || cs.inDelay != cb.inDelay || cs.ie != cb.ie {
-		t.Fatalf("mode mismatch: step halted=%v inDelay=%v ie=%v; block halted=%v inDelay=%v ie=%v",
-			cs.halted, cs.inDelay, cs.ie, cb.halted, cb.inDelay, cb.ie)
+	if cs.halted != co.halted || cs.inDelay != co.inDelay || cs.ie != co.ie {
+		t.Fatalf("mode mismatch: step halted=%v inDelay=%v ie=%v; %s halted=%v inDelay=%v ie=%v",
+			cs.halted, cs.inDelay, cs.ie, name, co.halted, co.inDelay, co.ie)
 	}
-	if cs.flags != cb.flags {
-		t.Fatalf("flags mismatch: step %+v, block %+v", cs.flags, cb.flags)
+	if cs.flags != co.flags {
+		t.Fatalf("flags mismatch: step %+v, %s %+v", cs.flags, name, co.flags)
 	}
-	if cs.callDepth != cb.callDepth || cs.savePtr != cb.savePtr || cs.Regs.CWP() != cb.Regs.CWP() {
-		t.Fatalf("window state mismatch: step depth=%d save=%#x cwp=%d; block depth=%d save=%#x cwp=%d",
-			cs.callDepth, cs.savePtr, cs.Regs.CWP(), cb.callDepth, cb.savePtr, cb.Regs.CWP())
+	if cs.callDepth != co.callDepth || cs.savePtr != co.savePtr || cs.Regs.CWP() != co.Regs.CWP() {
+		t.Fatalf("window state mismatch: step depth=%d save=%#x cwp=%d; %s depth=%d save=%#x cwp=%d",
+			cs.callDepth, cs.savePtr, cs.Regs.CWP(), name, co.callDepth, co.savePtr, co.Regs.CWP())
 	}
 	for r := 0; r < isa.NumVisibleRegs; r++ {
-		if a, b := cs.Regs.Get(uint8(r)), cb.Regs.Get(uint8(r)); a != b {
-			t.Fatalf("r%d mismatch: step %#x, block %#x", r, a, b)
+		if a, b := cs.Regs.Get(uint8(r)), co.Regs.Get(uint8(r)); a != b {
+			t.Fatalf("r%d mismatch: step %#x, %s %#x", r, a, name, b)
 		}
 	}
-	if a, b := cs.Console(), cb.Console(); a != b {
-		t.Fatalf("console mismatch: step %q, block %q", a, b)
+	if a, b := cs.Console(), co.Console(); a != b {
+		t.Fatalf("console mismatch: step %q, %s %q", a, name, b)
 	}
-	ss, sb := cs.Stats(), cb.Stats()
-	if !reflect.DeepEqual(*ss, *sb) {
-		t.Fatalf("stats mismatch:\nstep:  %+v\nblock: %+v", *ss, *sb)
+	ss, so := cs.Stats(), co.Stats()
+	if !reflect.DeepEqual(*ss, *so) {
+		t.Fatalf("stats mismatch:\nstep: %+v\n%s: %+v", *ss, name, *so)
 	}
 }
 
@@ -222,7 +233,9 @@ func TestEngineEquivalenceFaults(t *testing.T) {
 			if errS == nil {
 				t.Fatalf("expected a fault, got clean run")
 			}
-			compareEngines(t, cs, cb, errS, errB)
+			compareEngines(t, "block", cs, cb, errS, errB)
+			ct, errT := runEngine(t, tc.cfg, EngineTrace, img)
+			compareEngines(t, "trace", cs, ct, errS, errT)
 		})
 	}
 }
@@ -240,7 +253,9 @@ func TestEngineEquivalenceMaxCycles(t *testing.T) {
 			for limit := uint64(1); limit <= 600; limit++ {
 				cs, errS := runEngine(t, Config{MaxCycles: limit}, EngineStep, img)
 				cb, errB := runEngine(t, Config{MaxCycles: limit}, EngineBlock, img)
-				compareEngines(t, cs, cb, errS, errB)
+				compareEngines(t, "block", cs, cb, errS, errB)
+				ct, errT := runEngine(t, Config{MaxCycles: limit}, EngineTrace, img)
+				compareEngines(t, "trace", cs, ct, errS, errT)
 			}
 		})
 	}
@@ -325,7 +340,7 @@ func TestEngineEquivalenceInterrupt(t *testing.T) {
 	img := asm.MustAssemble(src)
 	vec, _ := img.Symbol("handler")
 	run := func(e Engine) (*CPU, error) {
-		c := New(Config{Engine: e})
+		c := New(Config{Engine: e, HotThreshold: 2})
 		if err := c.Load(img); err != nil {
 			t.Fatal(err)
 		}
@@ -334,7 +349,9 @@ func TestEngineEquivalenceInterrupt(t *testing.T) {
 	}
 	cs, errS := run(EngineStep)
 	cb, errB := run(EngineBlock)
-	compareEngines(t, cs, cb, errS, errB)
+	compareEngines(t, "block", cs, cb, errS, errB)
+	ct, errT := run(EngineTrace)
+	compareEngines(t, "trace", cs, ct, errS, errT)
 	if cs.Console() != "50" {
 		t.Fatalf("console = %q, want 50", cs.Console())
 	}
@@ -360,7 +377,7 @@ func TestEngineAutoTraceFallsBack(t *testing.T) {
 
 // TestParseEngine pins the knob's spellings.
 func TestParseEngine(t *testing.T) {
-	for s, want := range map[string]Engine{"": EngineAuto, "auto": EngineAuto, "block": EngineBlock, "step": EngineStep} {
+	for s, want := range map[string]Engine{"": EngineAuto, "auto": EngineAuto, "block": EngineBlock, "step": EngineStep, "trace": EngineTrace} {
 		got, err := ParseEngine(s)
 		if err != nil || got != want {
 			t.Fatalf("ParseEngine(%q) = %v, %v", s, got, err)

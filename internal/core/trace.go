@@ -1,0 +1,1009 @@
+// Trace/superblock tier on top of the basic-block engine. Block leaders
+// carry heat counters; when one crosses Config.HotThreshold, the hot path
+// out of it — following taken delayed branches, static call bodies and
+// fall-throughs picked by measured edge heat — is compiled into one trace.
+// Loop traces whose every segment ends in a fast JMP/JMPR dispatch run in
+// "turbo" mode: the whole per-iteration accounting (instructions, cycles,
+// opcode mix, transfer and delay-slot counters) is hoisted out of the loop
+// and charged in bulk on exit, and the segment bodies are re-fused with a
+// repertoire grown from measured dynamic opcode trigrams rather than the
+// hand-picked pairs of the block engine. Everything else runs in "chain"
+// mode, which replays the planned block sequence through runBlock with a
+// PC guard between segments.
+//
+// Exactness contract (same as the block engine): every exit — guarded
+// side-exit off the hot path, fault, MaxCycles split, self-modifying
+// store — lands on a machine state Step would produce, with only the
+// executed instructions charged. Turbo pre-limits its iteration count so
+// no instruction starts at or beyond MaxCycles, and faults charge the
+// completed prefix before building the RunError (which snapshots the
+// cycle counter).
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"risc1/internal/cfg"
+	"risc1/internal/isa"
+)
+
+const (
+	// maxTraceSegs caps how many basic blocks one trace may span.
+	maxTraceSegs = 8
+	// hotNGramCount is how many top-ranked dynamic opcode trigrams gate
+	// triple fusion when a trace body is compiled.
+	hotNGramCount = 16
+)
+
+// TraceStats are the trace tier's meta counters. They live outside
+// stats.Stats on purpose: engines must agree on Stats exactly, and only
+// the trace tier has traces to count.
+type TraceStats struct {
+	Compiled      uint64 // traces compiled (recompiles after invalidation included)
+	SideExits     uint64 // guarded exits where execution left the hot path
+	Invalidations uint64 // traces dropped by stores into their code
+	Instructions  uint64 // dynamic instructions retired inside traces
+}
+
+// TraceStats returns the trace tier's counters (all zero unless the
+// engine is EngineAuto or EngineTrace and something got hot).
+func (c *CPU) TraceStats() TraceStats { return c.traceStat }
+
+// HotThreshold reports the configured trace-compile threshold.
+func (c *CPU) HotThreshold() uint64 { return c.cfg.HotThreshold }
+
+// turboOp is one compiled trace-body operation: one instruction, a fused
+// pair, or — when the opcode trigram measured hot — a fused triple whose
+// leading instructions cannot fault.
+type turboOp struct {
+	fn    func(c *CPU) error
+	fidx  uint16 // segment-relative index of the op's faultable (last) instruction
+	store bool   // may write memory: re-check trace liveness after it runs
+}
+
+// turboSeg is one basic block of a turbo trace, re-fused for the trace
+// tier, with the block's fixed accounting kept for partial charging.
+type turboSeg struct {
+	w        uint32 // leader word index
+	startPC  uint32
+	termPC   uint32
+	slotPC   uint32
+	ops      []turboOp
+	term     func(c *CPU) (uint32, bool) // JMP/JMPR dispatch (cmp-branch may be fused in)
+	slotFn   func(c *CPU) error          // nil when the slot is an effect-free nop
+	slotNop  bool
+	hotTaken bool   // direction that stays on the trace
+	offPC    uint32 // where the off-trace direction lands (targets are static)
+	costs    []instCost
+	nInst    int
+}
+
+// turboTrace is a loop trace in bulk-accounting form: per-iteration
+// totals charged k at a time on exit.
+type turboTrace struct {
+	segs       []turboSeg
+	iterInsts  int
+	iterCycles uint64
+	counts     []opCount
+	transfers  uint64
+	taken      uint64
+	slotNops   uint64
+	slotUseful uint64
+	// runSimple is the fully-fused loop runner of a fault-free,
+	// store-free trace: it executes up to k iterations with no PC
+	// maintenance and no guards beyond the branch directions (nothing
+	// mid-iteration can fault, store, or observe the PC pair), returning
+	// how many iterations completed and the segment whose branch left
+	// the trace (-1 when all k stayed on it). The PC pair is
+	// reconstructed only at exit.
+	runSimple func(c *CPU, k int) (int, int)
+}
+
+// chainSeg is one planned block of a chain trace.
+type chainSeg struct {
+	w  uint32
+	pc uint32
+}
+
+// trace is one compiled superblock: turbo or chain form, plus the code
+// ranges it covers for write-watch invalidation.
+type trace struct {
+	head   uint32
+	turbo  *turboTrace
+	chain  []chainSeg
+	ranges [][2]uint32 // covered word ranges [start, end)
+}
+
+// noTrace is the cached "tried, not worth a trace" answer.
+var noTrace = &trace{}
+
+// bumpHeat credits a block dispatch (or several self-loop trips) to its
+// leader and compiles a trace the moment the leader crosses the
+// threshold. Compilation triggers only on the crossing itself, so a
+// refused leader (noTrace) is not retried until its heat is reset.
+func (c *CPU) bumpHeat(w uint32, b *block, consumed int) {
+	if b.nInst == 0 {
+		return
+	}
+	trips := uint64((consumed + b.nInst - 1) / b.nInst)
+	h0 := c.heat[w]
+	c.heat[w] = h0 + trips
+	if thr := c.cfg.HotThreshold; h0+trips >= thr && h0 < thr {
+		c.compileTraceAt(w)
+	}
+}
+
+// compileTraceAt compiles (or refuses) the trace headed at word w and
+// records the result.
+func (c *CPU) compileTraceAt(w uint32) {
+	if c.traces == nil {
+		c.traces = make([]*trace, len(c.predec))
+	}
+	tr := c.compileTrace(w)
+	c.traces[w] = tr
+	if tr != noTrace {
+		c.liveTraces = append(c.liveTraces, tr)
+		c.traceStat.Compiled++
+	}
+}
+
+// segPlan is one block of a trace under construction, with the hot edge
+// chosen out of it.
+type segPlan struct {
+	w        uint32
+	b        *block
+	fast     bool // JMP/JMPR terminator: turbo-eligible segment
+	hotTaken bool
+}
+
+// compileTrace plans the hot path out of leader w using the shared cfg
+// flow model, then compiles it: a turbo trace when the path closes a loop
+// through fast terminators only, a chain trace when it spans at least two
+// blocks, noTrace otherwise.
+func (c *CPU) compileTrace(w uint32) *trace {
+	p := cfg.New(c.codeOrg, c.predec, c.predecOK)
+	var plans []segPlan
+	var retStack []uint32
+	seen := map[uint32]bool{}
+	cur, total, loop := w, 0, false
+	for len(plans) < maxTraceSegs {
+		if seen[cur] || int(cur) >= len(c.blocks) {
+			break
+		}
+		b := c.blockAt(cur)
+		if b == nil || b.nInst == 0 || total+b.nInst > runBatch {
+			break
+		}
+		seen[cur] = true
+		pl := segPlan{w: cur, b: b}
+		next, ok := c.traceSuccessor(p, &pl, &retStack)
+		plans = append(plans, pl)
+		total += b.nInst
+		if !ok {
+			break
+		}
+		if next == w && len(retStack) == 0 {
+			loop = true
+			break
+		}
+		cur = next
+	}
+	if len(plans) == 0 {
+		return noTrace
+	}
+	turbo := loop
+	for i := range plans {
+		if !plans[i].fast {
+			turbo = false
+			break
+		}
+	}
+	tr := &trace{head: w}
+	for _, pl := range plans {
+		tr.ranges = append(tr.ranges, [2]uint32{pl.w, pl.w + uint32(pl.b.nInst)})
+	}
+	if turbo {
+		tr.turbo = c.compileTurbo(plans)
+		return tr
+	}
+	if len(plans) < 2 {
+		// A lone non-loop block gains nothing over the block engine.
+		return noTrace
+	}
+	for _, pl := range plans {
+		tr.chain = append(tr.chain, chainSeg{w: pl.w, pc: c.codeOrg + 4*pl.w})
+	}
+	return tr
+}
+
+// traceSuccessor picks the hot static successor of pl's block, filling in
+// the plan's edge fields. ok is false when the successor is dynamic or
+// unknown, ending the trace at this segment. Calls push the expected
+// return point (the word after the call's slot — the compiler's `ret
+// rd,#8` linkage) so a small call body folds into the trace; the chain
+// guard catches a callee that returns anywhere else.
+func (c *CPU) traceSuccessor(p *cfg.Program, pl *segPlan, retStack *[]uint32) (uint32, bool) {
+	b := pl.b
+	if !b.term {
+		// Straight-line fall-off: the next word follows unconditionally.
+		return pl.w + uint32(b.nInst), true
+	}
+	termIdx := int(pl.w) + b.termIdx
+	in := b.termInst
+	fallW := pl.w + uint32(b.termIdx) + 2
+	switch in.Op {
+	case isa.OpJMP, isa.OpJMPR:
+		pl.fast = b.termFast != nil
+		tw, known := p.StaticTarget(termIdx, in)
+		switch in.Cond() {
+		case isa.CondALW:
+			if !known {
+				return 0, false
+			}
+			pl.hotTaken = true
+			return uint32(tw), true
+		case isa.CondNEV:
+			return fallW, true
+		}
+		// Conditional: follow the measured hotter edge, taken on ties.
+		if known && c.heatAt(uint32(tw)) >= c.heatAt(fallW) {
+			pl.hotTaken = true
+			return uint32(tw), true
+		}
+		return fallW, true
+	case isa.OpCALL, isa.OpCALLR:
+		tw, known := p.StaticTarget(termIdx, in)
+		if !known {
+			return 0, false
+		}
+		*retStack = append(*retStack, fallW)
+		return uint32(tw), true
+	case isa.OpRET, isa.OpRETINT:
+		if n := len(*retStack); n > 0 {
+			next := (*retStack)[n-1]
+			*retStack = (*retStack)[:n-1]
+			return next, true
+		}
+	}
+	return 0, false
+}
+
+func (c *CPU) heatAt(w uint32) uint64 {
+	if w < uint32(len(c.heat)) {
+		return c.heat[w]
+	}
+	return 0
+}
+
+// compileTurbo builds the bulk-accounting form of a fast loop trace.
+func (c *CPU) compileTurbo(plans []segPlan) *turboTrace {
+	hot := c.hotTrigrams()
+	t := &turboTrace{}
+	var agg [128]uint32
+	simple := true
+	for _, pl := range plans {
+		b := pl.b
+		start := int(pl.w)
+		bodyN := b.termIdx
+		termPC := b.blockPC(b.termIdx)
+		term := compileJump(&b.termInst, termPC)
+		if bodyN > 0 {
+			if fused := fuseCmpBranch(&c.predec[start+bodyN-1], &b.termInst, termPC); fused != nil {
+				term = fused
+				bodyN--
+			}
+		}
+		s := turboSeg{
+			w:        pl.w,
+			startPC:  b.startPC,
+			termPC:   termPC,
+			slotPC:   termPC + 4,
+			ops:      c.compileTurboBody(start, bodyN, hot),
+			term:     term,
+			slotFn:   b.slotFn,
+			slotNop:  b.slotNop,
+			hotTaken: pl.hotTaken,
+			costs:    b.costs,
+			nInst:    b.nInst,
+		}
+		// The off-trace landing point, for exit-time PC reconstruction.
+		// Off the fall-through edge that is the static branch target; a
+		// dynamic target (register-form JMP) bars the simple form unless
+		// that direction is unreachable (never-taken condition).
+		if pl.hotTaken {
+			s.offPC = s.slotPC + 4
+		} else {
+			switch {
+			case b.termInst.Op == isa.OpJMPR:
+				s.offPC = termPC + uint32(b.termInst.Imm19)
+			case b.termInst.Op == isa.OpJMP && b.termInst.Rs1 == 0 && b.termInst.Imm:
+				s.offPC = uint32(b.termInst.Imm13)
+			case b.termInst.Cond() == isa.CondNEV:
+				// No taken edge exists; the guard can never fire.
+			default:
+				simple = false
+			}
+		}
+		// The simple form also requires a fault-free, store-free
+		// iteration: no memory operations anywhere in the segment.
+		for j, ic := range b.costs {
+			if j == b.termIdx {
+				continue
+			}
+			if cat := isa.Op(ic.op).Cat(); cat == isa.CatLoad || cat == isa.CatStore {
+				simple = false
+				break
+			}
+		}
+		t.segs = append(t.segs, s)
+		t.iterInsts += b.nInst
+		t.iterCycles += b.fixedCycles
+		for _, oc := range b.counts {
+			agg[oc.op] += oc.n
+		}
+		t.transfers++
+		if pl.hotTaken {
+			t.taken++
+		}
+		if b.slotNop {
+			t.slotNops++
+		} else {
+			t.slotUseful++
+		}
+	}
+	for op, n := range agg {
+		if n > 0 {
+			t.counts = append(t.counts, opCount{op: uint8(op), n: n})
+		}
+	}
+	if simple {
+		t.runSimple = compileSimple(t.segs)
+	}
+	return t
+}
+
+// compileSimple fuses a fault-free trace into a loop runner: the
+// iteration loop itself lives inside the closure, so the hot path pays
+// only the compiled bodies and one direction check per segment.
+func compileSimple(segs []turboSeg) func(*CPU, int) (int, int) {
+	if len(segs) == 1 {
+		return compileSimpleLoop(&segs[0])
+	}
+	fns := make([]func(*CPU) bool, len(segs))
+	for i := range segs {
+		fns[i] = compileSimpleSeg(&segs[i])
+	}
+	return func(c *CPU, k int) (int, int) {
+		for j := 0; j < k; j++ {
+			for i := range fns {
+				if !fns[i](c) {
+					return j, i
+				}
+			}
+		}
+		return k, -1
+	}
+}
+
+// compileSimpleLoop specializes the single-segment loop — the hottest
+// shape there is — with the common small bodies unrolled straight into
+// the runner, two indirect calls per iteration.
+func compileSimpleLoop(s *turboSeg) func(*CPU, int) (int, int) {
+	term, hot := s.term, s.hotTaken
+	if s.slotFn == nil {
+		switch len(s.ops) {
+		case 0:
+			return func(c *CPU, k int) (int, int) {
+				for j := 0; j < k; j++ {
+					if _, taken := term(c); taken != hot {
+						return j, 0
+					}
+				}
+				return k, -1
+			}
+		case 1:
+			f0 := s.ops[0].fn
+			return func(c *CPU, k int) (int, int) {
+				for j := 0; j < k; j++ {
+					_ = f0(c)
+					if _, taken := term(c); taken != hot {
+						return j, 0
+					}
+				}
+				return k, -1
+			}
+		case 2:
+			f0, f1 := s.ops[0].fn, s.ops[1].fn
+			return func(c *CPU, k int) (int, int) {
+				for j := 0; j < k; j++ {
+					_ = f0(c)
+					_ = f1(c)
+					if _, taken := term(c); taken != hot {
+						return j, 0
+					}
+				}
+				return k, -1
+			}
+		}
+	}
+	seg := compileSimpleSeg(s)
+	return func(c *CPU, k int) (int, int) {
+		for j := 0; j < k; j++ {
+			if !seg(c) {
+				return j, 0
+			}
+		}
+		return k, -1
+	}
+}
+
+// compileSimpleSeg builds one segment's fused iteration step, reporting
+// whether execution stayed on the trace. The slot runs after the branch
+// decides and before the guard reports it, like everywhere else.
+func compileSimpleSeg(s *turboSeg) func(*CPU) bool {
+	term, hot := s.term, s.hotTaken
+	body := composeOps(s.ops)
+	switch slot := s.slotFn; {
+	case body == nil && slot == nil:
+		return func(c *CPU) bool {
+			_, taken := term(c)
+			return taken == hot
+		}
+	case body == nil:
+		return func(c *CPU) bool {
+			_, taken := term(c)
+			_ = slot(c)
+			return taken == hot
+		}
+	case slot == nil:
+		return func(c *CPU) bool {
+			body(c)
+			_, taken := term(c)
+			return taken == hot
+		}
+	default:
+		return func(c *CPU) bool {
+			body(c)
+			_, taken := term(c)
+			_ = slot(c)
+			return taken == hot
+		}
+	}
+}
+
+// composeOps flattens a fault-free op run into one call (nil when empty).
+func composeOps(ops []turboOp) func(*CPU) {
+	switch len(ops) {
+	case 0:
+		return nil
+	case 1:
+		f0 := ops[0].fn
+		return func(c *CPU) { _ = f0(c) }
+	case 2:
+		f0, f1 := ops[0].fn, ops[1].fn
+		return func(c *CPU) { _ = f0(c); _ = f1(c) }
+	default:
+		fns := make([]func(*CPU) error, len(ops))
+		for i := range ops {
+			fns[i] = ops[i].fn
+		}
+		return func(c *CPU) {
+			for i := range fns {
+				_ = fns[i](c)
+			}
+		}
+	}
+}
+
+// compileTurboBody compiles the body words [start, start+n) with the
+// profile-guided repertoire: opcode trigrams measured hot fuse three deep
+// (the leading two instructions must be fault-free), everything else gets
+// the block engine's pair fusion.
+func (c *CPU) compileTurboBody(start, n int, hot map[uint32]bool) []turboOp {
+	type comp struct {
+		fn       func(*CPU) error
+		canFault bool
+		store    bool
+	}
+	cs := make([]comp, n)
+	for j := 0; j < n; j++ {
+		in := &c.predec[start+j]
+		fn, cf := compileStraight(in)
+		cs[j] = comp{fn, cf, in.Op.Cat() == isa.CatStore}
+	}
+	var ops []turboOp
+	for j := 0; j < n; {
+		if j+2 < n && !cs[j].canFault && !cs[j+1].canFault && hot[c.trigramKey(start+j)] {
+			f1, f2, f3 := cs[j].fn, cs[j+1].fn, cs[j+2].fn
+			ops = append(ops, turboOp{
+				fn:    func(c *CPU) error { _ = f1(c); _ = f2(c); return f3(c) },
+				fidx:  uint16(j + 2),
+				store: cs[j+2].store,
+			})
+			j += 3
+			continue
+		}
+		if j+1 < n && !cs[j].canFault {
+			f1, f2 := cs[j].fn, cs[j+1].fn
+			ops = append(ops, turboOp{
+				fn:    func(c *CPU) error { _ = f1(c); return f2(c) },
+				fidx:  uint16(j + 1),
+				store: cs[j+1].store,
+			})
+			j += 2
+			continue
+		}
+		ops = append(ops, turboOp{fn: cs[j].fn, fidx: uint16(j), store: cs[j].store})
+		j++
+	}
+	return ops
+}
+
+// trigramKey packs the opcodes of the three instructions at word j.
+func (c *CPU) trigramKey(j int) uint32 {
+	return uint32(c.predec[j].Op&0x7F)<<16 |
+		uint32(c.predec[j+1].Op&0x7F)<<8 |
+		uint32(c.predec[j+2].Op&0x7F)
+}
+
+// runHotTrace dispatches the trace headed at the current PC, if one
+// exists and the machine is at a clean boundary. It returns (0, nil) when
+// no trace ran (the caller falls back to the block engine) and (-1, nil)
+// when a trace is headed here but the batch remainder is too small to
+// enter it — the caller should end the batch so the next one starts at
+// the trace head with full budget.
+func (c *CPU) runHotTrace(budget int) (int, error) {
+	if c.traces == nil || c.inDelay || len(c.pendIRQ) > 0 {
+		return 0, nil
+	}
+	off := c.pc - c.codeOrg
+	if off&3 != 0 || off>>2 >= uint32(len(c.traces)) {
+		return 0, nil
+	}
+	tr := c.traces[off>>2]
+	if tr == nil || tr == noTrace {
+		return 0, nil
+	}
+	if tr.turbo != nil {
+		return c.runTurbo(tr, budget)
+	}
+	return c.runChain(tr, budget)
+}
+
+// runTurbo iterates a loop trace with all accounting hoisted out of the
+// loop. The iteration count k is pre-limited so the whole run fits both
+// the caller's budget and MaxCycles (every cost is fixed — turbo traces
+// contain no window machinery — so k*iterCycles is exact, and with
+// Cycles+k*iterCycles <= MaxCycles every instruction starts strictly
+// below the limit, exactly the set Step would execute).
+func (c *CPU) runTurbo(tr *trace, budget int) (int, error) {
+	t := tr.turbo
+	if c.stat.Cycles >= c.cfg.MaxCycles {
+		return 0, nil
+	}
+	kc := (c.cfg.MaxCycles - c.stat.Cycles) / t.iterCycles
+	if kc == 0 {
+		return 0, nil
+	}
+	k := budget / t.iterInsts
+	if k == 0 {
+		// The batch remainder is smaller than one iteration. Stepping
+		// into the loop body here would skew the next batch off the trace
+		// head, so end the batch instead: a fresh one fits an iteration.
+		return -1, nil
+	}
+	if uint64(k) > kc {
+		k = int(kc)
+	}
+	if t.runSimple != nil {
+		// Fault-free, store-free loop: nothing mid-iteration can trap,
+		// write code, or observe the PC pair, so the machine state is
+		// settled once at exit.
+		j, si := t.runSimple(c, k)
+		if si >= 0 {
+			s := &t.segs[si]
+			c.lastPC = s.slotPC
+			c.pc = s.offPC
+			c.npc = s.offPC + 4
+			return c.turboSideExit(t, j, si, !s.hotTaken)
+		}
+		c.lastPC = t.segs[len(t.segs)-1].slotPC
+		c.pc = t.segs[0].startPC
+		c.npc = c.pc + 4
+		c.chargeTurboIters(t, uint64(k))
+		consumed := k * t.iterInsts
+		c.traceStat.Instructions += uint64(consumed)
+		for si := range t.segs {
+			c.heat[t.segs[si].w] += uint64(k)
+		}
+		return consumed, nil
+	}
+	gen := c.traceGen
+	for j := 0; j < k; j++ {
+		for si := range t.segs {
+			s := &t.segs[si]
+			for oi := range s.ops {
+				op := &s.ops[oi]
+				if err := op.fn(c); err != nil {
+					return 0, c.turboFault(t, j, si, int(op.fidx), err)
+				}
+				if op.store && c.traceGen != gen {
+					// The store rewrote trace code somewhere; stop right
+					// after it, exactly where the block engine would.
+					return c.turboStoreExit(t, j, si, int(op.fidx))
+				}
+			}
+			// Mirror runBlock's fast-terminator path: the slot runs
+			// whichever way the branch went, then control moves.
+			target, taken := s.term(c)
+			c.lastPC = s.termPC
+			if taken {
+				c.npc = target
+			} else {
+				c.npc = s.slotPC + 4
+			}
+			if s.slotFn != nil {
+				if err := s.slotFn(c); err != nil {
+					return 0, c.turboSlotFault(t, j, si, taken, err)
+				}
+			}
+			c.lastPC = s.slotPC
+			c.pc = c.npc
+			c.npc = c.pc + 4
+			if taken != s.hotTaken {
+				// The PC pair is already correct for the actual direction;
+				// only the accounting needs settling.
+				return c.turboSideExit(t, j, si, taken)
+			}
+		}
+	}
+	c.chargeTurboIters(t, uint64(k))
+	consumed := k * t.iterInsts
+	c.traceStat.Instructions += uint64(consumed)
+	for si := range t.segs {
+		c.heat[t.segs[si].w] += uint64(k)
+	}
+	return consumed, nil
+}
+
+// chargeTurboIters charges k complete trace iterations in bulk.
+func (c *CPU) chargeTurboIters(t *turboTrace, k uint64) {
+	c.stat.Instructions += k * uint64(t.iterInsts)
+	c.stat.Cycles += k * t.iterCycles
+	for _, oc := range t.counts {
+		c.opCounts[oc.op] += k * uint64(oc.n)
+	}
+	c.stat.Transfers += k * t.transfers
+	c.stat.TakenTransfers += k * t.taken
+	c.stat.DelaySlotNops += k * t.slotNops
+	c.stat.DelaySlotUseful += k * t.slotUseful
+}
+
+// chargeCosts charges a run of individually-accounted instructions.
+func (c *CPU) chargeCosts(costs []instCost) {
+	for _, ic := range costs {
+		c.stat.Instructions++
+		c.stat.Cycles += uint64(ic.cycles)
+		c.opCounts[ic.op]++
+	}
+}
+
+// chargeTurboSeg charges one fully-executed on-path segment.
+func (c *CPU) chargeTurboSeg(s *turboSeg) {
+	c.chargeCosts(s.costs)
+	c.stat.Transfers++
+	if s.hotTaken {
+		c.stat.TakenTransfers++
+	}
+	if s.slotNop {
+		c.stat.DelaySlotNops++
+	} else {
+		c.stat.DelaySlotUseful++
+	}
+}
+
+// turboFault settles a body fault at segment si, instruction fidx: j full
+// iterations plus the executed prefix stay charged (the faulting
+// instruction included, as in Step), and the PC pair lands on the
+// faulting instruction.
+func (c *CPU) turboFault(t *turboTrace, j, si, fidx int, err error) error {
+	c.chargeTurboIters(t, uint64(j))
+	for sj := 0; sj < si; sj++ {
+		c.chargeTurboSeg(&t.segs[sj])
+	}
+	s := &t.segs[si]
+	c.chargeCosts(s.costs[:fidx+1])
+	fpc := s.startPC + uint32(4*fidx)
+	if fidx > 0 {
+		c.lastPC = fpc - 4
+	}
+	c.pc = fpc
+	c.npc = fpc + 4
+	return c.runError(fpc, err)
+}
+
+// turboSlotFault settles a delay-slot fault: the whole segment (slot
+// included) stays charged and npc keeps the branch's decision, exactly
+// like the block engine's fast-terminator slot fault.
+func (c *CPU) turboSlotFault(t *turboTrace, j, si int, taken bool, err error) error {
+	c.chargeTurboIters(t, uint64(j))
+	for sj := 0; sj < si; sj++ {
+		c.chargeTurboSeg(&t.segs[sj])
+	}
+	s := &t.segs[si]
+	c.chargeCosts(s.costs)
+	c.stat.Transfers++
+	if taken {
+		c.stat.TakenTransfers++
+	}
+	c.stat.DelaySlotUseful++
+	c.pc = s.slotPC
+	return c.runError(s.slotPC, err)
+}
+
+// turboStoreExit settles a self-modifying-store exit right after the
+// store at segment si, instruction fidx.
+func (c *CPU) turboStoreExit(t *turboTrace, j, si, fidx int) (int, error) {
+	c.chargeTurboIters(t, uint64(j))
+	consumed := j * t.iterInsts
+	for sj := 0; sj < si; sj++ {
+		c.chargeTurboSeg(&t.segs[sj])
+		consumed += t.segs[sj].nInst
+	}
+	s := &t.segs[si]
+	c.chargeCosts(s.costs[:fidx+1])
+	consumed += fidx + 1
+	c.lastPC = s.startPC + uint32(4*fidx)
+	c.pc = c.lastPC + 4
+	c.npc = c.pc + 4
+	c.traceStat.Instructions += uint64(consumed)
+	for sj := range t.segs {
+		c.heat[t.segs[sj].w] += uint64(j)
+	}
+	return consumed, nil
+}
+
+// turboSideExit settles a guarded exit at segment si: the segment ran to
+// completion (slot included) but the branch went off-trace, and the PC
+// pair already reflects the actual direction.
+func (c *CPU) turboSideExit(t *turboTrace, j, si int, taken bool) (int, error) {
+	c.chargeTurboIters(t, uint64(j))
+	consumed := j * t.iterInsts
+	for sj := 0; sj < si; sj++ {
+		c.chargeTurboSeg(&t.segs[sj])
+		consumed += t.segs[sj].nInst
+	}
+	s := &t.segs[si]
+	c.chargeCosts(s.costs)
+	c.stat.Transfers++
+	if taken {
+		c.stat.TakenTransfers++
+	}
+	if s.slotNop {
+		c.stat.DelaySlotNops++
+	} else {
+		c.stat.DelaySlotUseful++
+	}
+	consumed += s.nInst
+	c.traceStat.SideExits++
+	c.traceStat.Instructions += uint64(consumed)
+	for sj := range t.segs {
+		c.heat[t.segs[sj].w] += uint64(j)
+	}
+	for sj := 0; sj <= si; sj++ {
+		c.heat[t.segs[sj].w]++
+	}
+	return consumed, nil
+}
+
+// runChain replays a planned block sequence through runBlock, with a PC
+// guard between segments: the moment execution leaves the planned path
+// (side exit), the code changes underneath (generation bump), or a
+// per-segment gate fails, the chain stops at a state the outer loop
+// resumes from exactly.
+func (c *CPU) runChain(tr *trace, budget int) (int, error) {
+	consumed := 0
+	gen := c.traceGen
+	for i := range tr.chain {
+		s := &tr.chain[i]
+		if i > 0 {
+			if c.halted || c.traceGen != gen {
+				break
+			}
+			if c.pc != s.pc {
+				c.traceStat.SideExits++
+				break
+			}
+		}
+		b := c.blockAt(s.w)
+		if b == nil || b.nInst == 0 {
+			break
+		}
+		if b.nInst > budget-consumed {
+			if i == 0 && c.stat.Cycles+b.cyclesButLast < c.cfg.MaxCycles {
+				// Same batch-alignment rule as turbo: don't step into the
+				// trace head on fumes, restart it on a fresh batch.
+				return -1, nil
+			}
+			break
+		}
+		if c.stat.Cycles+b.cyclesButLast >= c.cfg.MaxCycles {
+			break
+		}
+		n, err := c.runBlock(s.w, b, budget-consumed)
+		consumed += n
+		c.heat[s.w] += uint64((n + b.nInst - 1) / b.nInst)
+		if err != nil {
+			c.traceStat.Instructions += uint64(consumed)
+			return consumed, err
+		}
+	}
+	c.traceStat.Instructions += uint64(consumed)
+	return consumed, nil
+}
+
+// invalidateTraces drops every live trace overlapping the stored-to word
+// range [first, last] and resets the head's heat so the rewritten path
+// must re-warm before it is re-traced.
+func (c *CPU) invalidateTraces(first, last uint32) {
+	if len(c.liveTraces) == 0 {
+		return
+	}
+	kept := c.liveTraces[:0]
+	for _, tr := range c.liveTraces {
+		hit := false
+		for _, r := range tr.ranges {
+			if r[0] <= last && first < r[1] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			kept = append(kept, tr)
+			continue
+		}
+		c.traces[tr.head] = nil
+		if tr.head < uint32(len(c.heat)) {
+			c.heat[tr.head] = 0
+		}
+		c.traceStat.Invalidations++
+		c.traceGen++
+	}
+	c.liveTraces = kept
+}
+
+// Profile surface.
+
+// HeatEntry is one row of the execution-heat profile: a block leader, how
+// many times it dispatched, and whether it lies inside a live trace.
+type HeatEntry struct {
+	PC    uint32
+	Count uint64
+	Trace bool
+}
+
+// HeatProfile returns the non-zero block-heat table sorted hottest-first
+// (ties by address). Heat is counted by the trace-capable engines only
+// (EngineAuto, EngineTrace).
+func (c *CPU) HeatProfile() []HeatEntry {
+	var out []HeatEntry
+	for w, h := range c.heat {
+		if h == 0 {
+			continue
+		}
+		out = append(out, HeatEntry{
+			PC:    c.codeOrg + uint32(4*w),
+			Count: h,
+			Trace: c.inLiveTrace(uint32(w)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+func (c *CPU) inLiveTrace(w uint32) bool {
+	for _, tr := range c.liveTraces {
+		for _, r := range tr.ranges {
+			if w >= r[0] && w < r[1] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NGram is one measured dynamic opcode n-gram.
+type NGram struct {
+	Ops   []string
+	Count uint64
+}
+
+// HotNGrams ranks the measured dynamic opcode n-grams (n clamped to 2 or
+// 3) by estimated execution count and returns the top entries. This is
+// the profile the trace tier's fusion repertoire grows from.
+func (c *CPU) HotNGrams(n, top int) []NGram {
+	if n < 2 {
+		n = 2
+	}
+	if n > 3 {
+		n = 3
+	}
+	counts := c.nGramCounts(n)
+	out := make([]NGram, 0, len(counts))
+	for key, cnt := range counts {
+		ops := make([]string, n)
+		for k := n - 1; k >= 0; k-- {
+			ops[k] = isa.Op(key & 0x7F).Name()
+			key >>= 8
+		}
+		out = append(out, NGram{Ops: ops, Count: cnt})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return strings.Join(out[i].Ops, " ") < strings.Join(out[j].Ops, " ")
+	})
+	if top > 0 && len(out) > top {
+		out = out[:top]
+	}
+	return out
+}
+
+// nGramCounts estimates dynamic opcode n-gram counts as block heat times
+// each block's static opcode sequence — exact while execution stays on
+// block boundaries, which is where all the heat is.
+func (c *CPU) nGramCounts(n int) map[uint32]uint64 {
+	out := map[uint32]uint64{}
+	for w, b := range c.blocks {
+		if b == nil || b.nInst == 0 {
+			continue
+		}
+		h := c.heat[w]
+		if h == 0 {
+			continue
+		}
+		for j := 0; j+n <= len(b.costs); j++ {
+			var key uint32
+			for k := 0; k < n; k++ {
+				key = key<<8 | uint32(b.costs[j+k].op)
+			}
+			out[key] += h
+		}
+	}
+	return out
+}
+
+// hotTrigrams is the triple-fusion gate: the top hotNGramCount trigrams
+// by measured dynamic count.
+func (c *CPU) hotTrigrams() map[uint32]bool {
+	counts := c.nGramCounts(3)
+	type kv struct {
+		key uint32
+		n   uint64
+	}
+	all := make([]kv, 0, len(counts))
+	for k, n := range counts {
+		all = append(all, kv{k, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].key < all[j].key
+	})
+	if len(all) > hotNGramCount {
+		all = all[:hotNGramCount]
+	}
+	hot := make(map[uint32]bool, len(all))
+	for _, e := range all {
+		hot[e.key] = true
+	}
+	return hot
+}

@@ -60,10 +60,10 @@ type Options struct {
 	Windows     int  // register windows (0 = the paper's 8)
 	SpillBatch  int  // windows spilled per overflow trap (0 = 1)
 	NoDelayFill bool // leave NOPs in delay slots
-	// Engine selects the core execution engine (auto, block, step) for
-	// RISC targets; the CX machine ignores it. Engine is part of the lab
-	// cache key, so runs simulated under different engines never share a
-	// cached result.
+	// Engine selects the core execution engine (auto, block, step, trace)
+	// for RISC targets; the CX machine ignores it. Engine is part of the
+	// lab cache key, so runs simulated under different engines never share
+	// a cached result.
 	Engine core.Engine
 	// Fault, when non-nil, injects memory failures into the run (the plan
 	// is copied per execution, so one plan can safely serve many runs).

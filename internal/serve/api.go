@@ -27,8 +27,9 @@ type RunRequest struct {
 	// TimeoutMS lowers the server's per-run wall-clock deadline, likewise
 	// clamped to the server ceiling.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
-	// Engine selects the RISC execution engine: "auto" (default), "block"
-	// or "step". CISC runs ignore it.
+	// Engine selects the RISC execution engine: "auto" (default), "block",
+	// "step" or "trace" — auto resolves to the profile-guided trace tier.
+	// CISC runs ignore it.
 	Engine string `json:"engine,omitempty"`
 }
 

@@ -32,6 +32,13 @@ type metrics struct {
 	simInstrs uint64            // cumulative simulated instructions across all runs
 	runs      map[string]uint64 // execution engine → /v1/run simulations started
 	lintFound map[string]uint64 // severity → findings reported by /v1/lint
+
+	// Trace-tier counters across all /v1/run simulations: superblocks
+	// compiled, guarded side exits taken, and traces dropped by stores
+	// into their code.
+	traceCompiled      uint64
+	traceSideExits     uint64
+	traceInvalidations uint64
 }
 
 func newMetrics() *metrics {
@@ -86,6 +93,18 @@ func (m *metrics) addRun(engine string) {
 func (m *metrics) addSimInstructions(n uint64) {
 	m.mu.Lock()
 	m.simInstrs += n
+	m.mu.Unlock()
+}
+
+// addTraceStats accumulates one run's trace-tier activity.
+func (m *metrics) addTraceStats(info *risc1.RunInfo) {
+	if info.TracesCompiled == 0 && info.TraceSideExits == 0 && info.TraceInvalidations == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.traceCompiled += info.TracesCompiled
+	m.traceSideExits += info.TraceSideExits
+	m.traceInvalidations += info.TraceInvalidations
 	m.mu.Unlock()
 }
 
@@ -168,6 +187,18 @@ func (m *metrics) render(g gauges) string {
 	b.WriteString("# HELP riscd_simulated_instructions_total Guest instructions simulated for /v1/run.\n")
 	b.WriteString("# TYPE riscd_simulated_instructions_total counter\n")
 	fmt.Fprintf(&b, "riscd_simulated_instructions_total %d\n", m.simInstrs)
+
+	b.WriteString("# HELP riscd_trace_compiled_total Hot-path superblocks compiled by the trace tier.\n")
+	b.WriteString("# TYPE riscd_trace_compiled_total counter\n")
+	fmt.Fprintf(&b, "riscd_trace_compiled_total %d\n", m.traceCompiled)
+
+	b.WriteString("# HELP riscd_trace_side_exits_total Guarded side exits taken out of compiled traces.\n")
+	b.WriteString("# TYPE riscd_trace_side_exits_total counter\n")
+	fmt.Fprintf(&b, "riscd_trace_side_exits_total %d\n", m.traceSideExits)
+
+	b.WriteString("# HELP riscd_trace_invalidations_total Compiled traces dropped by stores into their code.\n")
+	b.WriteString("# TYPE riscd_trace_invalidations_total counter\n")
+	fmt.Fprintf(&b, "riscd_trace_invalidations_total %d\n", m.traceInvalidations)
 
 	b.WriteString("# HELP riscd_lint_findings_total Static-analyzer findings reported by /v1/lint, by severity.\n")
 	b.WriteString("# TYPE riscd_lint_findings_total counter\n")

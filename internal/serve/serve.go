@@ -321,6 +321,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.addSimInstructions(info.Instructions)
+	s.met.addTraceStats(info)
 	writeJSON(w, http.StatusOK, RunResponse{
 		Console:          info.Console,
 		ConsoleTruncated: info.ConsoleTruncated,

@@ -651,14 +651,15 @@ type atomic64 struct {
 func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
 func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
 
-// TestRunEngineSelection pins the engine knob on /v1/run: both engines
+// TestRunEngineSelection pins the engine knob on /v1/run: all engines
 // produce identical results, the engine spelling is validated, and the
 // per-engine run counter shows up in /metrics.
 func TestRunEngineSelection(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	src := "main: add r0,#6,r10\n stl r10,(r0)#-252\n ret r25,#8\n nop\n"
-	var got [2]RunResponse
-	for i, engine := range []string{"step", "block"} {
+	engines := []string{"step", "block", "trace"}
+	got := make([]RunResponse, len(engines))
+	for i, engine := range engines {
 		resp, raw := postJSON(t, ts.URL+"/v1/run",
 			RunRequest{Source: src, Lang: "asm", Engine: engine})
 		if resp.StatusCode != http.StatusOK {
@@ -668,9 +669,12 @@ func TestRunEngineSelection(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got[1].Cached = got[0].Cached // the image cache hit is the only allowed difference
-	if got[0] != got[1] {
-		t.Errorf("engines disagree:\nstep:  %+v\nblock: %+v", got[0], got[1])
+	for i := 1; i < len(engines); i++ {
+		got[i].Cached = got[0].Cached // the image cache hit is the only allowed difference
+		if got[0] != got[i] {
+			t.Errorf("engines disagree:\n%s: %+v\n%s: %+v",
+				engines[0], got[0], engines[i], got[i])
+		}
 	}
 
 	resp, raw := postJSON(t, ts.URL+"/v1/run",
@@ -686,9 +690,42 @@ func TestRunEngineSelection(t *testing.T) {
 	for _, want := range []string{
 		`riscd_runs_total{engine="step"} 1`,
 		`riscd_runs_total{engine="block"} 1`,
+		`riscd_runs_total{engine="trace"} 1`,
 	} {
 		if !strings.Contains(string(raw), want) {
 			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestRunTraceTierMetrics runs a loop hot enough for the trace tier to
+// compile a superblock (and take its guarded side exit when the loop
+// ends), then checks the /metrics trace counters moved.
+func TestRunTraceTierMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := `main:	add r0,#0,r1
+	loop:	add r1,#1,r1
+		cmp r1,#2000
+		blt loop
+		nop
+		ret r25,#8
+		nop
+	`
+	resp, raw := postJSON(t, ts.URL+"/v1/run",
+		RunRequest{Source: src, Lang: "asm", Engine: "trace"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d\n%s", resp.StatusCode, raw)
+	}
+
+	_, raw = getBody(t, ts.URL+"/metrics")
+	text := string(raw)
+	for metric, needNonZero := range map[string]bool{
+		"riscd_trace_compiled_total":      true,
+		"riscd_trace_side_exits_total":    true,
+		"riscd_trace_invalidations_total": false,
+	} {
+		if val := metricValue(t, text, metric); needNonZero && val == 0 {
+			t.Errorf("%s = 0, want > 0", metric)
 		}
 	}
 }

@@ -52,22 +52,24 @@ const (
 	CISC = cc.CISC
 )
 
-// Engine selects how the RISC I core executes: basic-block compilation
-// (the default), or the single-step reference interpreter. The engines are
-// observationally identical — same console, statistics, faults — and
-// differ only in speed; see core.Engine.
+// Engine selects how the RISC I core executes: the profile-guided trace
+// tier (the default — basic blocks plus superblocks compiled over hot
+// paths), plain basic-block compilation, or the single-step reference
+// interpreter. The engines are observationally identical — same console,
+// statistics, faults — and differ only in speed; see core.Engine.
 type Engine = core.Engine
 
-// The execution engines. EngineAuto resolves to block execution unless a
-// per-instruction trace is installed.
+// The execution engines. EngineAuto resolves to the trace tier unless a
+// per-instruction trace callback is installed.
 const (
 	EngineAuto  = core.EngineAuto
 	EngineBlock = core.EngineBlock
 	EngineStep  = core.EngineStep
+	EngineTrace = core.EngineTrace
 )
 
-// ParseEngine maps the CLI/API spelling ("auto", "block", "step", or
-// empty for auto) to an Engine.
+// ParseEngine maps the CLI/API spelling ("auto", "block", "step", "trace",
+// or empty for auto) to an Engine.
 func ParseEngine(s string) (Engine, error) { return core.ParseEngine(s) }
 
 // CompileOptions tunes Cm compilation.
@@ -119,6 +121,41 @@ type RunInfo struct {
 	DataReadBytes    uint64
 	DataWriteBytes   uint64
 	FetchBytes       uint64
+
+	// Trace-tier meta statistics, populated on RISC targets when the auto
+	// or trace engine ran. They live outside the architectural statistics
+	// above on purpose: all engines agree on those exactly, and only the
+	// trace tier has traces to count.
+	TracesCompiled     uint64
+	TraceSideExits     uint64
+	TraceInvalidations uint64
+	// TraceInstructions counts dynamic instructions retired inside
+	// compiled traces (a subset of Instructions).
+	TraceInstructions uint64
+	// HotBlocks counts block leaders whose execution heat reached the
+	// trace-compile threshold.
+	HotBlocks int
+	// Profile and NGrams carry the full heat table and the measured
+	// dynamic opcode n-grams; both are filled only when
+	// RunOptions.Profile is set.
+	Profile []BlockProfile
+	NGrams  []NGramCount
+}
+
+// BlockProfile is one row of the execution-heat profile: a basic-block
+// leader, how many times it dispatched, and whether a live compiled trace
+// covers it.
+type BlockProfile struct {
+	PC    uint32 `json:"pc"`
+	Count uint64 `json:"count"`
+	Trace bool   `json:"trace"`
+}
+
+// NGramCount is one measured dynamic opcode n-gram — the profile the
+// trace tier's instruction-fusion repertoire grows from.
+type NGramCount struct {
+	Ops   []string `json:"ops"`
+	Count uint64   `json:"count"`
 }
 
 // BuildAndRun compiles a Cm program, assembles it and runs it to completion
@@ -216,6 +253,9 @@ type RunOptions struct {
 	// Engine selects the RISC core execution engine. The CX machine has a
 	// single interpreter and ignores it.
 	Engine Engine
+	// Profile collects the execution-heat table and dynamic opcode
+	// n-grams into RunInfo.Profile / RunInfo.NGrams (RISC targets only).
+	Profile bool
 }
 
 // RunImage runs a compiled image to completion on a fresh machine of its
@@ -244,7 +284,12 @@ func RunImage(ctx context.Context, img *Image, opt RunOptions) (*RunInfo, error)
 	if err := m.RunContext(ctx); err != nil {
 		return nil, err
 	}
-	return riscInfo(m, len(img.risc.Bytes)), nil
+	info := riscInfo(m, len(img.risc.Bytes))
+	if opt.Profile {
+		info.Profile = heatProfile(m)
+		info.NGrams = hotNGrams(m)
+	}
+	return info, nil
 }
 
 // compileRISC compiles and assembles a Cm program for a RISC target. When
@@ -270,7 +315,8 @@ func compileRISC(source string, target Target) (*asm.Image, error) {
 
 func riscInfo(m *core.CPU, imageBytes int) *RunInfo {
 	s := m.Stats()
-	return &RunInfo{
+	ts := m.TraceStats()
+	info := &RunInfo{
 		Console:          m.Console(),
 		ConsoleTruncated: m.Mem.ConsoleTruncated(),
 		Instructions:     s.Instructions,
@@ -284,7 +330,40 @@ func riscInfo(m *core.CPU, imageBytes int) *RunInfo {
 		DataReadBytes:    s.DataReads,
 		DataWriteBytes:   s.DataWrites,
 		FetchBytes:       s.FetchBytes,
+
+		TracesCompiled:     ts.Compiled,
+		TraceSideExits:     ts.SideExits,
+		TraceInvalidations: ts.Invalidations,
+		TraceInstructions:  ts.Instructions,
 	}
+	thr := m.HotThreshold()
+	for _, h := range m.HeatProfile() {
+		if h.Count >= thr {
+			info.HotBlocks++
+		}
+	}
+	return info
+}
+
+// heatProfile converts the core's heat table to the facade type.
+func heatProfile(m *core.CPU) []BlockProfile {
+	heat := m.HeatProfile()
+	out := make([]BlockProfile, len(heat))
+	for i, h := range heat {
+		out[i] = BlockProfile{PC: h.PC, Count: h.Count, Trace: h.Trace}
+	}
+	return out
+}
+
+// hotNGrams collects the top measured bigrams and trigrams.
+func hotNGrams(m *core.CPU) []NGramCount {
+	var out []NGramCount
+	for _, n := range []int{2, 3} {
+		for _, g := range m.HotNGrams(n, 8) {
+			out = append(out, NGramCount{Ops: g.Ops, Count: g.Count})
+		}
+	}
+	return out
 }
 
 func ciscInfo(m *cisc.CPU, img *cisc.Image) *RunInfo {
@@ -310,7 +389,7 @@ type MachineConfig struct {
 	Flat      bool // disable window sliding
 	MemSize   int  // RAM bytes (0 = 1 MiB)
 	MaxCycles uint64
-	// Engine selects the execution engine (auto, block, step).
+	// Engine selects the execution engine (auto, block, step, trace).
 	Engine Engine
 }
 
@@ -373,6 +452,21 @@ func (m *Machine) Info() *RunInfo {
 		size = len(m.lastImage.Bytes)
 	}
 	return riscInfo(m.cpu, size)
+}
+
+// Profile returns the execution-heat table accumulated so far, hottest
+// first. Heat is counted by the trace-capable engines (auto, trace); the
+// block and step engines leave it empty.
+func (m *Machine) Profile() []BlockProfile { return heatProfile(m.cpu) }
+
+// HotNGrams returns the top measured dynamic opcode n-grams (n clamped to
+// 2 or 3).
+func (m *Machine) HotNGrams(n, top int) []NGramCount {
+	var out []NGramCount
+	for _, g := range m.cpu.HotNGrams(n, top) {
+		out = append(out, NGramCount{Ops: g.Ops, Count: g.Count})
+	}
+	return out
 }
 
 // Interrupt queues an external interrupt. When interrupts are enabled the
