@@ -155,6 +155,20 @@ func BenchmarkE10PipelineModels(b *testing.B) {
 	}
 }
 
+// BenchmarkE11MeasuredPipeline regenerates the cycle-accurate pipeline
+// comparison: measured CPI under delayed jumps and the delayed policy's
+// advantage over predict-not-taken squashing.
+func BenchmarkE11MeasuredPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.E11PipelinedCPI(exp.NewLab())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CPIDelayed, "cpi-delayed")
+		b.ReportMetric(res.DelayedAdvPct, "delayed-adv-%")
+	}
+}
+
 // TestExperimentIDsAllRunnable checks that every advertised experiment ID
 // renders without error through the public API (sharing one Lab so common
 // configurations simulate once).

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ccm [-target windowed|flat|cisc] [-noopt] [-widedata] [-lint] file.cm
+//	ccm [-target windowed|flat|cisc|pipelined] [-noopt] [-widedata] [-lint] file.cm
 //
 // With -lint the compiled image is also run through the static analyzer
 // (see docs/LINT.md); findings go to stderr and error-severity findings
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	target := flag.String("target", "windowed", "code generator: windowed, flat or cisc")
+	target := flag.String("target", "windowed", "code generator: windowed, flat, cisc or pipelined")
 	noopt := flag.Bool("noopt", false, "leave NOPs in delay slots (RISC targets)")
 	wide := flag.Bool("widedata", false, "full 32-bit global addressing (RISC targets)")
 	dis := flag.Bool("dis", false, "print the encoded listing instead of assembly source")
@@ -71,8 +71,13 @@ func parseTarget(s string) (risc1.Target, error) {
 		return risc1.RISCFlat, nil
 	case "cisc", "cx":
 		return risc1.CISC, nil
+	case "pipelined":
+		// Codegen-wise identical to windowed; the distinction matters to
+		// the execution layers (riscrun, riscd), which pick the
+		// cycle-accurate pipeline model for it.
+		return risc1.RISCPipelined, nil
 	}
-	return 0, fmt.Errorf("unknown target %q (want windowed, flat or cisc)", s)
+	return 0, fmt.Errorf("unknown target %q (want windowed, flat, cisc or pipelined)", s)
 }
 
 func fatal(err error) {

@@ -2,8 +2,10 @@
 //
 // Usage:
 //
-//	riscbench                 # run every experiment, E1..E10
+//	riscbench                 # run every experiment, E1..E11
 //	riscbench -exp E4         # just the execution-time comparison
+//	riscbench -target pipelined  # per-benchmark CPI/stall/fill table on the
+//	                             # cycle-accurate pipeline (shorthand for -exp E11)
 //	riscbench -json           # also write BENCH_risc1.json (machine-readable)
 //	riscbench -engine step    # force the single-step reference engine
 //	riscbench -profile -      # dump the reference loop's heat profile as JSON
@@ -67,10 +69,31 @@ type benchReport struct {
 	// TraceCoverage describes the trace tier's dynamic-fusion coverage on
 	// the reference loop: how much of the instruction stream retired
 	// inside compiled traces and which opcode n-grams measured hottest.
-	TraceCoverage traceCoverage      `json:"trace_coverage"`
-	Experiments   []experimentTiming `json:"experiments"`
-	Headline      headlineMetrics    `json:"headline_metrics"`
-	Failures      []failureReport    `json:"failures,omitempty"`
+	TraceCoverage traceCoverage `json:"trace_coverage"`
+	// Pipeline aggregates the cycle-accurate five-stage pipeline
+	// measurement (experiment E11) over the whole suite.
+	Pipeline    pipelineReport     `json:"pipeline"`
+	Experiments []experimentTiming `json:"experiments"`
+	Headline    headlineMetrics    `json:"headline_metrics"`
+	Failures    []failureReport    `json:"failures,omitempty"`
+}
+
+// pipelineReport is the suite-wide summary of the cycle-accurate pipeline:
+// effective CPI under both control-transfer policies, the stall/flush
+// breakdown, forwarding traffic, and the delayed jump's measured advantage.
+type pipelineReport struct {
+	Instructions  uint64  `json:"sim_instructions"`
+	CyclesDelayed uint64  `json:"cycles_delayed"`
+	CyclesSquash  uint64  `json:"cycles_squash"`
+	CPIDelayed    float64 `json:"cpi_delayed"`
+	CPISquash     float64 `json:"cpi_squash"`
+	DelayedAdvPct float64 `json:"delayed_advantage_pct"`
+	FillRatePct   float64 `json:"delay_slot_fill_pct"`
+	LoadUseStalls uint64  `json:"load_use_stall_cycles"`
+	WindowStalls  uint64  `json:"window_stall_cycles"`
+	FlushBubbles  uint64  `json:"flush_bubble_cycles"`
+	ForwardsEXMEM uint64  `json:"forwards_ex_mem"`
+	ForwardsMEMWB uint64  `json:"forwards_mem_wb"`
 }
 
 // traceCoverage is the trace tier's fusion-coverage summary.
@@ -96,6 +119,9 @@ type historyEntry struct {
 	BlockSpeedup float64 `json:"block_speedup_over_step"`
 	TraceSpeedup float64 `json:"trace_speedup_over_block"`
 	TracePct     float64 `json:"trace_instruction_pct"`
+	CPIDelayed   float64 `json:"cpi_delayed"`
+	CPISquash    float64 `json:"cpi_squash"`
+	PipeAdvPct   float64 `json:"delayed_advantage_pct"`
 }
 
 type failureReport struct {
@@ -125,7 +151,8 @@ type headlineMetrics struct {
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment id (E1..E10) or all")
+	which := flag.String("exp", "all", "experiment id (E1..E11) or all")
+	targetFlag := flag.String("target", "", "run the per-benchmark table for one target; only \"pipelined\" (shorthand for -exp E11)")
 	jsonOut := flag.Bool("json", false, "write "+benchFile+" with throughput and headline metrics")
 	timeout := flag.Duration("timeout", 0, "per-configuration wall-clock limit (0 = none)")
 	inject := flag.String("inject", "", "benchmark name to run under an injected memory fault")
@@ -148,6 +175,18 @@ func main() {
 			os.Exit(2)
 		}
 		ids = []string{*which}
+	}
+	if *targetFlag != "" {
+		if *targetFlag != "pipelined" {
+			fmt.Fprintf(os.Stderr, "riscbench: unknown -target %q (only \"pipelined\" has a per-benchmark table; see -exp)\n",
+				*targetFlag)
+			os.Exit(2)
+		}
+		if *which != "all" && *which != "E11" {
+			fmt.Fprintf(os.Stderr, "riscbench: -target pipelined conflicts with -exp %s\n", *which)
+			os.Exit(2)
+		}
+		ids = []string{"E11"}
 	}
 	lab := exp.NewLab()
 	lab.SetEngine(engine)
@@ -268,7 +307,7 @@ func writeBenchProfile(path string, engine risc1.Engine) error {
 // report and appends a dated line to the throughput history.
 func writeReport(lab *exp.Lab, engine risc1.Engine, timings []experimentTiming, failures []exp.Failure) error {
 	rep := benchReport{
-		Schema:      "risc1-bench/3",
+		Schema:      "risc1-bench/4",
 		Engine:      engine.String(),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
@@ -322,6 +361,25 @@ func writeReport(lab *exp.Lab, engine risc1.Engine, timings []experimentTiming, 
 		rep.Simulator = blockT
 	default: // auto and trace both run the trace tier
 		rep.Simulator = traceT
+	}
+
+	e11, err := exp.E11PipelinedCPI(lab)
+	if err != nil {
+		return err
+	}
+	rep.Pipeline = pipelineReport{
+		Instructions:  e11.Instructions,
+		CyclesDelayed: e11.CyclesDelayed,
+		CyclesSquash:  e11.CyclesSquash,
+		CPIDelayed:    e11.CPIDelayed,
+		CPISquash:     e11.CPISquash,
+		DelayedAdvPct: e11.DelayedAdvPct,
+		FillRatePct:   e11.FillRatePct,
+		LoadUseStalls: e11.LoadUseStalls,
+		WindowStalls:  e11.WindowStalls,
+		FlushBubbles:  e11.FlushBubbles,
+		ForwardsEXMEM: e11.ForwardsEXMEM,
+		ForwardsMEMWB: e11.ForwardsMEMWB,
 	}
 
 	e3, err := exp.E3ProgramSize(lab)
@@ -384,6 +442,9 @@ func writeReport(lab *exp.Lab, engine risc1.Engine, timings []experimentTiming, 
 		BlockSpeedup: rep.BlockSpeedup,
 		TraceSpeedup: rep.TraceSpeedup,
 		TracePct:     rep.TraceCoverage.TraceInstructionPct,
+		CPIDelayed:   rep.Pipeline.CPIDelayed,
+		CPISquash:    rep.Pipeline.CPISquash,
+		PipeAdvPct:   rep.Pipeline.DelayedAdvPct,
 	})
 }
 

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	risclint [-target windowed|flat|cisc] [-lang cm|asm] [-json] [-Werror] file...
+//	risclint [-target windowed|flat|cisc|pipelined] [-lang cm|asm] [-json] [-Werror] file...
 //
 // Cm sources are compiled for the target first; assembly sources are
 // assembled. With -json the findings are printed as one JSON array of
@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	target := flag.String("target", "windowed", "machine convention: windowed, flat or cisc")
+	target := flag.String("target", "windowed", "machine convention: windowed, flat, cisc or pipelined")
 	lang := flag.String("lang", "", "source language: cm or asm (default: by extension)")
 	asJSON := flag.Bool("json", false, "print findings as JSON")
 	werror := flag.Bool("Werror", false, "treat warnings as fatal")
@@ -127,8 +127,12 @@ func parseTarget(s string) (risc1.Target, error) {
 		return risc1.RISCFlat, nil
 	case "cisc", "cx":
 		return risc1.CISC, nil
+	case "pipelined":
+		// Lints under the windowed conventions: the pipeline target runs
+		// the same generated code, only the timing model differs.
+		return risc1.RISCPipelined, nil
 	}
-	return 0, fmt.Errorf("unknown target %q (want windowed, flat or cisc)", s)
+	return 0, fmt.Errorf("unknown target %q (want windowed, flat, cisc or pipelined)", s)
 }
 
 func fatal(err error) {

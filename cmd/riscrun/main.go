@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	riscrun [-target windowed|flat|cisc] [-windows N] [-engine E] [-timeout D] [-max-cycles N] [-stats] [-profile F] prog.cm
+//	riscrun [-target windowed|flat|cisc|pipelined] [-policy delayed|squash] [-windows N] [-engine E] [-timeout D] [-max-cycles N] [-stats] [-profile F] prog.cm
 //	riscrun [-windows N] [-flat] [-engine E] [-timeout D] [-max-cycles N] [-stats] [-profile F] prog.s
+//
+// -target pipelined runs windowed code on the cycle-accurate five-stage
+// pipeline model; -stats then adds the measured CPI, stall/flush/forward
+// counts and the delay-slot fill rate. -policy picks the control-transfer
+// policy (the paper's delayed jumps, or predict-not-taken squash hardware).
 //
 // -profile dumps the run's execution-heat profile — block leaders with
 // their dispatch counts and trace membership, plus the measured dynamic
@@ -63,7 +68,8 @@ func writeProfile(path string, engine risc1.Engine, info *risc1.RunInfo) error {
 }
 
 func main() {
-	target := flag.String("target", "windowed", "machine for .cm sources: windowed, flat or cisc")
+	target := flag.String("target", "windowed", "machine for .cm sources: windowed, flat, cisc or pipelined")
+	policyFlag := flag.String("policy", "delayed", "control-transfer policy for -target pipelined: delayed or squash")
 	windows := flag.Int("windows", 0, "register windows for .s sources (0 = 8)")
 	flat := flag.Bool("flat", false, "disable register windows for .s sources")
 	stats := flag.Bool("stats", false, "print execution statistics")
@@ -86,6 +92,10 @@ func main() {
 	src := string(srcBytes)
 
 	engine, err := risc1.ParseEngine(*engineFlag)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := risc1.ParsePolicy(*policyFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -129,6 +139,8 @@ func main() {
 			t = risc1.RISCFlat
 		case "cisc", "cx":
 			t = risc1.CISC
+		case "pipelined":
+			t = risc1.RISCPipelined
 		default:
 			fatal(fmt.Errorf("unknown target %q", *target))
 		}
@@ -137,7 +149,7 @@ func main() {
 			fatal(err)
 		}
 		info, err = risc1.RunImage(ctx, img, risc1.RunOptions{
-			MaxCycles: *maxCycles, Engine: engine, Profile: *profile != "",
+			MaxCycles: *maxCycles, Engine: engine, Policy: policy, Profile: *profile != "",
 		})
 		if err != nil {
 			fatal(err)
@@ -157,6 +169,15 @@ func main() {
 			info.Calls, info.MaxCallDepth, info.WindowOverflows, info.WindowUnderflows)
 		fmt.Printf("memory: %d fetch B, %d read B, %d write B\n",
 			info.FetchBytes, info.DataReadBytes, info.DataWriteBytes)
+		if p := info.Pipeline; p != nil {
+			fmt.Printf("pipeline (%s): CPI %.3f  single-cycle ref %d cyc\n",
+				p.Policy, p.CPI, p.RefCycles)
+			fmt.Printf("stalls: %d load-use, %d window, %d flush  forwards: %d EX/MEM, %d MEM/WB\n",
+				p.LoadUseStallCycles, p.WindowStallCycles, p.FlushBubbleCycles,
+				p.ForwardsEXMEM, p.ForwardsMEMWB)
+			fmt.Printf("delay slots: %d filled / %d retired (%.1f%%)\n",
+				p.DelaySlotsFilled, p.DelaySlots, p.FillRatePct)
+		}
 	}
 }
 

@@ -101,8 +101,8 @@ int main() { putint(twice(21)); return 0; }`), 0o644); err != nil {
 		t.Fatalf("cisc output missing mask:\n%s", out)
 	}
 
-	// riscrun on the Cm source, all three targets.
-	for _, target := range []string{"windowed", "flat", "cisc"} {
+	// riscrun on the Cm source, all four targets.
+	for _, target := range []string{"windowed", "flat", "cisc", "pipelined"} {
 		out := runTool(t, "./cmd/riscrun", "-target", target, "-stats", cm)
 		if !strings.HasPrefix(out, "42\n") {
 			t.Fatalf("riscrun -target %s printed %q", target, out)
@@ -110,6 +110,24 @@ int main() { putint(twice(21)); return 0; }`), 0o644); err != nil {
 		if !strings.Contains(out, "instructions:") {
 			t.Fatalf("riscrun -stats missing statistics:\n%s", out)
 		}
+		if target == "pipelined" && !strings.Contains(out, "pipeline (delayed): CPI") {
+			t.Fatalf("riscrun -target pipelined -stats missing pipeline block:\n%s", out)
+		}
+	}
+
+	// The pipelined target's squash policy must cost cycles, never change
+	// program output.
+	sqOut := runTool(t, "./cmd/riscrun", "-target", "pipelined", "-policy", "squash", "-stats", cm)
+	if !strings.HasPrefix(sqOut, "42\n") || !strings.Contains(sqOut, "pipeline (squash): CPI") {
+		t.Fatalf("riscrun -policy squash printed:\n%s", sqOut)
+	}
+	if _, stderr, code := runToolErr(t, "./cmd/riscrun", "-target", "pipelined", "-policy", "oracle", cm); code == 0 {
+		t.Fatal("riscrun accepted an unknown -policy")
+	} else if !strings.Contains(stderr, "policy") {
+		t.Fatalf("unknown policy error: %s", stderr)
+	}
+	if _, _, code := runToolErr(t, "./cmd/riscrun", "-engine", "warp", cm); code == 0 {
+		t.Fatal("riscrun accepted an unknown -engine")
 	}
 
 	// riscasm: assemble the compiler's output; then riscdis round trip.
@@ -134,10 +152,20 @@ int main() { putint(twice(21)); return 0; }`), 0o644); err != nil {
 		t.Fatalf("riscrun on .s printed %q", out)
 	}
 
-	// riscbench: one static experiment end to end.
+	// riscbench: one static experiment end to end, and the pipelined
+	// target shorthand for the measured CPI table.
 	bench := runTool(t, "./cmd/riscbench", "-exp", "E2")
 	if !strings.Contains(bench, "RISC I (this repo)") {
 		t.Fatalf("riscbench E2 output:\n%s", bench)
+	}
+	pipe := runTool(t, "./cmd/riscbench", "-target", "pipelined")
+	for _, want := range []string{"E11.", "CPI dly", "(total)"} {
+		if !strings.Contains(pipe, want) {
+			t.Fatalf("riscbench -target pipelined missing %q:\n%s", want, pipe)
+		}
+	}
+	if _, _, code := runToolErr(t, "./cmd/riscbench", "-target", "cisc"); code == 0 {
+		t.Fatal("riscbench accepted -target cisc")
 	}
 }
 

@@ -14,6 +14,10 @@ const (
 	RISCFlat
 	// CISC is the CX comparator machine.
 	CISC
+	// RISCPipelined runs the windowed machine on the cycle-accurate
+	// five-stage pipeline model: identical code generation and
+	// architectural results, measured rather than unit-cost timing.
+	RISCPipelined
 )
 
 func (t Target) String() string {
@@ -24,6 +28,8 @@ func (t Target) String() string {
 		return "risc-flat"
 	case CISC:
 		return "cisc"
+	case RISCPipelined:
+		return "risc-pipelined"
 	}
 	return fmt.Sprintf("target%d", int(t))
 }
@@ -54,8 +60,8 @@ func Compile(src string, opts Options) (*Result, error) {
 		return nil, err
 	}
 	switch opts.Target {
-	case RISCWindowed, RISCFlat:
-		text, err := generateRISC(prog, opts.Target == RISCWindowed, !opts.WideData)
+	case RISCWindowed, RISCFlat, RISCPipelined:
+		text, err := generateRISC(prog, opts.Target != RISCFlat, !opts.WideData)
 		if err != nil {
 			return nil, err
 		}

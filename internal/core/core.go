@@ -92,6 +92,13 @@ func (c Config) withDefaults() Config {
 	if c.HotThreshold == 0 {
 		c.HotThreshold = 16
 	}
+	if c.Engine > EngineTrace {
+		// Defense in depth for a dropped ParseEngine error: an
+		// out-of-range engine (EngineInvalid) degrades to auto rather
+		// than selecting behavior by accident. Parse boundaries are
+		// still required to reject the bad spelling outright.
+		c.Engine = EngineAuto
+	}
 	return c
 }
 

@@ -28,6 +28,13 @@ const (
 	EngineTrace
 )
 
+// EngineInvalid is the sentinel ParseEngine returns alongside its error. It
+// deliberately does not alias EngineAuto: a caller that drops the error and
+// runs anyway gets a visibly wrong engine ("invalid"), not a silent auto
+// run. New carries it to EngineAuto as defense in depth, but every parse
+// boundary (riscrun, riscbench, riscd) must treat the error as fatal.
+const EngineInvalid Engine = 0xFF
+
 func (e Engine) String() string {
 	switch e {
 	case EngineBlock:
@@ -36,13 +43,16 @@ func (e Engine) String() string {
 		return "step"
 	case EngineTrace:
 		return "trace"
+	case EngineInvalid:
+		return "invalid"
 	default:
 		return "auto"
 	}
 }
 
 // ParseEngine maps the flag/API spelling to an Engine. The empty string is
-// EngineAuto.
+// EngineAuto. On an unknown spelling it returns EngineInvalid, never a
+// runnable engine value.
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "", "auto":
@@ -54,5 +64,5 @@ func ParseEngine(s string) (Engine, error) {
 	case "trace":
 		return EngineTrace, nil
 	}
-	return EngineAuto, fmt.Errorf("core: unknown engine %q (want auto, block, step or trace)", s)
+	return EngineInvalid, fmt.Errorf("core: unknown engine %q (want auto, block, step or trace)", s)
 }

@@ -383,7 +383,31 @@ func TestParseEngine(t *testing.T) {
 			t.Fatalf("ParseEngine(%q) = %v, %v", s, got, err)
 		}
 	}
-	if _, err := ParseEngine("warp"); err == nil {
+	if got, err := ParseEngine("warp"); err == nil {
 		t.Fatal("ParseEngine accepted garbage")
+	} else if got != EngineInvalid {
+		// The sentinel must never alias a runnable engine: a caller that
+		// drops the error must not get a silent auto run.
+		t.Fatalf("ParseEngine(garbage) = %v, want EngineInvalid", got)
+	}
+	if got := EngineInvalid.String(); got != "invalid" {
+		t.Fatalf("EngineInvalid.String() = %q", got)
+	}
+}
+
+// TestInvalidEngineClamped pins the defense-in-depth path: a caller that
+// ignores ParseEngine's error and runs anyway still gets a working machine
+// (EngineAuto), not an engine value the dispatch switch has never heard of.
+func TestInvalidEngineClamped(t *testing.T) {
+	c := run(t, Config{Engine: EngineInvalid}, `
+	main:	add r0,#1,r1
+		ret r25,#8
+		nop
+	`)
+	if got := c.Reg(1); got != 1 {
+		t.Fatalf("r1 = %d, want 1", got)
+	}
+	if !c.Halted() {
+		t.Error("machine did not halt")
 	}
 }

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+
+	"risc1/internal/cc"
+	"risc1/internal/pipeline"
+	"risc1/internal/prog"
+	"risc1/internal/report"
+)
+
+// E11Row holds one benchmark measured on the cycle-accurate pipeline under
+// both control-transfer policies. The two runs retire identical instruction
+// streams — they differ only in stall and bubble cycles.
+type E11Row struct {
+	Name    string
+	Delayed pipeline.Result
+	Squash  pipeline.Result
+}
+
+// AdvantagePct is the delayed policy's measured cycle advantage over
+// predict-not-taken squashing, as a percentage of the squashing count.
+func (r E11Row) AdvantagePct() float64 {
+	if r.Squash.Cycles == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(r.Delayed.Cycles)/float64(r.Squash.Cycles))
+}
+
+// E11Result is the measured delayed-vs-squashing comparison, with
+// suite-wide aggregates for the benchmark report.
+type E11Result struct {
+	Rows  []E11Row
+	Table *report.Table
+
+	// Aggregates over the whole suite (totals, not means).
+	Instructions  uint64
+	CyclesDelayed uint64
+	CyclesSquash  uint64
+	CPIDelayed    float64
+	CPISquash     float64
+	LoadUseStalls uint64
+	WindowStalls  uint64
+	FlushBubbles  uint64
+	ForwardsEXMEM uint64
+	ForwardsMEMWB uint64
+	SlotsRetired  uint64
+	SlotsFilled   uint64
+	FillRatePct   float64
+	DelayedAdvPct float64
+}
+
+// E11PipelinedCPI measures what E10 only estimates: every benchmark runs on
+// the cycle-accurate five-stage pipeline twice — once with the paper's
+// delayed jumps (transfers resolve early, the delay slot exactly covers the
+// shadow) and once as predict-not-taken hardware (transfers resolve in EX,
+// each taken transfer squashes one wrong-path fetch). Both runs retire the
+// same instructions with the same results; the cycle difference is the
+// delayed jump's measured advantage.
+func E11PipelinedCPI(l *Lab) (*E11Result, error) {
+	res := &E11Result{Table: &report.Table{
+		Title: "E11. Cycle-accurate 5-stage pipeline: delayed jumps vs squashing hardware",
+		Note:  "(measured cycles; dly = delayed slots, sq = predict-not-taken with flush on taken transfers)",
+		Headers: []string{"benchmark", "instr", "CPI dly", "CPI sq", "ld-use", "window",
+			"flush", "fwd", "slot fill", "dly adv"},
+	}}
+
+	all := prog.All()
+	jobs := make([]Job, 0, 2*len(all))
+	for _, b := range all {
+		jobs = append(jobs,
+			Job{Bench: b, Target: cc.RISCPipelined, Opt: Options{Policy: pipeline.PolicyDelayed}},
+			Job{Bench: b, Target: cc.RISCPipelined, Opt: Options{Policy: pipeline.PolicySquash}})
+	}
+	runs, _ := l.RunParallel(jobs)
+
+	for i := 0; i < len(runs); i += 2 {
+		dl, sq := runs[i], runs[i+1]
+		name := all[i/2].Name
+		if dl.Failed() || sq.Failed() || dl.Pipeline == nil || sq.Pipeline == nil {
+			res.Table.AddRow(name, errCell, errCell, errCell, errCell, errCell,
+				errCell, errCell, errCell, errCell)
+			continue
+		}
+		row := E11Row{Name: name, Delayed: *dl.Pipeline, Squash: *sq.Pipeline}
+		res.Rows = append(res.Rows, row)
+		d, s := row.Delayed, row.Squash
+		res.Table.AddRow(name,
+			report.Num(d.Instructions),
+			fmt.Sprintf("%.3f", d.CPI()),
+			fmt.Sprintf("%.3f", s.CPI()),
+			report.Num(d.LoadUseStallCycles),
+			report.Num(d.WindowStallCycles),
+			report.Num(s.FlushBubbleCycles),
+			report.Num(d.Forwards()),
+			fmt.Sprintf("%.1f%%", 100*d.FillRate()),
+			fmt.Sprintf("%+.2f%%", row.AdvantagePct()))
+
+		res.Instructions += d.Instructions
+		res.CyclesDelayed += d.Cycles
+		res.CyclesSquash += s.Cycles
+		res.LoadUseStalls += d.LoadUseStallCycles
+		res.WindowStalls += d.WindowStallCycles
+		res.FlushBubbles += s.FlushBubbleCycles
+		res.ForwardsEXMEM += d.ForwardsEXMEM
+		res.ForwardsMEMWB += d.ForwardsMEMWB
+		res.SlotsRetired += d.DelaySlots
+		res.SlotsFilled += d.DelaySlotsFilled
+	}
+
+	if res.Instructions > 0 {
+		res.CPIDelayed = float64(res.CyclesDelayed) / float64(res.Instructions)
+		res.CPISquash = float64(res.CyclesSquash) / float64(res.Instructions)
+	}
+	if res.SlotsRetired > 0 {
+		res.FillRatePct = 100 * float64(res.SlotsFilled) / float64(res.SlotsRetired)
+	}
+	if res.CyclesSquash > 0 {
+		res.DelayedAdvPct = 100 * (1 - float64(res.CyclesDelayed)/float64(res.CyclesSquash))
+	}
+	res.Table.AddRow("(total)",
+		report.Num(res.Instructions),
+		fmt.Sprintf("%.3f", res.CPIDelayed),
+		fmt.Sprintf("%.3f", res.CPISquash),
+		report.Num(res.LoadUseStalls),
+		report.Num(res.WindowStalls),
+		report.Num(res.FlushBubbles),
+		report.Num(res.ForwardsEXMEM+res.ForwardsMEMWB),
+		fmt.Sprintf("%.1f%%", res.FillRatePct),
+		fmt.Sprintf("%+.2f%%", res.DelayedAdvPct))
+	return res, nil
+}

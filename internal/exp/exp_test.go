@@ -265,6 +265,49 @@ func TestE10PipelineAblation(t *testing.T) {
 	}
 }
 
+func TestE11MeasuredPipeline(t *testing.T) {
+	res, err := E11PipelinedCPI(sharedLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(prog.All()) {
+		t.Fatalf("rows = %d, want %d (a benchmark failed on the pipeline)",
+			len(res.Rows), len(prog.All()))
+	}
+	for _, r := range res.Rows {
+		d, s := r.Delayed, r.Squash
+		if d.Instructions != s.Instructions {
+			t.Errorf("%s: policies retired different streams: %d vs %d",
+				r.Name, d.Instructions, s.Instructions)
+		}
+		if d.CPI() < 1 {
+			t.Errorf("%s: CPI %.3f < 1 on a single-issue machine", r.Name, d.CPI())
+		}
+		if d.FlushBubbleCycles != 0 {
+			t.Errorf("%s: delayed policy charged flush bubbles", r.Name)
+		}
+		if s.Cycles-d.Cycles != s.FlushBubbleCycles {
+			t.Errorf("%s: policy gap %d, flush bubbles %d",
+				r.Name, s.Cycles-d.Cycles, s.FlushBubbleCycles)
+		}
+		// E10's analytical claim, now measured: delayed jumps never lose
+		// to squashing hardware (the slot is covered either way, and
+		// squash adds bubbles on top).
+		if r.AdvantagePct() < 0 {
+			t.Errorf("%s: delayed measured %+.2f%% vs squashing", r.Name, r.AdvantagePct())
+		}
+	}
+	if res.CPIDelayed > res.CPISquash {
+		t.Errorf("suite CPI: delayed %.3f > squash %.3f", res.CPIDelayed, res.CPISquash)
+	}
+	tbl := res.Table.Render()
+	for _, want := range []string{"E11.", "(total)", "CPI dly", "slot fill"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
 func TestE8AreaStory(t *testing.T) {
 	res := E8AreaModel()
 	if res.Risc.ControlFraction() >= res.Cisc.ControlFraction() {

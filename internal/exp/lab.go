@@ -3,7 +3,8 @@
 // characteristics (E2), program size (E3), execution time (E4), procedure
 // call traffic (E5), register-window sizing with the spill-policy ablation
 // (E6/E6b), delayed-jump optimization (E7), silicon area (E8), memory
-// traffic (E9) and the pipeline-organization ablation (E10). Each
+// traffic (E9), the analytical pipeline-organization ablation (E10) and
+// its cycle-accurate delayed-vs-squashing measurement (E11). Each
 // experiment returns structured results plus a rendered table;
 // cmd/riscbench prints them and bench_test.go regenerates them under
 // `go test -bench`.
@@ -22,6 +23,7 @@ import (
 	"risc1/internal/cisc"
 	"risc1/internal/core"
 	"risc1/internal/mem"
+	"risc1/internal/pipeline"
 	"risc1/internal/prog"
 	"risc1/internal/stats"
 	"risc1/internal/timing"
@@ -43,7 +45,10 @@ type Run struct {
 	// Engine records the execution engine the run was simulated under
 	// (RISC targets only; the CX machine has a single interpreter).
 	Engine core.Engine
-	Err    error // non-nil: this configuration failed to execute
+	// Pipeline carries the cycle-accurate timing result for runs on the
+	// RISCPipelined target; nil for every other target.
+	Pipeline *pipeline.Result
+	Err      error // non-nil: this configuration failed to execute
 }
 
 // Failed reports whether this run is a failure placeholder.
@@ -65,6 +70,10 @@ type Options struct {
 	// lab cache key, so runs simulated under different engines never share
 	// a cached result.
 	Engine core.Engine
+	// Policy selects the control-transfer policy for runs on the
+	// RISCPipelined target (delayed or squash); other targets ignore it.
+	// Like Engine it is part of the lab cache key.
+	Policy pipeline.Policy
 	// Fault, when non-nil, injects memory failures into the run (the plan
 	// is copied per execution, so one plan can safely serve many runs).
 	Fault *mem.FaultPlan
@@ -135,23 +144,42 @@ func ExecuteContext(ctx context.Context, b prog.Benchmark, target cc.Target, opt
 			}
 		}
 		run.CodeBytes, run.DataBytes = split(img.Symbols, img.Org, len(img.Bytes))
-		m := core.New(core.Config{
+		cfg := core.Config{
 			Flat:           target == cc.RISCFlat,
 			Windows:        opt.Windows,
 			SpillBatch:     opt.SpillBatch,
 			SaveStackBytes: 64 << 10,
 			Engine:         opt.Engine,
-		})
-		if err := m.Load(img); err != nil {
-			return nil, err
 		}
-		armFault(m.Mem, opt.Fault)
-		if err := m.RunContext(ctx); err != nil {
-			return nil, fmt.Errorf("%s on %v: %w", b.Name, target, err)
+		if target == cc.RISCPipelined {
+			// The pipelined target measures cycles on the five-stage
+			// model; architectural execution is still the step oracle.
+			m := pipeline.New(cfg, opt.Policy)
+			if err := m.Load(img); err != nil {
+				return nil, err
+			}
+			armFault(m.CPU().Mem, opt.Fault)
+			if err := m.RunContext(ctx); err != nil {
+				return nil, fmt.Errorf("%s on %v: %w", b.Name, target, err)
+			}
+			res := m.Result()
+			run.Pipeline = &res
+			run.Stats = m.CPU().Stats()
+			run.Seconds = res.Time()
+			run.Console = m.CPU().Console()
+		} else {
+			m := core.New(cfg)
+			if err := m.Load(img); err != nil {
+				return nil, err
+			}
+			armFault(m.Mem, opt.Fault)
+			if err := m.RunContext(ctx); err != nil {
+				return nil, fmt.Errorf("%s on %v: %w", b.Name, target, err)
+			}
+			run.Stats = m.Stats()
+			run.Seconds = m.Time()
+			run.Console = m.Console()
 		}
-		run.Stats = m.Stats()
-		run.Seconds = m.Time()
-		run.Console = m.Console()
 	}
 	if want := prog.Expected(b.Name); run.Console != want {
 		return nil, fmt.Errorf("%s on %v: produced %q, want %q",

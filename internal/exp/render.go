@@ -2,11 +2,12 @@ package exp
 
 import "fmt"
 
-// IDs lists the experiments in presentation order. E10 is this repository's
-// extension: the pipeline-organization ablation behind the delayed-jump
-// design decision.
+// IDs lists the experiments in presentation order. E10 and E11 are this
+// repository's extensions: the analytical pipeline-organization ablation
+// behind the delayed-jump design decision, and its cycle-accurate
+// measurement on the five-stage pipeline model.
 func IDs() []string {
-	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
 }
 
 // Render runs one experiment against the lab and returns its rendered
@@ -66,6 +67,12 @@ func Render(l *Lab, id string) (string, error) {
 			return "", err
 		}
 		return r.Table.Render(), nil
+	case "E11":
+		r, err := E11PipelinedCPI(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
 	}
-	return "", fmt.Errorf("risc1: unknown experiment %q (want E1..E10)", id)
+	return "", fmt.Errorf("risc1: unknown experiment %q (want E1..E11)", id)
 }

@@ -1,0 +1,440 @@
+// Cycle-accurate five-stage pipeline model. Where Analyze estimates cycle
+// counts from aggregate statistics, Machine measures them: it drives the
+// single-cycle core.Step oracle instruction by instruction (via the CPU's
+// Trace hook) and replays each retirement through an IF/ID/EX/MEM/WB timing
+// model with full operand forwarding, a load-use interlock, register-window
+// trap drains, and one of two control-transfer policies. Architectural state
+// is always exactly the oracle's — the pipeline layer only decides how many
+// cycles the same execution takes.
+//
+// The timing model is event-driven rather than stage-by-stage: for an
+// in-order single-issue pipeline the cycle an instruction enters EX
+// determines every other stage (IF = EX-2, ID = EX-1, MEM = EX+1,
+// WB = EX+2), so it suffices to track, per retired instruction, the EX
+// cycle and the producers still in flight. The first instruction reaches
+// EX at cycle 3; with no stalls each successor follows one cycle later and
+// a program of N instructions drains after N+4 cycles.
+//
+// Hazards are resolved the way the classic five-stage datapath does:
+//
+//   - EX/MEM forward: an ALU result feeds the very next instruction's EX.
+//   - MEM/WB forward: a result two ahead of its consumer, including a load
+//     feeding the instruction after its shadow.
+//   - Load-use interlock: a load's value does not exist until the end of
+//     MEM, so a consumer in the next slot stalls one cycle and then takes
+//     the MEM/WB forward.
+//   - Store data is not needed until the store's own MEM stage, so a load
+//     feeding the data register of the very next store forwards
+//     MEM-to-MEM without stalling.
+//   - Three or more instructions of distance read the register file
+//     (write-first-half / read-second-half).
+//
+// Producers and consumers are matched by physical register index, not
+// architectural number: CALL and RET shift the window between an
+// instruction's operand read and its successor's, and the same r26 names a
+// different physical register on either side of a call. Condition codes are
+// a scoreboarded pseudo-register with the same forwarding rules.
+//
+// Register-window overflow and underflow raise the spill/fill trap of the
+// single-cycle model; the pipeline drains while the handler runs, charged
+// at timing.RiscSpillCycles / RiscFillCycles per event.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+
+	"risc1/internal/asm"
+	"risc1/internal/core"
+	"risc1/internal/isa"
+	"risc1/internal/stats"
+	"risc1/internal/timing"
+)
+
+// Policy selects how the pipeline resolves control transfers.
+type Policy uint8
+
+const (
+	// PolicyDelayed is RISC I as built: transfers resolve early enough
+	// that the delay slot exactly covers the branch shadow — a taken
+	// transfer costs no bubble beyond the slot the architecture already
+	// exposes.
+	PolicyDelayed Policy = iota
+	// PolicySquash models predict-not-taken hardware on the same ISA:
+	// the transfer resolves in EX, so by the time a taken transfer is
+	// known the fetch unit has gone one instruction past the delay slot
+	// down the fall-through path. That wrong-path fetch is squashed — a
+	// one-cycle bubble per taken transfer. Architectural results are
+	// identical to PolicyDelayed; only the cycle count differs.
+	PolicySquash
+)
+
+// String returns the wire spelling of p.
+func (p Policy) String() string {
+	switch p {
+	case PolicyDelayed:
+		return "delayed"
+	case PolicySquash:
+		return "squash"
+	}
+	return "invalid"
+}
+
+// ParsePolicy maps a wire spelling to a Policy. The empty string selects
+// PolicyDelayed, the machine the paper built.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "delayed":
+		return PolicyDelayed, nil
+	case "squash", "predict-not-taken":
+		return PolicySquash, nil
+	}
+	return PolicyDelayed, fmt.Errorf("pipeline: unknown policy %q (want delayed or squash)", s)
+}
+
+// Result is the timing outcome of one pipelined run.
+type Result struct {
+	Policy       Policy
+	Instructions uint64
+	// Cycles is the pipelined cycle count: Instructions + 4 fill/drain
+	// cycles + every stall and bubble below.
+	Cycles uint64
+
+	// LoadUseStallCycles counts interlock cycles where EX waited for a
+	// load (or a flag-setting load feeding a conditional jump).
+	LoadUseStallCycles uint64
+	// WindowStallCycles counts drain cycles spent in the register-window
+	// spill/fill trap handler.
+	WindowStallCycles uint64
+	// FlushBubbleCycles counts wrong-path fetches squashed by taken
+	// transfers; always zero under PolicyDelayed.
+	FlushBubbleCycles uint64
+
+	// ForwardsEXMEM and ForwardsMEMWB count operands delivered through
+	// the two bypass paths rather than the register file.
+	ForwardsEXMEM uint64
+	ForwardsMEMWB uint64
+
+	// DelaySlots counts retired delay-slot instructions;
+	// DelaySlotsFilled is the subset doing useful work (not NOPs).
+	DelaySlots       uint64
+	DelaySlotsFilled uint64
+
+	Transfers      uint64
+	TakenTransfers uint64
+}
+
+// CPI is the effective cycles-per-instruction; 0 for an empty run.
+func (r Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+// Forwards is the total operand count delivered over bypass paths.
+func (r Result) Forwards() uint64 { return r.ForwardsEXMEM + r.ForwardsMEMWB }
+
+// FillRate is the fraction of retired delay slots holding useful work;
+// 0 for a run that retired no slots.
+func (r Result) FillRate() float64 {
+	if r.DelaySlots == 0 {
+		return 0
+	}
+	return float64(r.DelaySlotsFilled) / float64(r.DelaySlots)
+}
+
+// StallCycles is the total of every cycle lost to hazards.
+func (r Result) StallCycles() uint64 {
+	return r.LoadUseStallCycles + r.WindowStallCycles + r.FlushBubbleCycles
+}
+
+// Time is the simulated pipelined run time in seconds at the paper's clock.
+func (r Result) Time() float64 {
+	return float64(r.Cycles) * timing.RiscCycleNS * 1e-9
+}
+
+// writeRec scoreboards the in-flight producer of one physical register (or
+// of the condition codes).
+type writeRec struct {
+	ex    uint64 // producer's EX cycle
+	load  bool   // value exists at end of MEM, not end of EX
+	valid bool
+}
+
+// Machine is a cycle-accurate pipelined RISC I. It embeds a single-cycle
+// core as its architectural oracle: every instruction executes exactly as
+// core.Step would, and the timing model observes the retirement stream to
+// charge cycles.
+type Machine struct {
+	cpu    *core.CPU
+	policy Policy
+	flat   bool
+	st     *stats.Stats
+
+	res Result
+
+	ex      uint64 // EX cycle of the last retired instruction
+	pending uint64 // stall cycles already charged to the next issue
+
+	regW  []writeRec // by physical register index
+	flagW writeRec   // condition-code scoreboard
+
+	slotPending bool // last retirement was a transfer owning a delay slot
+	slotTaken   bool
+
+	// last-seen oracle counters, for per-retirement deltas
+	lastOvf, lastUnf, lastNops, lastUseful uint64
+}
+
+// New builds a pipelined machine over a fresh core with the given
+// configuration. The core's engine knob is forced to the step oracle: the
+// pipeline observes individual retirements, which block and trace execution
+// do not expose.
+func New(cfg core.Config, policy Policy) *Machine {
+	cfg.Engine = core.EngineStep
+	m := &Machine{policy: policy, flat: cfg.Flat}
+	m.cpu = core.New(cfg)
+	m.cpu.Trace = m.retire
+	m.st = m.cpu.Stats()
+	m.resetTiming()
+	return m
+}
+
+// CPU exposes the architectural oracle: registers, memory, console, stats.
+func (m *Machine) CPU() *core.CPU { return m.cpu }
+
+// Policy returns the machine's control-transfer policy.
+func (m *Machine) Policy() Policy { return m.policy }
+
+// Load places an image in memory, resets the processor and the timing model.
+func (m *Machine) Load(img *asm.Image) error {
+	if err := m.cpu.Load(img); err != nil {
+		return err
+	}
+	m.st = m.cpu.Stats() // Load replaced the stats object
+	m.resetTiming()
+	return nil
+}
+
+func (m *Machine) resetTiming() {
+	m.res = Result{Policy: m.policy}
+	m.ex = 2 // the first instruction enters EX at cycle 3
+	m.pending = 0
+	n := m.cpu.Regs.TotalPhys()
+	if cap(m.regW) < n {
+		m.regW = make([]writeRec, n)
+	} else {
+		m.regW = m.regW[:n]
+		clear(m.regW)
+	}
+	m.flagW = writeRec{}
+	m.slotPending, m.slotTaken = false, false
+	m.lastOvf, m.lastUnf, m.lastNops, m.lastUseful = 0, 0, 0, 0
+}
+
+// Run executes until halt, fault or cycle budget.
+func (m *Machine) Run() error { return m.cpu.Run() }
+
+// RunContext is Run with cancellation.
+func (m *Machine) RunContext(ctx context.Context) error { return m.cpu.RunContext(ctx) }
+
+// Step retires a single instruction through both the oracle and the
+// timing model.
+func (m *Machine) Step() error { return m.cpu.Step() }
+
+// Result returns the timing outcome so far. It is valid after a partial
+// run (fault, cycle limit, cancellation): it describes the instructions
+// that actually retired.
+func (m *Machine) Result() Result {
+	r := m.res
+	if r.Instructions > 0 {
+		// The last instruction still has MEM and WB to drain.
+		r.Cycles = m.ex + 2
+	}
+	return r
+}
+
+// retire is the core's Trace hook: called once per executed instruction,
+// after architectural effects (window shifts included) but before the PC
+// advances. All timing happens here.
+func (m *Machine) retire(pc uint32, inst isa.Inst) {
+	m.res.Instructions++
+
+	// Delay-slot bookkeeping: the oracle classified this instruction
+	// before executing it; read the deltas.
+	if n := m.st.DelaySlotNops; n != m.lastNops {
+		m.lastNops = n
+		m.res.DelaySlots++
+	} else if u := m.st.DelaySlotUseful; u != m.lastUseful {
+		m.lastUseful = u
+		m.res.DelaySlots++
+		m.res.DelaySlotsFilled++
+	}
+
+	// Issue: one cycle after the previous EX, plus any pending squash
+	// bubble or window-trap drain charged by the previous retirement.
+	issue := m.ex + 1 + m.pending
+	m.pending = 0
+
+	// The window has already shifted for calls and returns, so operand
+	// reads and the link write land in different windows than CWP now
+	// reports. A RET that halted the machine never popped.
+	cwp := m.cpu.Regs.CWP()
+	srcWin, dstWin := cwp, cwp
+	if !m.flat {
+		switch {
+		case inst.IsCall():
+			srcWin = cwp - 1 // operands read before the push
+		case inst.IsReturn() && !m.cpu.Halted():
+			srcWin = cwp + 1 // return address read before the pop
+		}
+	}
+
+	// Scan EX operands for hazards. Store data is excluded here — it is
+	// a MEM-stage operand, handled below.
+	ex := issue
+	var srcBuf [4]uint8
+	srcs := inst.SourceRegs(srcBuf[:0])
+	var memSrc uint8
+	hasMemSrc := false
+	if inst.Op.Cat() == isa.CatStore {
+		memSrc, hasMemSrc = srcs[len(srcs)-1], true
+		srcs = srcs[:len(srcs)-1]
+	}
+	for _, r := range srcs {
+		if r == 0 {
+			continue // r0 is hardwired zero
+		}
+		if w := m.regW[m.cpu.Regs.PhysIndex(srcWin, r)]; w.valid {
+			if need := ready(w) + 1; ex < need {
+				ex = need
+			}
+		}
+	}
+	// Conditional jumps consume the condition codes in EX; GETPSW reads
+	// them too. CondALW/CondNEV never look at the flags.
+	if m.flagW.valid && readsFlags(inst) {
+		if need := ready(m.flagW) + 1; ex < need {
+			ex = need
+		}
+	}
+	m.res.LoadUseStallCycles += ex - issue
+
+	// With the EX cycle fixed, classify where each operand came from.
+	for _, r := range srcs {
+		if r == 0 {
+			continue
+		}
+		if w := m.regW[m.cpu.Regs.PhysIndex(srcWin, r)]; w.valid {
+			m.countForward(ex-w.ex, w.load)
+		}
+	}
+	if m.flagW.valid && readsFlags(inst) {
+		m.countForward(ex-m.flagW.ex, m.flagW.load)
+	}
+	// Store data is needed at the store's MEM stage, one cycle later, so
+	// even a load feeding the very next store forwards MEM-to-MEM
+	// without a stall.
+	if hasMemSrc && memSrc != 0 {
+		if w := m.regW[m.cpu.Regs.PhysIndex(srcWin, memSrc)]; w.valid {
+			switch d := ex - w.ex; {
+			case d == 1 && !w.load:
+				m.res.ForwardsEXMEM++
+			case d <= 2:
+				m.res.ForwardsMEMWB++
+			}
+		}
+	}
+	m.ex = ex
+
+	// Scoreboard this instruction's writes for its successors.
+	isLoad := inst.Op.Cat() == isa.CatLoad
+	if d, ok := inst.DestReg(); ok && d != 0 {
+		m.regW[m.cpu.Regs.PhysIndex(dstWin, d)] = writeRec{ex: ex, load: isLoad, valid: true}
+	}
+	if inst.SCC || inst.Op == isa.OpPUTPSW {
+		m.flagW = writeRec{ex: ex, load: isLoad, valid: true}
+	}
+
+	// This retirement fills the previous transfer's delay slot: under
+	// predict-not-taken hardware a taken transfer is only resolved now,
+	// and the fetch that went one past this slot is squashed.
+	if m.slotPending {
+		m.slotPending = false
+		if m.slotTaken && m.policy == PolicySquash {
+			m.pending++
+			m.res.FlushBubbleCycles++
+		}
+	}
+	// ... and may itself open a slot (CALLINT is slotless).
+	if inst.Op.Transfers() && inst.Op != isa.OpCALLINT {
+		m.res.Transfers++
+		taken := m.taken(inst)
+		if taken {
+			m.res.TakenTransfers++
+		}
+		m.slotPending, m.slotTaken = true, taken
+	}
+
+	// A window overflow or underflow during this instruction ran the
+	// spill/fill trap handler; the pipeline drains behind it.
+	if d := m.st.WindowOverflow - m.lastOvf; d != 0 {
+		m.lastOvf = m.st.WindowOverflow
+		m.pending += d * timing.RiscSpillCycles
+		m.res.WindowStallCycles += d * timing.RiscSpillCycles
+	}
+	if d := m.st.WindowUnderflow - m.lastUnf; d != 0 {
+		m.lastUnf = m.st.WindowUnderflow
+		m.pending += d * timing.RiscFillCycles
+		m.res.WindowStallCycles += d * timing.RiscFillCycles
+	}
+}
+
+// ready returns the cycle at the end of which w's value exists: end of EX
+// for ALU results, end of MEM for loads. A consumer's EX must start strictly
+// later.
+func ready(w writeRec) uint64 {
+	if w.load {
+		return w.ex + 1
+	}
+	return w.ex
+}
+
+// countForward attributes one EX operand to its delivery path given the
+// producer-consumer EX distance.
+func (m *Machine) countForward(d uint64, load bool) {
+	switch {
+	case d == 1 && !load:
+		m.res.ForwardsEXMEM++
+	case d == 2:
+		m.res.ForwardsMEMWB++
+	}
+	// d >= 3: plain register-file read, no bypass involved.
+}
+
+// readsFlags reports whether inst consumes the condition codes in EX.
+func readsFlags(inst isa.Inst) bool {
+	if inst.Op == isa.OpGETPSW {
+		return true
+	}
+	if !inst.Op.IsConditional() {
+		return false
+	}
+	c := inst.Cond()
+	return c != isa.CondALW && c != isa.CondNEV
+}
+
+// taken mirrors the oracle's transfer decision at retirement time: the
+// flags a conditional jump tested are still current (jumps do not write
+// them), calls always transfer, and a RET transfers unless it halted the
+// machine (the entry-procedure return).
+func (m *Machine) taken(inst isa.Inst) bool {
+	switch inst.Op {
+	case isa.OpJMP, isa.OpJMPR:
+		return inst.Cond().Holds(m.cpu.Flags())
+	case isa.OpRET, isa.OpRETINT:
+		return !m.cpu.Halted()
+	}
+	return true // CALL, CALLR
+}

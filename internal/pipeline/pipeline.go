@@ -38,19 +38,39 @@ func Analyze(s *stats.Stats) Cycles {
 	// Squashing: delay slots do not exist, so the NOPs that the compiler
 	// left in unfilled slots disappear (one cycle each) — but every taken
 	// transfer squashes its prefetched instruction, a one-cycle bubble.
-	squashing := delayed - s.DelaySlotNops + s.TakenTransfers
+	// The additions happen before the subtraction, and the subtraction is
+	// clamped: on partial or merged stats (a faulted run folded in via
+	// Stats.Add) the NOP count can exceed the cycle count, and the naive
+	// delayed-nops+taken order would wrap below zero.
+	squashing := delayed + s.TakenTransfers
+	if s.DelaySlotNops < squashing {
+		squashing -= s.DelaySlotNops
+	} else {
+		squashing = 0
+	}
 	return Cycles{Sequential: sequential, Squashing: squashing, Delayed: delayed}
 }
 
 // SpeedupOverSequential returns how much the overlapped organizations gain.
+// A zero-cycle organization has no meaningful ratio; its speedup reports 0
+// rather than NaN or Inf so the value can flow into tables safely.
 func (c Cycles) SpeedupOverSequential() (squash, delayed float64) {
-	return float64(c.Sequential) / float64(c.Squashing),
-		float64(c.Sequential) / float64(c.Delayed)
+	if c.Squashing > 0 {
+		squash = float64(c.Sequential) / float64(c.Squashing)
+	}
+	if c.Delayed > 0 {
+		delayed = float64(c.Sequential) / float64(c.Delayed)
+	}
+	return squash, delayed
 }
 
 // DelayedAdvantage is the delayed organization's cycle advantage over
 // squashing, as a fraction of the squashing count. Positive means delayed
-// jumps (with the measured slot-fill rate) beat squashing hardware.
+// jumps (with the measured slot-fill rate) beat squashing hardware. An
+// empty run (Squashing zero) has no advantage to report and returns 0.
 func (c Cycles) DelayedAdvantage() float64 {
+	if c.Squashing == 0 {
+		return 0
+	}
 	return 1 - float64(c.Delayed)/float64(c.Squashing)
 }

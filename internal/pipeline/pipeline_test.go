@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -50,6 +51,87 @@ func TestOrderingProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestAnalyzeUnderflowClamp is the regression for the squashing formula:
+// merged or partial stats can carry more slot-NOPs than delayed+taken
+// cycles, and the old nops-before-taken order wrapped the uint64 below
+// zero. The clamped count must never exceed delayed+taken either.
+func TestAnalyzeUnderflowClamp(t *testing.T) {
+	s := &stats.Stats{
+		Instructions:   10,
+		Cycles:         5, // pathological merged stats
+		TakenTransfers: 1,
+		DelaySlotNops:  9, // > Cycles + TakenTransfers
+	}
+	c := Analyze(s)
+	if c.Squashing != 0 {
+		t.Errorf("squashing = %d, want clamped 0", c.Squashing)
+	}
+
+	f := func(cyc, taken, nops uint32) bool {
+		s := &stats.Stats{
+			Instructions:   uint64(cyc) + 1,
+			Cycles:         uint64(cyc),
+			TakenTransfers: uint64(taken),
+			DelaySlotNops:  uint64(nops),
+		}
+		sq := Analyze(s).Squashing
+		// No wraparound: the result stays within [0, delayed+taken].
+		return sq <= s.Cycles+s.TakenTransfers
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestZeroCycleRatios is the regression for the NaN/Inf guards: an empty
+// or fully-clamped organization reports 0, never a non-finite float that
+// would poison a table or JSON report.
+func TestZeroCycleRatios(t *testing.T) {
+	for _, c := range []Cycles{
+		{},
+		{Sequential: 10},
+		{Sequential: 10, Squashing: 0, Delayed: 5},
+		{Sequential: 10, Squashing: 5, Delayed: 0},
+	} {
+		sq, dl := c.SpeedupOverSequential()
+		adv := c.DelayedAdvantage()
+		for _, v := range []float64{sq, dl, adv} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%+v: non-finite ratio %v", c, v)
+			}
+		}
+		if c.Squashing == 0 && (sq != 0 || adv != 0) {
+			t.Errorf("%+v: zero squashing reported sq=%v adv=%v", c, sq, adv)
+		}
+		if c.Delayed == 0 && dl != 0 {
+			t.Errorf("%+v: zero delayed reported speedup %v", c, dl)
+		}
+	}
+}
+
+// TestAnalyzeAgainstCycleModel ties the analytical organization comparison
+// to the measured five-stage machine: on a real execution, the analytical
+// model's per-taken-transfer squash bubble is exactly what the cycle
+// -accurate model charges when it runs the same image under PolicySquash.
+func TestAnalyzeAgainstCycleModel(t *testing.T) {
+	src := sumProgram(12)
+	m, r := runModel(t, src, PolicySquash)
+	c := Analyze(m.CPU().Stats())
+	if c.Delayed != m.CPU().Stats().Cycles {
+		t.Errorf("analytical delayed = %d, oracle cycles = %d", c.Delayed, m.CPU().Stats().Cycles)
+	}
+	// Both models charge one bubble per taken transfer; the analytical
+	// squashing organization additionally deletes the slot NOPs, so the
+	// counts relate through the same TakenTransfers term.
+	if r.FlushBubbleCycles != r.TakenTransfers {
+		t.Errorf("measured bubbles = %d, taken transfers = %d",
+			r.FlushBubbleCycles, r.TakenTransfers)
+	}
+	if got := c.Squashing + m.CPU().Stats().DelaySlotNops - c.Delayed; got != r.TakenTransfers {
+		t.Errorf("analytical bubble count = %d, measured = %d", got, r.TakenTransfers)
 	}
 }
 

@@ -19,7 +19,9 @@ type RunRequest struct {
 	Source string `json:"source"`
 	// Lang selects the front end: "cm" (default) compiles, "asm" assembles.
 	Lang string `json:"lang,omitempty"`
-	// Target is "windowed" (default), "flat" or "cisc".
+	// Target is "windowed" (default), "flat", "cisc" or "pipelined" —
+	// pipelined runs windowed code on the cycle-accurate five-stage
+	// pipeline model and reports its CPI/stall breakdown.
 	Target string `json:"target,omitempty"`
 	// MaxCycles lowers the server's per-run cycle budget. It can only
 	// tighten the bound: values above the server ceiling are clamped.
@@ -31,6 +33,10 @@ type RunRequest struct {
 	// "step" or "trace" — auto resolves to the profile-guided trace tier.
 	// CISC runs ignore it.
 	Engine string `json:"engine,omitempty"`
+	// Policy selects the pipeline's control-transfer policy for the
+	// "pipelined" target: "delayed" (default, the paper's delayed jumps)
+	// or "squash" (predict-not-taken hardware). Other targets ignore it.
+	Policy string `json:"policy,omitempty"`
 }
 
 // RunResponse is the body of a successful POST /v1/run.
@@ -48,6 +54,9 @@ type RunResponse struct {
 	// Cached reports the compiled image came from the server's LRU —
 	// the request skipped the compiler entirely.
 	Cached bool `json:"cached"`
+	// Pipeline carries the cycle-accurate model's CPI and stall breakdown.
+	// Present only for the "pipelined" target.
+	Pipeline *risc1.PipelineInfo `json:"pipeline,omitempty"`
 }
 
 // LintRequest is the body of POST /v1/lint.
@@ -181,8 +190,10 @@ func parseTarget(s string) (risc1.Target, error) {
 		return risc1.RISCFlat, nil
 	case "cisc", "cx":
 		return risc1.CISC, nil
+	case "pipelined":
+		return risc1.RISCPipelined, nil
 	}
-	return 0, fmt.Errorf("unknown target %q (want windowed, flat or cisc)", s)
+	return 0, fmt.Errorf("unknown target %q (want windowed, flat, cisc or pipelined)", s)
 }
 
 // parseLang normalizes the front-end selector.

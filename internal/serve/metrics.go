@@ -39,6 +39,14 @@ type metrics struct {
 	traceCompiled      uint64
 	traceSideExits     uint64
 	traceInvalidations uint64
+
+	// Pipeline-model counters across all pipelined-target runs: runs by
+	// control-transfer policy, plus the aggregate stall-cycle breakdown.
+	pipelineRuns map[string]uint64 // policy → pipelined /v1/run simulations
+	pipeLoadUse  uint64            // load-use interlock stall cycles
+	pipeWindow   uint64            // window-trap drain stall cycles
+	pipeFlush    uint64            // squash-policy flush bubbles
+	pipeCycles   uint64            // pipeline cycles retired
 }
 
 func newMetrics() *metrics {
@@ -47,6 +55,8 @@ func newMetrics() *metrics {
 		bucketCnt: make([]uint64, len(latencyBuckets)),
 		runs:      map[string]uint64{},
 		lintFound: map[string]uint64{},
+
+		pipelineRuns: map[string]uint64{},
 	}
 }
 
@@ -105,6 +115,21 @@ func (m *metrics) addTraceStats(info *risc1.RunInfo) {
 	m.traceCompiled += info.TracesCompiled
 	m.traceSideExits += info.TraceSideExits
 	m.traceInvalidations += info.TraceInvalidations
+	m.mu.Unlock()
+}
+
+// addPipelineStats accumulates one pipelined-target run's cycle-accurate
+// counters. A nil info (any other target) is a no-op.
+func (m *metrics) addPipelineStats(p *risc1.PipelineInfo) {
+	if p == nil {
+		return
+	}
+	m.mu.Lock()
+	m.pipelineRuns[p.Policy]++
+	m.pipeLoadUse += p.LoadUseStallCycles
+	m.pipeWindow += p.WindowStallCycles
+	m.pipeFlush += p.FlushBubbleCycles
+	m.pipeCycles += p.Cycles
 	m.mu.Unlock()
 }
 
@@ -199,6 +224,27 @@ func (m *metrics) render(g gauges) string {
 	b.WriteString("# HELP riscd_trace_invalidations_total Compiled traces dropped by stores into their code.\n")
 	b.WriteString("# TYPE riscd_trace_invalidations_total counter\n")
 	fmt.Fprintf(&b, "riscd_trace_invalidations_total %d\n", m.traceInvalidations)
+
+	b.WriteString("# HELP riscd_pipeline_runs_total Pipelined-target /v1/run simulations, by control-transfer policy.\n")
+	b.WriteString("# TYPE riscd_pipeline_runs_total counter\n")
+	policies := make([]string, 0, len(m.pipelineRuns))
+	for p := range m.pipelineRuns {
+		policies = append(policies, p)
+	}
+	sort.Strings(policies)
+	for _, p := range policies {
+		fmt.Fprintf(&b, "riscd_pipeline_runs_total{policy=%q} %d\n", p, m.pipelineRuns[p])
+	}
+
+	b.WriteString("# HELP riscd_pipeline_cycles_total Cycles retired by the pipeline model for /v1/run.\n")
+	b.WriteString("# TYPE riscd_pipeline_cycles_total counter\n")
+	fmt.Fprintf(&b, "riscd_pipeline_cycles_total %d\n", m.pipeCycles)
+
+	b.WriteString("# HELP riscd_pipeline_stall_cycles_total Pipeline stall cycles for /v1/run, by cause.\n")
+	b.WriteString("# TYPE riscd_pipeline_stall_cycles_total counter\n")
+	fmt.Fprintf(&b, "riscd_pipeline_stall_cycles_total{cause=\"flush\"} %d\n", m.pipeFlush)
+	fmt.Fprintf(&b, "riscd_pipeline_stall_cycles_total{cause=\"load_use\"} %d\n", m.pipeLoadUse)
+	fmt.Fprintf(&b, "riscd_pipeline_stall_cycles_total{cause=\"window\"} %d\n", m.pipeWindow)
 
 	b.WriteString("# HELP riscd_lint_findings_total Static-analyzer findings reported by /v1/lint, by severity.\n")
 	b.WriteString("# TYPE riscd_lint_findings_total counter\n")

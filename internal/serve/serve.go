@@ -298,6 +298,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
+	policy, err := risc1.ParsePolicy(req.Policy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
 
 	release := s.admit(w, r)
 	if release == nil {
@@ -313,7 +318,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.runCtx(r, req.TimeoutMS)
 	defer cancel()
-	info, err := risc1.RunImage(ctx, img, risc1.RunOptions{MaxCycles: s.budget(req.MaxCycles), Engine: engine})
+	info, err := risc1.RunImage(ctx, img, risc1.RunOptions{MaxCycles: s.budget(req.MaxCycles), Engine: engine, Policy: policy})
 	s.met.addRun(engine.String())
 	if err != nil {
 		status, body := runErrorStatus(err)
@@ -322,6 +327,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.addSimInstructions(info.Instructions)
 	s.met.addTraceStats(info)
+	s.met.addPipelineStats(info.Pipeline)
 	writeJSON(w, http.StatusOK, RunResponse{
 		Console:          info.Console,
 		ConsoleTruncated: info.ConsoleTruncated,
@@ -334,6 +340,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		WindowOverflows:  info.WindowOverflows,
 		WindowUnderflows: info.WindowUnderflows,
 		Cached:           hit,
+		Pipeline:         info.Pipeline,
 	})
 }
 

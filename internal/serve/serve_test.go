@@ -75,11 +75,11 @@ func decodeError(t *testing.T, raw []byte) ErrorDetail {
 	return e.Error
 }
 
-// TestRunEndpoint runs one program on all three targets and checks the
+// TestRunEndpoint runs one program on all four targets and checks the
 // result and the cache-hit flag on a repeat request.
 func TestRunEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	for _, target := range []string{"windowed", "flat", "cisc"} {
+	for _, target := range []string{"windowed", "flat", "cisc", "pipelined"} {
 		resp, raw := postJSON(t, ts.URL+"/v1/run", RunRequest{Source: fibSrc, Target: target})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("%s: status %d\n%s", target, resp.StatusCode, raw)
@@ -163,6 +163,8 @@ func TestRunBadRequests(t *testing.T) {
 		"empty":     `{"source":""}`,
 		"target":    `{"source":"int main(){return 0;}","target":"vax"}`,
 		"lang":      `{"source":"x","lang":"fortran"}`,
+		"engine":    `{"source":"x","engine":"warp"}`,
+		"policy":    `{"source":"x","policy":"oracle"}`,
 		"unknown":   `{"source":"x","surprise":1}`,
 	} {
 		resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
@@ -691,6 +693,85 @@ func TestRunEngineSelection(t *testing.T) {
 		`riscd_runs_total{engine="step"} 1`,
 		`riscd_runs_total{engine="block"} 1`,
 		`riscd_runs_total{engine="trace"} 1`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestRunPipelined pins the pipelined target end to end: the response
+// carries the cycle-accurate CPI/stall breakdown, the two control policies
+// differ only in flush bubbles, invalid policies are rejected with a typed
+// 400, and the pipeline counters show up in /metrics.
+func TestRunPipelined(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var byPolicy [2]RunResponse
+	for i, policy := range []string{"delayed", "squash"} {
+		resp, raw := postJSON(t, ts.URL+"/v1/run",
+			RunRequest{Source: fibSrc, Target: "pipelined", Policy: policy})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d\n%s", policy, resp.StatusCode, raw)
+		}
+		if err := json.Unmarshal(raw, &byPolicy[i]); err != nil {
+			t.Fatal(err)
+		}
+		run := byPolicy[i]
+		if run.Console != "55" {
+			t.Errorf("%s: console = %q, want 55", policy, run.Console)
+		}
+		p := run.Pipeline
+		if p == nil {
+			t.Fatalf("%s: response has no pipeline section\n%s", policy, raw)
+		}
+		if p.Policy != policy {
+			t.Errorf("policy echoed as %q, want %q", p.Policy, policy)
+		}
+		if p.CPI < 1 || p.Cycles != run.Cycles {
+			t.Errorf("%s: inconsistent pipeline stats: %+v vs cycles %d", policy, p, run.Cycles)
+		}
+		if p.RefCycles == 0 || p.RefCycles == p.Cycles {
+			t.Errorf("%s: ref cycles %d vs pipelined %d — single-cycle baseline lost",
+				policy, p.RefCycles, p.Cycles)
+		}
+	}
+	dl, sq := byPolicy[0].Pipeline, byPolicy[1].Pipeline
+	if dl.FlushBubbleCycles != 0 {
+		t.Errorf("delayed policy charged %d flush bubbles", dl.FlushBubbleCycles)
+	}
+	if sq.Cycles-dl.Cycles != sq.FlushBubbleCycles {
+		t.Errorf("policy gap %d cycles, flush bubbles %d", sq.Cycles-dl.Cycles, sq.FlushBubbleCycles)
+	}
+
+	// A non-pipelined run must not grow a pipeline section.
+	resp, raw := postJSON(t, ts.URL+"/v1/run", RunRequest{Source: fibSrc, Target: "windowed"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("windowed: status %d\n%s", resp.StatusCode, raw)
+	}
+	var plain RunResponse
+	if err := json.Unmarshal(raw, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Pipeline != nil {
+		t.Error("windowed run reported pipeline stats")
+	}
+
+	resp, raw = postJSON(t, ts.URL+"/v1/run",
+		RunRequest{Source: fibSrc, Target: "pipelined", Policy: "oracle"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad policy: status %d\n%s", resp.StatusCode, raw)
+	}
+	if d := decodeError(t, raw); d.Code != "bad_request" {
+		t.Errorf("bad policy: code %q, want bad_request", d.Code)
+	}
+
+	_, raw = getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`riscd_pipeline_runs_total{policy="delayed"} 1`,
+		`riscd_pipeline_runs_total{policy="squash"} 1`,
+		"riscd_pipeline_cycles_total ",
+		`riscd_pipeline_stall_cycles_total{cause="flush"} `,
 	} {
 		if !strings.Contains(string(raw), want) {
 			t.Errorf("metrics missing %q", want)

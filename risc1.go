@@ -35,6 +35,7 @@ import (
 	"risc1/internal/exp"
 	"risc1/internal/isa"
 	"risc1/internal/lint"
+	"risc1/internal/pipeline"
 	"risc1/internal/prog"
 	"risc1/internal/timing"
 )
@@ -42,7 +43,8 @@ import (
 // Target selects a compilation target for Cm sources.
 type Target = cc.Target
 
-// The three targets of the paper's methodology.
+// The three targets of the paper's methodology, plus the cycle-accurate
+// pipelined model of the windowed machine.
 const (
 	// RISCWindowed is RISC I as built: register-window calling convention.
 	RISCWindowed = cc.RISCWindowed
@@ -50,7 +52,31 @@ const (
 	RISCFlat = cc.RISCFlat
 	// CISC is the CX comparator machine.
 	CISC = cc.CISC
+	// RISCPipelined runs windowed code on the cycle-accurate five-stage
+	// pipeline model: architectural results identical to RISCWindowed
+	// (the pipeline drives the same step oracle), timing measured with
+	// forwarding, interlocks, window-trap drains and a control-transfer
+	// policy instead of unit instruction costs.
+	RISCPipelined = cc.RISCPipelined
 )
+
+// Policy selects how the pipelined target resolves control transfers; see
+// pipeline.Policy. Targets other than RISCPipelined ignore it.
+type Policy = pipeline.Policy
+
+// The control-transfer policies of the pipelined target.
+const (
+	// PolicyDelayed is the paper's delayed jump: the slot covers the
+	// branch shadow exactly, taken transfers cost no extra cycle.
+	PolicyDelayed = pipeline.PolicyDelayed
+	// PolicySquash is predict-not-taken hardware on the same ISA: each
+	// taken transfer squashes one wrong-path fetch (a one-cycle bubble).
+	PolicySquash = pipeline.PolicySquash
+)
+
+// ParsePolicy maps the CLI/API spelling ("delayed", "squash", or empty for
+// delayed) to a Policy.
+func ParsePolicy(s string) (Policy, error) { return pipeline.ParsePolicy(s) }
 
 // Engine selects how the RISC I core executes: the profile-guided trace
 // tier (the default — basic blocks plus superblocks compiled over hot
@@ -140,6 +166,30 @@ type RunInfo struct {
 	// RunOptions.Profile is set.
 	Profile []BlockProfile
 	NGrams  []NGramCount
+
+	// Pipeline carries the cycle-accurate timing breakdown for runs on
+	// the RISCPipelined target; nil for every other target. For those
+	// runs Cycles and Time above are the measured pipeline values, and
+	// Pipeline.RefCycles preserves the single-cycle model's count.
+	Pipeline *PipelineInfo
+}
+
+// PipelineInfo is the cycle-accurate pipeline's timing breakdown.
+type PipelineInfo struct {
+	Policy string  `json:"policy"`
+	Cycles uint64  `json:"cycles"`
+	CPI    float64 `json:"cpi"`
+	// RefCycles is what the single-cycle cost model charges the same
+	// execution — the baseline the pipeline is measured against.
+	RefCycles          uint64  `json:"ref_cycles"`
+	LoadUseStallCycles uint64  `json:"load_use_stall_cycles"`
+	WindowStallCycles  uint64  `json:"window_stall_cycles"`
+	FlushBubbleCycles  uint64  `json:"flush_bubble_cycles"`
+	ForwardsEXMEM      uint64  `json:"forwards_ex_mem"`
+	ForwardsMEMWB      uint64  `json:"forwards_mem_wb"`
+	DelaySlots         uint64  `json:"delay_slots"`
+	DelaySlotsFilled   uint64  `json:"delay_slots_filled"`
+	FillRatePct        float64 `json:"fill_rate_pct"`
 }
 
 // BlockProfile is one row of the execution-heat profile: a basic-block
@@ -227,9 +277,9 @@ func CompileToImage(source string, target Target) (*Image, error) {
 }
 
 // AssembleToImage assembles machine-level source to a reusable Image: RISC I
-// assembly for the RISC targets (RISCWindowed and RISCFlat differ only in
-// how the machine runs the image, not in its encoding), CX assembly for
-// CISC.
+// assembly for the RISC targets (RISCWindowed, RISCFlat and RISCPipelined
+// differ only in how the machine runs the image, not in its encoding), CX
+// assembly for CISC.
 func AssembleToImage(source string, target Target) (*Image, error) {
 	if target == CISC {
 		ci, err := cisc.Assemble(source)
@@ -251,8 +301,12 @@ type RunOptions struct {
 	// cycles (RISC) or microcycles (CX). Zero keeps the machine default.
 	MaxCycles uint64
 	// Engine selects the RISC core execution engine. The CX machine has a
-	// single interpreter and ignores it.
+	// single interpreter and ignores it; the pipelined target always runs
+	// the step oracle (the timing model observes individual retirements).
 	Engine Engine
+	// Policy selects the pipelined target's control-transfer policy
+	// (delayed or squash); other targets ignore it.
+	Policy Policy
 	// Profile collects the execution-heat table and dynamic opcode
 	// n-grams into RunInfo.Profile / RunInfo.NGrams (RISC targets only).
 	Profile bool
@@ -271,6 +325,26 @@ func RunImage(ctx context.Context, img *Image, opt RunOptions) (*RunInfo, error)
 			return nil, err
 		}
 		return ciscInfo(m, img.cisc), nil
+	}
+	if img.target == RISCPipelined {
+		pm := pipeline.New(core.Config{
+			SaveStackBytes: 64 << 10,
+			MaxCycles:      opt.MaxCycles,
+		}, opt.Policy)
+		if err := pm.Load(img.risc); err != nil {
+			return nil, err
+		}
+		if err := pm.RunContext(ctx); err != nil {
+			return nil, err
+		}
+		info := riscInfo(pm.CPU(), len(img.risc.Bytes))
+		res := pm.Result()
+		info.Pipeline = pipelineInfo(res, info.Cycles)
+		// Report the measured pipeline timing as the run's headline
+		// cycles; the single-cycle count stays in Pipeline.RefCycles.
+		info.Cycles = res.Cycles
+		info.Time = timing.RiscTime(res.Cycles)
+		return info, nil
 	}
 	m := core.New(core.Config{
 		Flat:           img.target == RISCFlat,
@@ -343,6 +417,25 @@ func riscInfo(m *core.CPU, imageBytes int) *RunInfo {
 		}
 	}
 	return info
+}
+
+// pipelineInfo converts a pipeline timing result to the facade type.
+// refCycles is the single-cycle model's count for the same execution.
+func pipelineInfo(r pipeline.Result, refCycles uint64) *PipelineInfo {
+	return &PipelineInfo{
+		Policy:             r.Policy.String(),
+		Cycles:             r.Cycles,
+		CPI:                r.CPI(),
+		RefCycles:          refCycles,
+		LoadUseStallCycles: r.LoadUseStallCycles,
+		WindowStallCycles:  r.WindowStallCycles,
+		FlushBubbleCycles:  r.FlushBubbleCycles,
+		ForwardsEXMEM:      r.ForwardsEXMEM,
+		ForwardsMEMWB:      r.ForwardsMEMWB,
+		DelaySlots:         r.DelaySlots,
+		DelaySlotsFilled:   r.DelaySlotsFilled,
+		FillRatePct:        100 * r.FillRate(),
+	}
 }
 
 // heatProfile converts the core's heat table to the facade type.
@@ -592,9 +685,10 @@ func BenchmarkSource(name string) (string, bool) {
 	return b.Source, ok
 }
 
-// ExperimentIDs lists the paper's tables and figures in order. E10 is this
-// repository's extension: the pipeline-organization ablation behind the
-// delayed-jump design decision.
+// ExperimentIDs lists the paper's tables and figures in order. E10 and E11
+// are this repository's extensions: the analytical pipeline-organization
+// ablation behind the delayed-jump design decision, and its cycle-accurate
+// measurement on the five-stage pipeline model.
 func ExperimentIDs() []string { return exp.IDs() }
 
 // Lab caches benchmark runs across experiments: many experiments share
@@ -608,7 +702,7 @@ type Lab struct {
 func NewLab() *Lab { return &Lab{l: exp.NewLab()} }
 
 // Experiment runs one reproduction experiment and returns its rendered
-// table(s). IDs are E1..E10; see DESIGN.md for the experiment index.
+// table(s). IDs are E1..E11; see DESIGN.md for the experiment index.
 func Experiment(id string) (string, error) {
 	return NewLab().Experiment(id)
 }

@@ -128,8 +128,8 @@ func TestExperimentDispatch(t *testing.T) {
 	if _, err := risc1.Experiment("E99"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(risc1.ExperimentIDs()) != 10 {
-		t.Error("expected 10 experiments")
+	if len(risc1.ExperimentIDs()) != 11 {
+		t.Error("expected 11 experiments")
 	}
 }
 
