@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	riscbench                 # run every experiment, E1..E11
+//	riscbench                 # run every experiment, E1..E12
 //	riscbench -exp E4         # just the execution-time comparison
 //	riscbench -target pipelined  # per-benchmark CPI/stall/fill table on the
 //	                             # cycle-accurate pipeline (shorthand for -exp E11)
@@ -72,7 +72,11 @@ type benchReport struct {
 	TraceCoverage traceCoverage `json:"trace_coverage"`
 	// Pipeline aggregates the cycle-accurate five-stage pipeline
 	// measurement (experiment E11) over the whole suite.
-	Pipeline    pipelineReport     `json:"pipeline"`
+	Pipeline pipelineReport `json:"pipeline"`
+	// SMP is the shared-memory scalability measurement (experiment E12):
+	// per-kernel speedup, contention and memory-traffic curves over the
+	// core-count sweep.
+	SMP         smpReport          `json:"smp"`
 	Experiments []experimentTiming `json:"experiments"`
 	Headline    headlineMetrics    `json:"headline_metrics"`
 	Failures    []failureReport    `json:"failures,omitempty"`
@@ -91,9 +95,31 @@ type pipelineReport struct {
 	FillRatePct   float64 `json:"delay_slot_fill_pct"`
 	LoadUseStalls uint64  `json:"load_use_stall_cycles"`
 	WindowStalls  uint64  `json:"window_stall_cycles"`
+	MemPortStalls uint64  `json:"mem_port_stall_cycles"`
 	FlushBubbles  uint64  `json:"flush_bubble_cycles"`
 	ForwardsEXMEM uint64  `json:"forwards_ex_mem"`
 	ForwardsMEMWB uint64  `json:"forwards_mem_wb"`
+}
+
+// smpReport is the E12 scalability sweep in machine-readable form.
+type smpReport struct {
+	CoreCounts []int             `json:"core_counts"`
+	Kernels    []smpKernelReport `json:"kernels"`
+}
+
+type smpKernelReport struct {
+	Name  string          `json:"name"`
+	Cells []smpCellReport `json:"cells"`
+}
+
+type smpCellReport struct {
+	Cores            int     `json:"cores"`
+	ElapsedCycles    uint64  `json:"elapsed_cycles"`
+	Speedup          float64 `json:"speedup"`
+	Instructions     uint64  `json:"sim_instructions"`
+	ContentionCycles uint64  `json:"contention_cycles"`
+	TrafficBytes     uint64  `json:"data_traffic_bytes"`
+	Spawns           uint64  `json:"spawns"`
 }
 
 // traceCoverage is the trace tier's fusion-coverage summary.
@@ -122,6 +148,11 @@ type historyEntry struct {
 	CPIDelayed   float64 `json:"cpi_delayed"`
 	CPISquash    float64 `json:"cpi_squash"`
 	PipeAdvPct   float64 `json:"delayed_advantage_pct"`
+	// Best parallel-kernel speedup and total contention charge at four
+	// cores, so SMP scalability is trackable over time alongside
+	// throughput.
+	SMPSpeedup4   float64 `json:"smp_best_speedup_4core"`
+	SMPContention uint64  `json:"smp_contention_cycles_4core"`
 }
 
 type failureReport struct {
@@ -151,7 +182,7 @@ type headlineMetrics struct {
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment id (E1..E11) or all")
+	which := flag.String("exp", "all", "experiment id (E1..E12) or all")
 	targetFlag := flag.String("target", "", "run the per-benchmark table for one target; only \"pipelined\" (shorthand for -exp E11)")
 	jsonOut := flag.Bool("json", false, "write "+benchFile+" with throughput and headline metrics")
 	timeout := flag.Duration("timeout", 0, "per-configuration wall-clock limit (0 = none)")
@@ -307,7 +338,7 @@ func writeBenchProfile(path string, engine risc1.Engine) error {
 // report and appends a dated line to the throughput history.
 func writeReport(lab *exp.Lab, engine risc1.Engine, timings []experimentTiming, failures []exp.Failure) error {
 	rep := benchReport{
-		Schema:      "risc1-bench/4",
+		Schema:      "risc1-bench/5",
 		Engine:      engine.String(),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
@@ -377,9 +408,39 @@ func writeReport(lab *exp.Lab, engine risc1.Engine, timings []experimentTiming, 
 		FillRatePct:   e11.FillRatePct,
 		LoadUseStalls: e11.LoadUseStalls,
 		WindowStalls:  e11.WindowStalls,
+		MemPortStalls: e11.MemPortStalls,
 		FlushBubbles:  e11.FlushBubbles,
 		ForwardsEXMEM: e11.ForwardsEXMEM,
 		ForwardsMEMWB: e11.ForwardsMEMWB,
+	}
+
+	e12, err := exp.E12SMPScalability(lab)
+	if err != nil {
+		return err
+	}
+	rep.SMP = smpReport{CoreCounts: exp.E12CoreCounts}
+	var bestSpeedup4 float64
+	var contention4 uint64
+	for _, row := range e12.Rows {
+		k := smpKernelReport{Name: row.Name}
+		for _, c := range row.Cells {
+			k.Cells = append(k.Cells, smpCellReport{
+				Cores:            c.Cores,
+				ElapsedCycles:    c.Elapsed,
+				Speedup:          c.Speedup,
+				Instructions:     c.Instructions,
+				ContentionCycles: c.ContentionCycles,
+				TrafficBytes:     c.TrafficBytes,
+				Spawns:           c.Spawns,
+			})
+			if c.Cores == 4 {
+				contention4 += c.ContentionCycles
+				if c.Speedup > bestSpeedup4 {
+					bestSpeedup4 = c.Speedup
+				}
+			}
+		}
+		rep.SMP.Kernels = append(rep.SMP.Kernels, k)
 	}
 
 	e3, err := exp.E3ProgramSize(lab)
@@ -431,20 +492,22 @@ func writeReport(lab *exp.Lab, engine risc1.Engine, timings []experimentTiming, 
 		return err
 	}
 	return appendHistory(historyEntry{
-		Date:         time.Now().UTC().Format(time.RFC3339),
-		Schema:       rep.Schema,
-		Engine:       rep.Engine,
-		GoVersion:    rep.GoVersion,
-		GOMAXPROCS:   rep.GOMAXPROCS,
-		StepIPS:      stepT.InstructionsPerSec,
-		BlockIPS:     blockT.InstructionsPerSec,
-		TraceIPS:     traceT.InstructionsPerSec,
-		BlockSpeedup: rep.BlockSpeedup,
-		TraceSpeedup: rep.TraceSpeedup,
-		TracePct:     rep.TraceCoverage.TraceInstructionPct,
-		CPIDelayed:   rep.Pipeline.CPIDelayed,
-		CPISquash:    rep.Pipeline.CPISquash,
-		PipeAdvPct:   rep.Pipeline.DelayedAdvPct,
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		Schema:        rep.Schema,
+		Engine:        rep.Engine,
+		GoVersion:     rep.GoVersion,
+		GOMAXPROCS:    rep.GOMAXPROCS,
+		StepIPS:       stepT.InstructionsPerSec,
+		BlockIPS:      blockT.InstructionsPerSec,
+		TraceIPS:      traceT.InstructionsPerSec,
+		BlockSpeedup:  rep.BlockSpeedup,
+		TraceSpeedup:  rep.TraceSpeedup,
+		TracePct:      rep.TraceCoverage.TraceInstructionPct,
+		CPIDelayed:    rep.Pipeline.CPIDelayed,
+		CPISquash:     rep.Pipeline.CPISquash,
+		PipeAdvPct:    rep.Pipeline.DelayedAdvPct,
+		SMPSpeedup4:   bestSpeedup4,
+		SMPContention: contention4,
 	})
 }
 

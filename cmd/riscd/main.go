@@ -9,7 +9,7 @@
 // Usage:
 //
 //	riscd [-addr :8049] [-workers N] [-queue N] [-max-cycles N]
-//	      [-timeout D] [-cache N] [-drain D]
+//	      [-max-cores N] [-timeout D] [-cache N] [-drain D]
 //
 // On SIGINT/SIGTERM the server drains: /healthz flips to 503, new work is
 // refused, in-flight runs get the drain grace to finish and are then
@@ -38,12 +38,13 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admitted requests waiting beyond the pool (0 = 4x workers, negative = none)")
 	maxCycles := flag.Uint64("max-cycles", risc1.DefaultMaxCycles, "per-run cycle budget ceiling")
+	maxCores := flag.Int("max-cores", serve.DefaultMaxCores, "shared-memory core ceiling per run (negative disables multi-core)")
 	timeout := flag.Duration("timeout", serve.DefaultTimeout, "per-run wall-clock deadline ceiling")
 	cache := flag.Int("cache", serve.DefaultCacheEntries, "compiled-image cache entries (negative disables)")
 	drain := flag.Duration("drain", 5*time.Second, "shutdown grace before in-flight runs are canceled")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: riscd [-addr A] [-workers N] [-queue N] [-max-cycles N] [-timeout D] [-cache N] [-drain D]")
+		fmt.Fprintln(os.Stderr, "usage: riscd [-addr A] [-workers N] [-queue N] [-max-cycles N] [-max-cores N] [-timeout D] [-cache N] [-drain D]")
 		os.Exit(2)
 	}
 
@@ -51,6 +52,7 @@ func main() {
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		MaxCycles:    *maxCycles,
+		MaxCores:     *maxCores,
 		Timeout:      *timeout,
 		CacheEntries: *cache,
 	})

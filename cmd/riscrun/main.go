@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	riscrun [-target windowed|flat|cisc|pipelined] [-policy delayed|squash] [-windows N] [-engine E] [-timeout D] [-max-cycles N] [-stats] [-profile F] prog.cm
+//	riscrun [-target windowed|flat|cisc|pipelined] [-policy delayed|squash] [-cores N] [-windows N] [-engine E] [-timeout D] [-max-cycles N] [-stats] [-profile F] prog.cm
 //	riscrun [-windows N] [-flat] [-engine E] [-timeout D] [-max-cycles N] [-stats] [-profile F] prog.s
 //
 // -target pipelined runs windowed code on the cycle-accurate five-stage
@@ -78,6 +78,7 @@ func main() {
 	maxCycles := flag.Uint64("max-cycles", risc1.DefaultMaxCycles,
 		"abort after this many simulated cycles (0 = machine default); riscd enforces the same default budget")
 	engineFlag := flag.String("engine", "auto", "RISC execution engine: auto, block, step or trace")
+	cores := flag.Int("cores", 1, "shared-memory cores for .cm sources (windowed target only)")
 	profile := flag.String("profile", "", "write the execution-heat profile as JSON to this file (- for stdout)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -108,6 +109,9 @@ func main() {
 	}
 
 	var info *risc1.RunInfo
+	if strings.HasSuffix(path, ".s") && *cores > 1 {
+		fatal(fmt.Errorf("-cores: assembly sources run single-core; use a .cm source: %w", risc1.ErrWindowedOnly))
+	}
 	if strings.HasSuffix(path, ".s") {
 		m := risc1.NewMachine(risc1.MachineConfig{Windows: *windows, Flat: *flat, MaxCycles: *maxCycles, Engine: engine})
 		if err := m.LoadAssembly(src); err != nil {
@@ -149,7 +153,8 @@ func main() {
 			fatal(err)
 		}
 		info, err = risc1.RunImage(ctx, img, risc1.RunOptions{
-			MaxCycles: *maxCycles, Engine: engine, Policy: policy, Profile: *profile != "",
+			MaxCycles: *maxCycles, Engine: engine, Policy: policy,
+			Profile: *profile != "", Cores: *cores,
 		})
 		if err != nil {
 			fatal(err)
@@ -172,11 +177,19 @@ func main() {
 		if p := info.Pipeline; p != nil {
 			fmt.Printf("pipeline (%s): CPI %.3f  single-cycle ref %d cyc\n",
 				p.Policy, p.CPI, p.RefCycles)
-			fmt.Printf("stalls: %d load-use, %d window, %d flush  forwards: %d EX/MEM, %d MEM/WB\n",
-				p.LoadUseStallCycles, p.WindowStallCycles, p.FlushBubbleCycles,
-				p.ForwardsEXMEM, p.ForwardsMEMWB)
+			fmt.Printf("stalls: %d load-use, %d window, %d mem-port, %d flush  forwards: %d EX/MEM, %d MEM/WB\n",
+				p.LoadUseStallCycles, p.WindowStallCycles, p.MemPortStallCycles,
+				p.FlushBubbleCycles, p.ForwardsEXMEM, p.ForwardsMEMWB)
 			fmt.Printf("delay slots: %d filled / %d retired (%.1f%%)\n",
 				p.DelaySlotsFilled, p.DelaySlots, p.FillRatePct)
+		}
+		if s := info.SMP; s != nil {
+			fmt.Printf("smp: %d cores  elapsed %d cyc  contention %d cyc  rounds %d  spawns %d (%d failed)\n",
+				s.Cores, s.ElapsedCycles, s.ContentionCycles, s.Rounds, s.Spawns, s.SpawnFails)
+			for i, c := range s.PerCore {
+				fmt.Printf("  core %d: %d instr  %d cyc (+%d contention)  %d read B  %d write B\n",
+					i, c.Instructions, c.Cycles, c.ContentionCycles, c.DataReadBytes, c.DataWriteBytes)
+			}
 		}
 	}
 }

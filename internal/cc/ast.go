@@ -249,8 +249,8 @@ type Index struct {
 // Call invokes a function or builtin.
 type Call struct {
 	exprBase
-	Func    *FuncDecl // nil for builtins
-	Builtin string    // "putint", "putchar" or ""
+	Func    *FuncDecl // nil for builtins, except "spawn" (the spawned fn)
+	Builtin string    // "putint", "putchar", the SMP builtins, or ""
 	Args    []Expr
 	Line    int
 

@@ -633,6 +633,12 @@ func (g *ciscGen) emitDelta(dst string, delta int) {
 }
 
 func (g *ciscGen) genCall(c *Call) (tref, error) {
+	switch c.Builtin {
+	case "spawn", "join", "lock", "unlock", "coreid", "ncores":
+		// The SMP runtime exists only for the windowed RISC target.
+		return -1, &CompileError{Line: c.Line,
+			Msg: c.Builtin + " requires the windowed risc target"}
+	}
 	if c.Builtin != "" {
 		src, t, err := g.genOperand(c.Args[0])
 		if err != nil {

@@ -370,6 +370,9 @@ func (p *parser) primary() (Expr, error) {
 }
 
 func (p *parser) call(name string, line int) (Expr, error) {
+	if name == "spawn" {
+		return p.spawnCall(line)
+	}
 	if err := p.expect("("); err != nil {
 		return nil, err
 	}
@@ -394,7 +397,11 @@ func (p *parser) call(name string, line int) (Expr, error) {
 		p.fn.MaxArgs = len(args)
 	}
 
-	if name == "putint" || name == "putchar" {
+	switch name {
+	case "putint", "putchar", "join", "lock", "unlock":
+		// One-scalar-argument builtins: console output, and the SMP
+		// runtime surface (join a spawned worker, take/release one of the
+		// hardware test-and-set locks).
 		if len(args) != 1 {
 			return nil, &CompileError{Line: line, Msg: name + " takes one argument"}
 		}
@@ -404,6 +411,12 @@ func (p *parser) call(name string, line int) (Expr, error) {
 		}
 		return &Call{exprBase: exprBase{voidType}, Builtin: name,
 			Args: []Expr{a}, Line: line}, nil
+	case "coreid", "ncores":
+		// SMP identity builtins: which core am I, how many are there.
+		if len(args) != 0 {
+			return nil, &CompileError{Line: line, Msg: name + " takes no arguments"}
+		}
+		return &Call{exprBase: exprBase{intType}, Builtin: name, Line: line}, nil
 	}
 
 	fn, ok := p.funcs[name]
@@ -422,6 +435,49 @@ func (p *parser) call(name string, line int) (Expr, error) {
 		args[i] = a
 	}
 	return &Call{exprBase: exprBase{fn.Ret}, Func: fn, Args: args, Line: line}, nil
+}
+
+// spawnCall parses spawn(fn, arg): unlike every other call, the first
+// argument is a function name — the language has no function pointers — so
+// it resolves against the declared functions instead of parsing as a value.
+// spawn yields the worker's join handle (int), or -1 when no core was free
+// and the runtime ran fn inline on the calling core.
+func (p *parser) spawnCall(line int) (Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, &CompileError{Line: line, Msg: "spawn needs a function name"}
+	}
+	fn, ok := p.funcs[t.text]
+	if !ok {
+		return nil, &CompileError{Line: line, Msg: "spawn: undefined function " + t.text}
+	}
+	if len(fn.Params) != 1 || !fn.Params[0].Type.IsScalar() {
+		return nil, &CompileError{Line: line,
+			Msg: "spawn: " + t.text + " must take one scalar argument"}
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	a, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	a = p.rvalue(a)
+	if !a.TypeOf().IsScalar() {
+		return nil, &CompileError{Line: line, Msg: "spawn needs a scalar argument"}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	p.fn.hasCalls = true
+	if p.fn.MaxArgs < 2 {
+		p.fn.MaxArgs = 2 // the runtime call __spawn(fn, arg) takes two
+	}
+	return &Call{exprBase: exprBase{intType}, Builtin: "spawn", Func: fn,
+		Args: []Expr{a}, Line: line}, nil
 }
 
 // ---------- typing helpers ----------

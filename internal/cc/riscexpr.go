@@ -624,8 +624,67 @@ func containsCall(e Expr) bool {
 	return true
 }
 
+// genSMPBuiltin lowers the SMP builtins to their runtime routines. The
+// routines are written for the windowed convention (they keep spin-loop
+// state in LOCAL registers, and spawn's inline fallback leans on the window
+// overlap), so the flat ablation target rejects them with a typed error.
+func (g *riscGen) genSMPBuiltin(c *Call) (tref, error) {
+	if !g.windowed {
+		return -1, &CompileError{Line: c.Line,
+			Msg: c.Builtin + " requires the windowed risc target"}
+	}
+	switch c.Builtin {
+	case "join":
+		g.usesJoin = true
+		return g.genCall(&Call{exprBase: exprBase{voidType},
+			Args: c.Args, runtimeName: "__join", Line: c.Line})
+	case "lock":
+		g.usesLock = true
+		return g.genCall(&Call{exprBase: exprBase{voidType},
+			Args: c.Args, runtimeName: "__lock", Line: c.Line})
+	case "unlock":
+		g.usesUnlock = true
+		return g.genCall(&Call{exprBase: exprBase{voidType},
+			Args: c.Args, runtimeName: "__unlock", Line: c.Line})
+	}
+
+	// spawn(fn, x) -> __spawn(&fn, x), the function address materialized
+	// with la. The argument parks in a frame slot first (mirroring the
+	// general call path) so its evaluation cannot disturb the staging.
+	g.usesSpawn = true
+	g.spillAllTemps()
+	t0, err := g.genExpr(c.Args[0])
+	if err != nil {
+		return -1, err
+	}
+	slot := g.allocSlot()
+	g.emit("stl r%d,(r%d)#%d", g.reg(t0), g.conv.sp, g.slotOff(slot))
+	g.pop(t0)
+	fnR := g.conv.argOut
+	argR := g.conv.argOut + 1
+	g.removeFromFree(fnR)
+	g.emit("la %s,r%d", c.Func.Name, fnR)
+	g.pin(fnR)
+	g.removeFromFree(argR)
+	g.emit("ldl (r%d)#%d,r%d", g.conv.sp, g.slotOff(slot), argR)
+	g.pin(argR)
+	g.freeSlots = append(g.freeSlots, slot)
+	g.emit("callr r%d,__spawn", g.conv.link)
+	g.emit("nop")
+	g.unpin(fnR)
+	g.addToFree(fnR)
+	g.unpin(argR)
+	g.addToFree(argR)
+	t := g.pushTemp()
+	if r := g.reg(t); r != g.conv.retIn {
+		g.emit("mov r%d,r%d", g.conv.retIn, r)
+	}
+	return t, nil
+}
+
 func (g *riscGen) genCall(c *Call) (tref, error) {
-	if c.Builtin != "" {
+	switch c.Builtin {
+	case "putint", "putchar":
 		r, t, err := g.operandReg(c.Args[0])
 		if err != nil {
 			return -1, err
@@ -639,10 +698,23 @@ func (g *riscGen) genCall(c *Call) (tref, error) {
 			g.pop(t)
 		}
 		return -1, nil
+	case "coreid", "ncores":
+		// Inline loads from the SMP control page; without an SMP
+		// controller the device answers 0 and 1, so single-core programs
+		// need no special casing.
+		off := -512 // 0xFFFFFE00: COREID
+		if c.Builtin == "ncores" {
+			off = -508 // 0xFFFFFE04: NCORES
+		}
+		t := g.pushTemp()
+		g.emit("ldl (r0)#%d,r%d", off, g.reg(t))
+		return t, nil
+	case "spawn", "join", "lock", "unlock":
+		return g.genSMPBuiltin(c)
 	}
 
 	name := c.runtimeName
-	isVoid := false
+	isVoid := c.TypeOf().Kind == TypeVoid
 	if name == "" {
 		name = c.Func.Name
 		isVoid = c.Func.Ret.Kind == TypeVoid

@@ -101,6 +101,8 @@ type riscGen struct {
 	savedRegs []uint8
 
 	usesMul, usesDiv, usesMod bool
+
+	usesSpawn, usesJoin, usesLock, usesUnlock bool
 }
 
 type tref int
@@ -142,6 +144,18 @@ func (g *riscGen) generate() (string, error) {
 	}
 	if g.usesMod {
 		g.out.WriteString(g.runtimeDivMod("__modsi", false))
+	}
+	if g.usesSpawn {
+		g.out.WriteString(g.runtimeSpawn())
+	}
+	if g.usesJoin {
+		g.out.WriteString(g.runtimeJoin())
+	}
+	if g.usesLock {
+		g.out.WriteString(g.runtimeLock())
+	}
+	if g.usesUnlock {
+		g.out.WriteString(g.runtimeUnlock())
 	}
 	g.genData()
 	return g.out.String(), nil

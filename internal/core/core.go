@@ -162,27 +162,14 @@ func (c *CPU) runError(pc uint32, err error) *RunError {
 	return e
 }
 
-// CPU is one RISC I processor with its memory.
-type CPU struct {
-	cfg  Config
-	Mem  *mem.Memory
-	Regs *regwin.File
-
-	pc, npc uint32 // delayed-branch PC pair
-	lastPC  uint32 // previously executed instruction (GTLPC)
-	flags   isa.Flags
-	ie      bool // interrupts enabled
-	halted  bool
-
-	savePtr  uint32 // register-save stack, grows down from top of RAM
-	saveBase uint32
-
-	stat      *stats.Stats
-	opCounts  [128]uint64 // per-opcode execution counts (hot path)
-	inDelay   bool        // next instruction occupies a delay slot
-	callDepth int
-	pendIRQ   []uint32 // pending interrupt vectors
-
+// sharedCode is the per-image decoded-code state: the predecode lines, the
+// compiled basic blocks and the trace tier's tables. A single-core CPU owns
+// one privately; an SMP machine shares one across all cores (see NewWorker)
+// so code compiled by any core serves every core, and a write-watch
+// invalidation by the watching core is a broadcast — all cores dispatch
+// through the same tables. Mutation is safe because cores in an SMP machine
+// interleave only at instruction boundaries on one goroutine.
+type sharedCode struct {
 	// Predecode cache: the image's code segment decoded once at Load.
 	// Step dispatches from predec[(pc-codeOrg)>>2] and falls back to a
 	// live fetch+decode outside the cached range (or where predecOK is
@@ -208,7 +195,35 @@ type CPU struct {
 	traces     []*trace
 	liveTraces []*trace
 	traceGen   uint64
-	traceStat  TraceStats
+}
+
+// CPU is one RISC I processor with its memory.
+type CPU struct {
+	cfg  Config
+	Mem  *mem.Memory
+	Regs *regwin.File
+
+	pc, npc uint32 // delayed-branch PC pair
+	lastPC  uint32 // previously executed instruction (GTLPC)
+	flags   isa.Flags
+	ie      bool // interrupts enabled
+	halted  bool
+
+	savePtr  uint32 // register-save stack, grows down from top of RAM
+	saveBase uint32
+
+	stat      *stats.Stats
+	opCounts  [128]uint64 // per-opcode execution counts (hot path)
+	inDelay   bool        // next instruction occupies a delay slot
+	callDepth int
+	pendIRQ   []uint32 // pending interrupt vectors
+
+	// Decoded-code state, shared across the cores of an SMP machine.
+	*sharedCode
+
+	// traceStat is per-core even though the traces themselves are shared:
+	// compiles and invalidations land on the core that caused them.
+	traceStat TraceStats
 
 	// Trace, when non-nil, is called after every executed instruction
 	// with its address and decoded form (before the PC advances).
@@ -219,10 +234,11 @@ type CPU struct {
 func New(cfg Config) *CPU {
 	cfg = cfg.withDefaults()
 	c := &CPU{
-		cfg:  cfg,
-		Mem:  mem.New(cfg.MemSize),
-		Regs: regwin.New(cfg.Windows),
-		stat: stats.New(),
+		cfg:        cfg,
+		Mem:        mem.New(cfg.MemSize),
+		Regs:       regwin.New(cfg.Windows),
+		stat:       stats.New(),
+		sharedCode: &sharedCode{},
 	}
 	c.reset()
 	return c
@@ -389,10 +405,7 @@ func (c *CPU) Run() error { return c.RunContext(context.Background()) }
 // RunError wrapping ctx.Err(). The cycle limit itself is enforced exactly,
 // per instruction, inside Step.
 func (c *CPU) RunContext(ctx context.Context) error {
-	// The compiled engines are exact only without a per-instruction trace
-	// callback; the auto engine falls back to stepping there.
-	useBlocks := c.cfg.Engine != EngineStep && c.Trace == nil
-	useTraces := useBlocks && c.cfg.Engine != EngineBlock
+	useBlocks, useTraces := c.engineTiers()
 	done := ctx.Done()
 	for !c.halted {
 		if done != nil {
@@ -402,53 +415,76 @@ func (c *CPU) RunContext(ctx context.Context) error {
 			default:
 			}
 		}
-		if useBlocks {
-			// Same cancellation granularity as the step loop: at most
-			// runBatch instructions between context checks.
-			for budget := runBatch; budget > 0 && !c.halted; {
-				if useTraces {
-					n, err := c.runHotTrace(budget)
-					if err != nil {
-						return err
-					}
-					if n > 0 {
-						budget -= n
-						continue
-					}
-					if n < 0 {
-						// A trace is headed here but the batch remainder
-						// cannot fit an iteration; restart on a fresh batch.
-						break
-					}
-				}
-				if b, w := c.nextBlock(budget); b != nil {
-					n, err := c.runBlock(w, b, budget)
-					if err != nil {
-						if useTraces {
-							c.bumpHeat(w, b, n)
-						}
-						return err
-					}
-					if useTraces {
-						c.bumpHeat(w, b, n)
-					}
-					budget -= n
-					continue
-				}
-				if err := c.Step(); err != nil {
-					return err
-				}
-				budget--
-			}
-			continue
-		}
-		for i := 0; i < runBatch && !c.halted; i++ {
-			if err := c.Step(); err != nil {
-				return err
-			}
+		if _, err := c.runSlice(runBatch, useBlocks, useTraces); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// engineTiers resolves the configured engine to the tiers a run may use.
+// The compiled engines are exact only without a per-instruction trace
+// callback; the auto engine falls back to stepping there.
+func (c *CPU) engineTiers() (useBlocks, useTraces bool) {
+	useBlocks = c.cfg.Engine != EngineStep && c.Trace == nil
+	useTraces = useBlocks && c.cfg.Engine != EngineBlock
+	return
+}
+
+// runSlice executes up to budget instructions with the resolved engine
+// tiers and returns how many retired. It is the one batch body behind both
+// RunContext and the SMP scheduler's RunFor: driving it with budget =
+// runBatch reproduces a single-core run's batching exactly, which is what
+// makes a Cores=1 SMP run bit-identical to RunContext.
+func (c *CPU) runSlice(budget int, useBlocks, useTraces bool) (int, error) {
+	if !useBlocks {
+		for i := 0; i < budget; i++ {
+			if c.halted {
+				return i, nil
+			}
+			if err := c.Step(); err != nil {
+				return i, err
+			}
+		}
+		return budget, nil
+	}
+	executed := 0
+	for budget > 0 && !c.halted {
+		if useTraces {
+			n, err := c.runHotTrace(budget)
+			if err != nil {
+				return executed, err
+			}
+			if n > 0 {
+				budget -= n
+				executed += n
+				continue
+			}
+			if n < 0 {
+				// A trace is headed here but the batch remainder cannot
+				// fit an iteration; restart on a fresh batch.
+				break
+			}
+		}
+		if b, w := c.nextBlock(budget); b != nil {
+			n, err := c.runBlock(w, b, budget)
+			if useTraces {
+				c.bumpHeat(w, b, n)
+			}
+			executed += n
+			if err != nil {
+				return executed, err
+			}
+			budget -= n
+			continue
+		}
+		if err := c.Step(); err != nil {
+			return executed, err
+		}
+		budget--
+		executed++
+	}
+	return executed, nil
 }
 
 // Step executes one instruction. The MaxCycles budget is exact: a step that

@@ -41,6 +41,7 @@ type E11Result struct {
 	CPISquash     float64
 	LoadUseStalls uint64
 	WindowStalls  uint64
+	MemPortStalls uint64
 	FlushBubbles  uint64
 	ForwardsEXMEM uint64
 	ForwardsMEMWB uint64
@@ -62,7 +63,7 @@ func E11PipelinedCPI(l *Lab) (*E11Result, error) {
 		Title: "E11. Cycle-accurate 5-stage pipeline: delayed jumps vs squashing hardware",
 		Note:  "(measured cycles; dly = delayed slots, sq = predict-not-taken with flush on taken transfers)",
 		Headers: []string{"benchmark", "instr", "CPI dly", "CPI sq", "ld-use", "window",
-			"flush", "fwd", "slot fill", "dly adv"},
+			"mem-port", "flush", "fwd", "slot fill", "dly adv"},
 	}}
 
 	all := prog.All()
@@ -79,7 +80,7 @@ func E11PipelinedCPI(l *Lab) (*E11Result, error) {
 		name := all[i/2].Name
 		if dl.Failed() || sq.Failed() || dl.Pipeline == nil || sq.Pipeline == nil {
 			res.Table.AddRow(name, errCell, errCell, errCell, errCell, errCell,
-				errCell, errCell, errCell, errCell)
+				errCell, errCell, errCell, errCell, errCell)
 			continue
 		}
 		row := E11Row{Name: name, Delayed: *dl.Pipeline, Squash: *sq.Pipeline}
@@ -91,6 +92,7 @@ func E11PipelinedCPI(l *Lab) (*E11Result, error) {
 			fmt.Sprintf("%.3f", s.CPI()),
 			report.Num(d.LoadUseStallCycles),
 			report.Num(d.WindowStallCycles),
+			report.Num(d.MemPortStallCycles),
 			report.Num(s.FlushBubbleCycles),
 			report.Num(d.Forwards()),
 			fmt.Sprintf("%.1f%%", 100*d.FillRate()),
@@ -101,6 +103,7 @@ func E11PipelinedCPI(l *Lab) (*E11Result, error) {
 		res.CyclesSquash += s.Cycles
 		res.LoadUseStalls += d.LoadUseStallCycles
 		res.WindowStalls += d.WindowStallCycles
+		res.MemPortStalls += d.MemPortStallCycles
 		res.FlushBubbles += s.FlushBubbleCycles
 		res.ForwardsEXMEM += d.ForwardsEXMEM
 		res.ForwardsMEMWB += d.ForwardsMEMWB
@@ -124,6 +127,7 @@ func E11PipelinedCPI(l *Lab) (*E11Result, error) {
 		fmt.Sprintf("%.3f", res.CPISquash),
 		report.Num(res.LoadUseStalls),
 		report.Num(res.WindowStalls),
+		report.Num(res.MemPortStalls),
 		report.Num(res.FlushBubbles),
 		report.Num(res.ForwardsEXMEM+res.ForwardsMEMWB),
 		fmt.Sprintf("%.1f%%", res.FillRatePct),

@@ -2,12 +2,13 @@ package exp
 
 import "fmt"
 
-// IDs lists the experiments in presentation order. E10 and E11 are this
-// repository's extensions: the analytical pipeline-organization ablation
-// behind the delayed-jump design decision, and its cycle-accurate
-// measurement on the five-stage pipeline model.
+// IDs lists the experiments in presentation order. E10, E11 and E12 are
+// this repository's extensions: the analytical pipeline-organization
+// ablation behind the delayed-jump design decision, its cycle-accurate
+// measurement on the five-stage pipeline model, and the shared-memory SMP
+// scalability sweep.
 func IDs() []string {
-	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 }
 
 // Render runs one experiment against the lab and returns its rendered
@@ -73,6 +74,12 @@ func Render(l *Lab, id string) (string, error) {
 			return "", err
 		}
 		return r.Table.Render(), nil
+	case "E12":
+		r, err := E12SMPScalability(l)
+		if err != nil {
+			return "", err
+		}
+		return r.Table.Render(), nil
 	}
-	return "", fmt.Errorf("risc1: unknown experiment %q (want E1..E11)", id)
+	return "", fmt.Errorf("risc1: unknown experiment %q (want E1..E12)", id)
 }

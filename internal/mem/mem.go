@@ -160,6 +160,11 @@ type Memory struct {
 
 	// fault, when non-nil, injects failures per its plan.
 	fault *FaultPlan
+
+	// locks backs the test-and-set lock page; smp, when non-nil, backs the
+	// SMP control page (see smpdev.go).
+	locks [LockCount]uint32
+	smp   SMPController
 }
 
 // New returns a memory with size bytes of RAM starting at address 0.
@@ -269,6 +274,9 @@ func (m *Memory) Load32(addr uint32) (uint32, error) {
 		m.Reads += 4
 		return 1, nil
 	}
+	if m.inDevicePages(addr) && addr%4 == 0 {
+		return m.deviceLoad32(addr)
+	}
 	if err := m.check(AccessLoad, addr, 4); err != nil {
 		return 0, err
 	}
@@ -344,6 +352,9 @@ func (m *Memory) Store32(addr uint32, v uint32) error {
 	}
 	if m.isConsole(addr) {
 		return m.consoleStore(addr, v, 4)
+	}
+	if m.inDevicePages(addr) && addr%4 == 0 {
+		return m.deviceStore32(addr, v)
 	}
 	if err := m.check(AccessStore, addr, 4); err != nil {
 		return err

@@ -1,0 +1,115 @@
+package mem
+
+// SMP device pages. Two 256-byte pages sit just below the console device:
+//
+//	0xFFFF_FD00  lock page: 64 test-and-set words. A 32-bit load returns the
+//	             word's previous value and atomically sets it to 1; a 32-bit
+//	             store writes the word (store 0 to release). Atomicity comes
+//	             for free from the SMP scheduler: cores interleave only at
+//	             instruction boundaries, and the load's read-modify-write is
+//	             one instruction.
+//	0xFFFF_FE00  control page: core identity and the spawn/join mailbox,
+//	             backed by an SMPController (the smp scheduler). Without a
+//	             controller the page degrades gracefully to single-core
+//	             answers: COREID=0, NCORES=1, spawn yields handle -1 (so the
+//	             runtime falls back to an inline call), joins report done.
+//
+// Only naturally aligned 32-bit accesses have device semantics; narrower
+// accesses in these pages fault like ordinary out-of-range RAM touches.
+// Device traffic counts toward Reads/Writes exactly like console traffic.
+const (
+	LockBase  = 0xFFFF_FD00
+	LockCount = 64
+
+	SMPBase     = 0xFFFF_FE00
+	SMPCoreID   = SMPBase + 0x00 // load: this core's id
+	SMPNumCores = SMPBase + 0x04 // load: cores in the machine
+	SMPSpawnArg = SMPBase + 0x08 // store: argument for the next spawn
+	SMPSpawnFn  = SMPBase + 0x0C // store: fn addr, starts a worker; load: handle
+	SMPJoinBase = SMPBase + 0x40 // load JOINBASE+4*h: 1 while handle h runs
+	SMPJoinMax  = 16
+)
+
+// SMPController is the scheduler-side backing for the control page. The smp
+// package implements it per core; per-core spawn state lives behind the
+// controller because a scheduling quantum may split the store-arg/store-fn/
+// load-handle sequence across rounds.
+type SMPController interface {
+	CoreID() uint32
+	NumCores() uint32
+	// SpawnArg stages the argument for the next Spawn from this core.
+	SpawnArg(v uint32)
+	// Spawn launches fn on a free core (or records failure); the resulting
+	// handle is read back via LastSpawn.
+	Spawn(fn uint32)
+	// LastSpawn returns the handle from this core's most recent Spawn,
+	// or 0xFFFF_FFFF if it failed (no free core).
+	LastSpawn() uint32
+	// Running reports 1 while the worker behind handle h is still running.
+	Running(h uint32) uint32
+}
+
+// SetSMP installs (or, with nil, removes) the SMP controller backing the
+// control page for the core about to access this memory view.
+func (m *Memory) SetSMP(c SMPController) { m.smp = c }
+
+// inDevicePages reports whether addr falls in the SMP device window.
+func (m *Memory) inDevicePages(addr uint32) bool {
+	return addr >= LockBase && addr < ConsoleBase
+}
+
+func (m *Memory) deviceLoad32(addr uint32) (uint32, error) {
+	m.Reads += 4
+	if addr >= LockBase && addr < LockBase+4*LockCount {
+		i := (addr - LockBase) / 4
+		old := m.locks[i]
+		m.locks[i] = 1
+		return old, nil
+	}
+	switch addr {
+	case SMPCoreID:
+		if m.smp == nil {
+			return 0, nil
+		}
+		return m.smp.CoreID(), nil
+	case SMPNumCores:
+		if m.smp == nil {
+			return 1, nil
+		}
+		return m.smp.NumCores(), nil
+	case SMPSpawnFn:
+		if m.smp == nil {
+			return 0xFFFF_FFFF, nil
+		}
+		return m.smp.LastSpawn(), nil
+	}
+	if addr >= SMPJoinBase && addr < SMPJoinBase+4*SMPJoinMax {
+		if m.smp == nil {
+			return 0, nil
+		}
+		return m.smp.Running((addr - SMPJoinBase) / 4), nil
+	}
+	// Undefined device words read as zero, like a real bus with no card.
+	return 0, nil
+}
+
+func (m *Memory) deviceStore32(addr, v uint32) error {
+	m.Writes += 4
+	if addr >= LockBase && addr < LockBase+4*LockCount {
+		m.locks[(addr-LockBase)/4] = v
+		return nil
+	}
+	switch addr {
+	case SMPSpawnArg:
+		if m.smp != nil {
+			m.smp.SpawnArg(v)
+		}
+	case SMPSpawnFn:
+		if m.smp != nil {
+			m.smp.Spawn(v)
+		}
+	default:
+		// Stores to other device addresses are ignored, like a real bus.
+	}
+	return nil
+}

@@ -28,6 +28,11 @@
 //     MEM-to-MEM without stalling.
 //   - Three or more instructions of distance read the register file
 //     (write-first-half / read-second-half).
+//   - Shared memory port: the machine has one port to memory, so a load
+//     or store in MEM blocks instruction fetch that cycle. The delayed
+//     fetch slides the follower's whole IF/ID/EX frame — this is the
+//     structural hazard that makes loads and stores effectively
+//     two-cycle instructions in the paper's timing tables.
 //
 // Producers and consumers are matched by physical register index, not
 // architectural number: CALL and RET shift the window between an
@@ -109,6 +114,12 @@ type Result struct {
 	// FlushBubbleCycles counts wrong-path fetches squashed by taken
 	// transfers; always zero under PolicyDelayed.
 	FlushBubbleCycles uint64
+	// MemPortStallCycles counts fetches delayed because a load or store
+	// occupied the single shared memory port in its MEM stage. This is the
+	// structural hazard that makes the paper's loads and stores two-cycle
+	// instructions: the machine has one port, and a data access suspends
+	// instruction fetch for a cycle.
+	MemPortStallCycles uint64
 
 	// ForwardsEXMEM and ForwardsMEMWB count operands delivered through
 	// the two bypass paths rather than the register file.
@@ -146,7 +157,8 @@ func (r Result) FillRate() float64 {
 
 // StallCycles is the total of every cycle lost to hazards.
 func (r Result) StallCycles() uint64 {
-	return r.LoadUseStallCycles + r.WindowStallCycles + r.FlushBubbleCycles
+	return r.LoadUseStallCycles + r.WindowStallCycles + r.FlushBubbleCycles +
+		r.MemPortStallCycles
 }
 
 // Time is the simulated pipelined run time in seconds at the paper's clock.
@@ -182,6 +194,12 @@ type Machine struct {
 
 	slotPending bool // last retirement was a transfer owning a delay slot
 	slotTaken   bool
+
+	// memBusy holds the future MEM cycles of in-flight loads and stores —
+	// the cycles the shared memory port is closed to instruction fetch.
+	// Strictly increasing (MEM = EX+1 and EX is monotone), never more than
+	// a few entries deep.
+	memBusy []uint64
 
 	// last-seen oracle counters, for per-retirement deltas
 	lastOvf, lastUnf, lastNops, lastUseful uint64
@@ -229,6 +247,7 @@ func (m *Machine) resetTiming() {
 		clear(m.regW)
 	}
 	m.flagW = writeRec{}
+	m.memBusy = m.memBusy[:0]
 	m.slotPending, m.slotTaken = false, false
 	m.lastOvf, m.lastUnf, m.lastNops, m.lastUseful = 0, 0, 0, 0
 }
@@ -321,6 +340,26 @@ func (m *Machine) retire(pc uint32, inst isa.Inst) {
 	}
 	m.res.LoadUseStallCycles += ex - issue
 
+	// Shared memory port: this instruction's fetch (IF = EX-2) cannot use
+	// the port in a cycle where an earlier access's MEM stage holds it, so
+	// the fetch — and with it the whole rigid IF/ID/EX frame — slides
+	// until the port is free.
+	f := ex - 2
+	for len(m.memBusy) > 0 && m.memBusy[0] < f {
+		m.memBusy = m.memBusy[1:]
+	}
+	for _, b := range m.memBusy {
+		if b == f {
+			f++
+		} else if b > f {
+			break
+		}
+	}
+	if min := f + 2; ex < min {
+		m.res.MemPortStallCycles += min - ex
+		ex = min
+	}
+
 	// With the EX cycle fixed, classify where each operand came from.
 	for _, r := range srcs {
 		if r == 0 {
@@ -347,6 +386,11 @@ func (m *Machine) retire(pc uint32, inst isa.Inst) {
 		}
 	}
 	m.ex = ex
+
+	// A load or store owns the memory port for its MEM cycle.
+	if c := inst.Op.Cat(); c == isa.CatLoad || c == isa.CatStore {
+		m.memBusy = append(m.memBusy, ex+1)
+	}
 
 	// Scoreboard this instruction's writes for its successors.
 	isLoad := inst.Op.Cat() == isa.CatLoad

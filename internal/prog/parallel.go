@@ -1,0 +1,226 @@
+package prog
+
+// Parallel-kernel registry: the suite kernels ported to spawn/join form for
+// the SMP experiments (E12). These live outside the sequential suite on
+// purpose — All()'s canonical order and tables must stay byte-identical —
+// and each kernel's console output is independent of the core count: with
+// one core (or no SMP controller at all) every spawn falls back to an
+// inline call and the same answer comes out sequentially.
+
+import "fmt"
+
+// Parallel returns the parallel kernels in canonical order.
+func Parallel() []Benchmark { return parallel }
+
+// ParallelByName finds one parallel kernel.
+func ParallelByName(name string) (Benchmark, bool) {
+	for _, b := range parallel {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+func init() {
+	references["psum"] = refPsum
+	references["pcrunch"] = refPcrunch
+	references["pqsort"] = refPqsort
+}
+
+var parallel = []Benchmark{
+	{
+		Name: "psum",
+		Desc: "data-parallel array sum, spinlock-guarded accumulator",
+		Source: `
+int data[4096];
+int total;
+int chunk;
+int nw;
+void worker(int k) {
+	int i; int end; int s; int v;
+	s = 0;
+	i = k * chunk;
+	end = i + chunk;
+	if (k == nw - 1) end = 4096;
+	while (i < end) {
+		v = (i * 7 + 3) % 101;
+		data[i] = v;
+		s += v;
+		i++;
+	}
+	lock(0);
+	total += s;
+	unlock(0);
+}
+int main() {
+	int i; int h[16];
+	nw = ncores();
+	if (nw > 8) nw = 8;
+	chunk = 4096 / nw;
+	total = 0;
+	for (i = 1; i < nw; i++) h[i] = spawn(worker, i);
+	worker(0);
+	for (i = 1; i < nw; i++) join(h[i]);
+	putint(total);
+	return 0;
+}
+`,
+	},
+	{
+		Name: "pcrunch",
+		Desc: "data-parallel ALU/multiply crunch over an array",
+		Source: `
+int data[2048];
+int chunk;
+int nw;
+int crunch(int x) {
+	int j;
+	for (j = 0; j < 10; j++) {
+		x = x * 3 + 1;
+		x = x ^ (x >> 5);
+		x = x & 1048575;
+	}
+	return x;
+}
+void worker(int k) {
+	int i; int end;
+	i = k * chunk;
+	end = i + chunk;
+	if (k == nw - 1) end = 2048;
+	while (i < end) { data[i] = crunch(data[i]); i++; }
+}
+int main() {
+	int i; int s; int h[16];
+	for (i = 0; i < 2048; i++) data[i] = i * 13 + 7;
+	nw = ncores();
+	if (nw > 8) nw = 8;
+	chunk = 2048 / nw;
+	for (i = 1; i < nw; i++) h[i] = spawn(worker, i);
+	worker(0);
+	for (i = 1; i < nw; i++) join(h[i]);
+	s = 0;
+	for (i = 0; i < 2048; i++) s = (s + data[i]) & 16777215;
+	putint(s);
+	return 0;
+}
+`,
+	},
+	{
+		Name:      "pqsort",
+		CallHeavy: true,
+		Desc:      "parallel quicksort: chunk sorts on workers, k-way merge on core 0",
+		Source: `
+int data[2048];
+int out[2048];
+int head[8];
+int lim[8];
+int chunk;
+int nw;
+void qs(int lo, int hi) {
+	int i; int j; int p; int t;
+	if (lo >= hi) return;
+	p = data[(lo + hi) >> 1];
+	i = lo; j = hi;
+	while (i <= j) {
+		while (data[i] < p) i++;
+		while (data[j] > p) j--;
+		if (i <= j) {
+			t = data[i]; data[i] = data[j]; data[j] = t;
+			i++; j--;
+		}
+	}
+	qs(lo, j);
+	qs(i, hi);
+}
+void worker(int k) {
+	int lo; int hi; int i; int seed;
+	lo = k * chunk;
+	hi = lo + chunk - 1;
+	if (k == nw - 1) hi = 2047;
+	for (i = lo; i <= hi; i++) {
+		seed = (i * 2654435 + 12345) & 65535;
+		seed = seed ^ (seed >> 7);
+		data[i] = seed & 8191;
+	}
+	qs(lo, hi);
+}
+int main() {
+	int i; int k; int h[16];
+	int best; int bk; int v; int s;
+	nw = ncores();
+	if (nw > 8) nw = 8;
+	chunk = 2048 / nw;
+	for (i = 1; i < nw; i++) h[i] = spawn(worker, i);
+	worker(0);
+	for (i = 1; i < nw; i++) join(h[i]);
+	for (k = 0; k < nw; k++) {
+		head[k] = k * chunk;
+		lim[k] = head[k] + chunk;
+	}
+	lim[nw - 1] = 2048;
+	for (i = 0; i < 2048; i++) {
+		bk = -1; best = 0;
+		for (k = 0; k < nw; k++) {
+			if (head[k] < lim[k]) {
+				v = data[head[k]];
+				if (bk < 0 || v < best) { best = v; bk = k; }
+			}
+		}
+		out[i] = best;
+		head[bk] = head[bk] + 1;
+	}
+	s = 0;
+	for (i = 0; i < 2048; i++) s = ((s << 1) + out[i]) & 16777215;
+	putint(s);
+	return 0;
+}
+`,
+	},
+}
+
+// References. The merge in pqsort reconstructs the globally sorted array
+// from any chunk partition, and psum/pcrunch reduce over the whole array,
+// so every expected answer is independent of the core count.
+
+func refPsum() string {
+	var total int32
+	for i := int32(0); i < 4096; i++ {
+		total += (i*7 + 3) % 101
+	}
+	return fmt.Sprintf("%d", total)
+}
+
+func refPcrunch() string {
+	var s int32
+	for i := int32(0); i < 2048; i++ {
+		x := i*13 + 7
+		for j := 0; j < 10; j++ {
+			x = x*3 + 1
+			x = x ^ (x >> 5)
+			x = x & 1048575
+		}
+		s = (s + x) & 16777215
+	}
+	return fmt.Sprintf("%d", s)
+}
+
+func refPqsort() string {
+	var data [2048]int32
+	for i := int32(0); i < 2048; i++ {
+		seed := (i*2654435 + 12345) & 65535
+		seed = seed ^ (seed >> 7)
+		data[i] = seed & 8191
+	}
+	// The merge of sorted chunks is the sorted array, however it was cut.
+	for i := 1; i < len(data); i++ {
+		for j := i; j > 0 && data[j] < data[j-1]; j-- {
+			data[j], data[j-1] = data[j-1], data[j]
+		}
+	}
+	var s int32
+	for i := 0; i < 2048; i++ {
+		s = ((s << 1) + data[i]) & 16777215
+	}
+	return fmt.Sprintf("%d", s)
+}

@@ -37,6 +37,10 @@ type RunRequest struct {
 	// "pipelined" target: "delayed" (default, the paper's delayed jumps)
 	// or "squash" (predict-not-taken hardware). Other targets ignore it.
 	Policy string `json:"policy,omitempty"`
+	// Cores runs the program on a shared-memory machine of this many RISC I
+	// cores (0 or 1 = single-core). Requires the "windowed" target and must
+	// not exceed the server's core ceiling; violations are 400s.
+	Cores int `json:"cores,omitempty"`
 }
 
 // RunResponse is the body of a successful POST /v1/run.
@@ -57,6 +61,9 @@ type RunResponse struct {
 	// Pipeline carries the cycle-accurate model's CPI and stall breakdown.
 	// Present only for the "pipelined" target.
 	Pipeline *risc1.PipelineInfo `json:"pipeline,omitempty"`
+	// SMP carries the shared-memory machine's breakdown — makespan,
+	// contention charges, per-core stats. Present only when Cores > 1.
+	SMP *risc1.SMPInfo `json:"smp,omitempty"`
 }
 
 // LintRequest is the body of POST /v1/lint.

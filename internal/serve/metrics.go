@@ -45,8 +45,16 @@ type metrics struct {
 	pipelineRuns map[string]uint64 // policy → pipelined /v1/run simulations
 	pipeLoadUse  uint64            // load-use interlock stall cycles
 	pipeWindow   uint64            // window-trap drain stall cycles
+	pipeMemPort  uint64            // shared-memory-port structural stall cycles
 	pipeFlush    uint64            // squash-policy flush bubbles
 	pipeCycles   uint64            // pipeline cycles retired
+
+	// Shared-memory machine counters across all multi-core /v1/run
+	// simulations: runs, total cores engaged, and interconnect-arbitration
+	// cycles charged by the contention model.
+	smpRuns       uint64
+	smpCores      uint64
+	smpContention uint64
 }
 
 func newMetrics() *metrics {
@@ -128,8 +136,22 @@ func (m *metrics) addPipelineStats(p *risc1.PipelineInfo) {
 	m.pipelineRuns[p.Policy]++
 	m.pipeLoadUse += p.LoadUseStallCycles
 	m.pipeWindow += p.WindowStallCycles
+	m.pipeMemPort += p.MemPortStallCycles
 	m.pipeFlush += p.FlushBubbleCycles
 	m.pipeCycles += p.Cycles
+	m.mu.Unlock()
+}
+
+// addSMPStats accumulates one multi-core run's machine counters. A nil info
+// (a single-core run) is a no-op.
+func (m *metrics) addSMPStats(si *risc1.SMPInfo) {
+	if si == nil {
+		return
+	}
+	m.mu.Lock()
+	m.smpRuns++
+	m.smpCores += uint64(si.Cores)
+	m.smpContention += si.ContentionCycles
 	m.mu.Unlock()
 }
 
@@ -244,7 +266,20 @@ func (m *metrics) render(g gauges) string {
 	b.WriteString("# TYPE riscd_pipeline_stall_cycles_total counter\n")
 	fmt.Fprintf(&b, "riscd_pipeline_stall_cycles_total{cause=\"flush\"} %d\n", m.pipeFlush)
 	fmt.Fprintf(&b, "riscd_pipeline_stall_cycles_total{cause=\"load_use\"} %d\n", m.pipeLoadUse)
+	fmt.Fprintf(&b, "riscd_pipeline_stall_cycles_total{cause=\"mem_port\"} %d\n", m.pipeMemPort)
 	fmt.Fprintf(&b, "riscd_pipeline_stall_cycles_total{cause=\"window\"} %d\n", m.pipeWindow)
+
+	b.WriteString("# HELP riscd_smp_runs_total Multi-core /v1/run simulations on the shared-memory machine.\n")
+	b.WriteString("# TYPE riscd_smp_runs_total counter\n")
+	fmt.Fprintf(&b, "riscd_smp_runs_total %d\n", m.smpRuns)
+
+	b.WriteString("# HELP riscd_smp_cores_total Cores engaged across multi-core /v1/run simulations.\n")
+	b.WriteString("# TYPE riscd_smp_cores_total counter\n")
+	fmt.Fprintf(&b, "riscd_smp_cores_total %d\n", m.smpCores)
+
+	b.WriteString("# HELP riscd_smp_contention_cycles_total Interconnect-arbitration cycles charged by the contention model.\n")
+	b.WriteString("# TYPE riscd_smp_contention_cycles_total counter\n")
+	fmt.Fprintf(&b, "riscd_smp_contention_cycles_total %d\n", m.smpContention)
 
 	b.WriteString("# HELP riscd_lint_findings_total Static-analyzer findings reported by /v1/lint, by severity.\n")
 	b.WriteString("# TYPE riscd_lint_findings_total counter\n")

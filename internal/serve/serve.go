@@ -36,6 +36,10 @@ const (
 	// DefaultTimeout bounds one run's wall clock. Cached fib completes in
 	// ~10ms; ten seconds is two orders of magnitude of headroom.
 	DefaultTimeout = 10 * time.Second
+	// DefaultMaxCores caps the shared-memory machine size a request may ask
+	// for. Eight covers the whole E12 scalability sweep while keeping one
+	// request's CPU appetite bounded.
+	DefaultMaxCores = 8
 	// DefaultCacheEntries sizes the compiled-image LRU. A full benchmark
 	// suite across all three targets is ~40 images; 256 leaves room for
 	// many distinct user programs before anything hot is evicted.
@@ -64,6 +68,9 @@ type Config struct {
 	// CacheEntries sizes the compiled-image LRU (default
 	// DefaultCacheEntries; negative disables caching).
 	CacheEntries int
+	// MaxCores caps RunRequest.Cores (default DefaultMaxCores; never above
+	// risc1.MaxCores). Negative disables multi-core runs entirely.
+	MaxCores int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +94,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries < 0 {
 		c.CacheEntries = 0
+	}
+	if c.MaxCores == 0 {
+		c.MaxCores = DefaultMaxCores
+	}
+	if c.MaxCores < 0 {
+		c.MaxCores = 1
+	}
+	if c.MaxCores > risc1.MaxCores {
+		c.MaxCores = risc1.MaxCores
 	}
 	return c
 }
@@ -303,6 +319,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
+	if req.Cores < 0 || req.Cores > s.cfg.MaxCores {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("cores %d: %v (server ceiling %d)", req.Cores, risc1.ErrBadCores, s.cfg.MaxCores))
+		return
+	}
+	if req.Cores > 1 && target != risc1.RISCWindowed {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("cores %d on target %q: %v", req.Cores, req.Target, risc1.ErrWindowedOnly))
+		return
+	}
 
 	release := s.admit(w, r)
 	if release == nil {
@@ -318,7 +344,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.runCtx(r, req.TimeoutMS)
 	defer cancel()
-	info, err := risc1.RunImage(ctx, img, risc1.RunOptions{MaxCycles: s.budget(req.MaxCycles), Engine: engine, Policy: policy})
+	info, err := risc1.RunImage(ctx, img, risc1.RunOptions{
+		MaxCycles: s.budget(req.MaxCycles), Engine: engine, Policy: policy, Cores: req.Cores,
+	})
 	s.met.addRun(engine.String())
 	if err != nil {
 		status, body := runErrorStatus(err)
@@ -328,6 +356,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.met.addSimInstructions(info.Instructions)
 	s.met.addTraceStats(info)
 	s.met.addPipelineStats(info.Pipeline)
+	s.met.addSMPStats(info.SMP)
 	writeJSON(w, http.StatusOK, RunResponse{
 		Console:          info.Console,
 		ConsoleTruncated: info.ConsoleTruncated,
@@ -341,6 +370,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		WindowUnderflows: info.WindowUnderflows,
 		Cached:           hit,
 		Pipeline:         info.Pipeline,
+		SMP:              info.SMP,
 	})
 }
 

@@ -26,6 +26,25 @@ int main() { putint(fib(10)); return 0; }`
 // loopAsm spins forever: the delayed jump targets itself.
 const loopAsm = "main: jmpr alw,main\n nop\n"
 
+// parSrc spawns two workers that fold their IDs into a lock-guarded
+// accumulator: 0+1+2 under any interleaving.
+const parSrc = `
+int total;
+void worker(int k) {
+    lock(0);
+    total += k + 1;
+    unlock(0);
+}
+int main() {
+    int h1; int h2;
+    h1 = spawn(worker, 0);
+    h2 = spawn(worker, 1);
+    join(h1);
+    join(h2);
+    putint(total);
+    return 0;
+}`
+
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	s := New(cfg)
@@ -807,6 +826,78 @@ func TestRunTraceTierMetrics(t *testing.T) {
 	} {
 		if val := metricValue(t, text, metric); needNonZero && val == 0 {
 			t.Errorf("%s = 0, want > 0", metric)
+		}
+	}
+}
+
+// TestRunSMP covers the multi-core run path: a parallel program on the
+// shared-memory machine, the SMP response section, the server core ceiling,
+// the windowed-only rule, and the smp metrics counters.
+func TestRunSMP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, MaxCores: 4})
+
+	resp, raw := postJSON(t, ts.URL+"/v1/run", RunRequest{Source: parSrc, Cores: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cores=2: status %d: %s", resp.StatusCode, raw)
+	}
+	var out RunResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Console != "3" {
+		t.Fatalf("console %q, want 3", out.Console)
+	}
+	if out.SMP == nil || out.SMP.Cores != 2 || out.SMP.Spawns == 0 {
+		t.Fatalf("SMP section %+v, want 2 cores with spawns", out.SMP)
+	}
+	if len(out.SMP.PerCore) != 2 {
+		t.Fatalf("per-core stats %+v, want 2 entries", out.SMP.PerCore)
+	}
+
+	// Single-core requests must not grow an SMP section.
+	resp, raw = postJSON(t, ts.URL+"/v1/run", RunRequest{Source: fibSrc, Cores: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cores=1: status %d: %s", resp.StatusCode, raw)
+	}
+	out = RunResponse{}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SMP != nil {
+		t.Fatalf("cores=1 grew an SMP section: %+v", out.SMP)
+	}
+
+	// Above the server ceiling and on the wrong target: typed 400s.
+	for _, req := range []RunRequest{
+		{Source: parSrc, Cores: 8},
+		{Source: parSrc, Cores: -1},
+		{Source: fibSrc, Cores: 2, Target: "cisc"},
+		{Source: fibSrc, Cores: 2, Target: "flat"},
+		{Source: fibSrc, Cores: 2, Target: "pipelined"},
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/run", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("cores=%d target=%q: status %d, want 400: %s",
+				req.Cores, req.Target, resp.StatusCode, raw)
+		}
+		if d := decodeError(t, raw); d.Code != "bad_request" {
+			t.Fatalf("cores=%d target=%q: code %q, want bad_request", req.Cores, req.Target, d.Code)
+		}
+	}
+
+	// The multi-core run above must show up in the smp counters.
+	resp, raw = getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"riscd_smp_runs_total 1\n",
+		"riscd_smp_cores_total 2\n",
+		"riscd_smp_contention_cycles_total ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
 		}
 	}
 }

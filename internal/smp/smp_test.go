@@ -1,0 +1,60 @@
+package smp
+
+import (
+	"context"
+	"testing"
+
+	"risc1/internal/asm"
+	"risc1/internal/cc"
+	"risc1/internal/core"
+	"risc1/internal/prog"
+)
+
+func compileKernel(t *testing.T, name string) *asm.Image {
+	t.Helper()
+	b, ok := prog.ParallelByName(name)
+	if !ok {
+		t.Fatalf("no parallel kernel %q", name)
+	}
+	// WideData: the kernels' arrays push globals past gp-relative range.
+	res, err := cc.Compile(b.Source, cc.Options{Target: cc.RISCWindowed, WideData: true})
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	img, err := asm.Assemble(res.Asm)
+	if err != nil {
+		t.Fatalf("assemble %s: %v", name, err)
+	}
+	return img
+}
+
+func runKernel(t *testing.T, name string, cores int, engine core.Engine) *Machine {
+	t.Helper()
+	img := compileKernel(t, name)
+	m, err := New(img, Config{
+		Cores: cores,
+		Core:  core.Config{SaveStackBytes: 64 << 10, Engine: engine},
+	})
+	if err != nil {
+		t.Fatalf("New(%s, %d cores): %v", name, cores, err)
+	}
+	if err := m.Run(context.Background()); err != nil {
+		t.Fatalf("run %s on %d cores: %v", name, cores, err)
+	}
+	return m
+}
+
+func TestParallelKernels(t *testing.T) {
+	for _, name := range []string{"psum", "pcrunch", "pqsort"} {
+		want := prog.Expected(name)
+		for _, n := range []int{1, 2, 4, 8} {
+			m := runKernel(t, name, n, core.EngineAuto)
+			if got := m.Console(); got != want {
+				t.Errorf("%s on %d cores: console %q, want %q", name, n, got, want)
+			}
+			if n > 1 && m.Spawns() == 0 {
+				t.Errorf("%s on %d cores: no workers spawned", name, n)
+			}
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"risc1/internal/lint"
 	"risc1/internal/pipeline"
 	"risc1/internal/prog"
+	"risc1/internal/smp"
 	"risc1/internal/timing"
 )
 
@@ -120,6 +121,19 @@ func CompileCm(source string, target Target, opts CompileOptions) (string, error
 	return res.Asm, nil
 }
 
+// MaxCores is the largest shared-memory machine RunOptions.Cores accepts.
+const MaxCores = smp.MaxCores
+
+// Typed SMP configuration errors, re-exported so callers can test with
+// errors.Is; see internal/smp.
+var (
+	// ErrBadCores rejects a core count outside 1..MaxCores.
+	ErrBadCores = smp.ErrBadCores
+	// ErrWindowedOnly rejects a multi-core run on any target but
+	// RISCWindowed: the spawn/join runtime leans on the register windows.
+	ErrWindowedOnly = smp.ErrWindowedOnly
+)
+
 // DefaultMaxCycles is the cycle budget applied when a caller does not pick
 // one: cmd/riscrun's -max-cycles default and the riscd serving layer's
 // per-request ceiling both share this constant, so the CLI and the service
@@ -172,7 +186,33 @@ type RunInfo struct {
 	// runs Cycles and Time above are the measured pipeline values, and
 	// Pipeline.RefCycles preserves the single-cycle model's count.
 	Pipeline *PipelineInfo
+
+	// SMP carries the shared-memory machine's breakdown for runs with
+	// RunOptions.Cores > 1; nil otherwise. For those runs Instructions and
+	// the data-traffic totals above aggregate every core, and Cycles is
+	// the machine's makespan (max over cores of executed plus contention
+	// cycles).
+	SMP *SMPInfo
 }
+
+// SMPInfo is the shared-memory machine's execution breakdown.
+type SMPInfo struct {
+	Cores int `json:"cores"`
+	// ElapsedCycles is the makespan under the interconnect cost model.
+	ElapsedCycles uint64 `json:"elapsed_cycles"`
+	// ContentionCycles totals the arbitration penalty charged across cores
+	// for rounds where more than one core touched memory.
+	ContentionCycles uint64 `json:"contention_cycles"`
+	// Rounds counts scheduler rounds; Spawns counts workers launched and
+	// SpawnFails the spawn requests that fell back to an inline call.
+	Rounds     uint64        `json:"rounds"`
+	Spawns     uint64        `json:"spawns"`
+	SpawnFails uint64        `json:"spawn_fails"`
+	PerCore    []SMPCoreInfo `json:"per_core"`
+}
+
+// SMPCoreInfo is one core's share of a shared-memory run.
+type SMPCoreInfo = smp.CoreStats
 
 // PipelineInfo is the cycle-accurate pipeline's timing breakdown.
 type PipelineInfo struct {
@@ -184,6 +224,7 @@ type PipelineInfo struct {
 	RefCycles          uint64  `json:"ref_cycles"`
 	LoadUseStallCycles uint64  `json:"load_use_stall_cycles"`
 	WindowStallCycles  uint64  `json:"window_stall_cycles"`
+	MemPortStallCycles uint64  `json:"mem_port_stall_cycles"`
 	FlushBubbleCycles  uint64  `json:"flush_bubble_cycles"`
 	ForwardsEXMEM      uint64  `json:"forwards_ex_mem"`
 	ForwardsMEMWB      uint64  `json:"forwards_mem_wb"`
@@ -310,12 +351,26 @@ type RunOptions struct {
 	// Profile collects the execution-heat table and dynamic opcode
 	// n-grams into RunInfo.Profile / RunInfo.NGrams (RISC targets only).
 	Profile bool
+	// Cores runs the image on a shared-memory machine of this many RISC I
+	// cores (1..MaxCores; 0 means 1). Multi-core runs require the
+	// RISCWindowed target — every other target returns ErrWindowedOnly —
+	// and fill RunInfo.SMP. MaxCycles bounds each core individually.
+	Cores int
 }
 
 // RunImage runs a compiled image to completion on a fresh machine of its
 // target, honoring ctx like BuildAndRunContext. The image is not modified,
 // so concurrent RunImage calls on one Image are safe.
 func RunImage(ctx context.Context, img *Image, opt RunOptions) (*RunInfo, error) {
+	if opt.Cores < 0 || opt.Cores > MaxCores {
+		return nil, ErrBadCores
+	}
+	if opt.Cores > 1 {
+		if img.target != RISCWindowed {
+			return nil, ErrWindowedOnly
+		}
+		return runSMP(ctx, img, opt)
+	}
 	if img.target == CISC {
 		m := cisc.New(cisc.Config{MaxCycles: opt.MaxCycles})
 		if err := m.Load(img.cisc); err != nil {
@@ -363,6 +418,56 @@ func RunImage(ctx context.Context, img *Image, opt RunOptions) (*RunInfo, error)
 		info.Profile = heatProfile(m)
 		info.NGrams = hotNGrams(m)
 	}
+	return info, nil
+}
+
+// runSMP executes a windowed image on the shared-memory multiprocessor.
+func runSMP(ctx context.Context, img *Image, opt RunOptions) (*RunInfo, error) {
+	m, err := smp.New(img.risc, smp.Config{
+		Cores: opt.Cores,
+		Core: core.Config{
+			SaveStackBytes: 64 << 10,
+			MaxCycles:      opt.MaxCycles,
+			Engine:         opt.Engine,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(ctx); err != nil {
+		return nil, err
+	}
+	leader := m.Core(0)
+	info := riscInfo(leader, len(img.risc.Bytes))
+	if opt.Profile {
+		info.Profile = heatProfile(leader)
+		info.NGrams = hotNGrams(leader)
+	}
+	perCore := m.CoreStats()
+	si := &SMPInfo{
+		Cores:            m.Cores(),
+		ElapsedCycles:    m.Elapsed(),
+		ContentionCycles: m.ContentionCycles(),
+		Rounds:           m.Rounds(),
+		Spawns:           m.Spawns(),
+		SpawnFails:       m.SpawnFails(),
+		PerCore:          perCore,
+	}
+	// Aggregate the whole machine into the headline fields: total
+	// retirements and traffic, makespan cycles.
+	info.Instructions, info.DataReadBytes, info.DataWriteBytes = 0, 0, 0
+	info.FetchBytes, info.Calls = 0, 0
+	for i, cs := range perCore {
+		info.Instructions += cs.Instructions
+		info.DataReadBytes += cs.DataReadBytes
+		info.DataWriteBytes += cs.DataWriteBytes
+		cst := m.Core(i).Stats()
+		info.FetchBytes += cst.FetchBytes
+		info.Calls += cst.Calls
+	}
+	info.Cycles = si.ElapsedCycles
+	info.Time = timing.RiscTime(si.ElapsedCycles)
+	info.SMP = si
 	return info, nil
 }
 
@@ -429,6 +534,7 @@ func pipelineInfo(r pipeline.Result, refCycles uint64) *PipelineInfo {
 		RefCycles:          refCycles,
 		LoadUseStallCycles: r.LoadUseStallCycles,
 		WindowStallCycles:  r.WindowStallCycles,
+		MemPortStallCycles: r.MemPortStallCycles,
 		FlushBubbleCycles:  r.FlushBubbleCycles,
 		ForwardsEXMEM:      r.ForwardsEXMEM,
 		ForwardsMEMWB:      r.ForwardsMEMWB,
@@ -685,10 +791,11 @@ func BenchmarkSource(name string) (string, bool) {
 	return b.Source, ok
 }
 
-// ExperimentIDs lists the paper's tables and figures in order. E10 and E11
-// are this repository's extensions: the analytical pipeline-organization
-// ablation behind the delayed-jump design decision, and its cycle-accurate
-// measurement on the five-stage pipeline model.
+// ExperimentIDs lists the paper's tables and figures in order. E10, E11 and
+// E12 are this repository's extensions: the analytical pipeline-organization
+// ablation behind the delayed-jump design decision, its cycle-accurate
+// measurement on the five-stage pipeline model, and the shared-memory SMP
+// scalability sweep.
 func ExperimentIDs() []string { return exp.IDs() }
 
 // Lab caches benchmark runs across experiments: many experiments share
@@ -702,7 +809,7 @@ type Lab struct {
 func NewLab() *Lab { return &Lab{l: exp.NewLab()} }
 
 // Experiment runs one reproduction experiment and returns its rendered
-// table(s). IDs are E1..E11; see DESIGN.md for the experiment index.
+// table(s). IDs are E1..E12; see DESIGN.md for the experiment index.
 func Experiment(id string) (string, error) {
 	return NewLab().Experiment(id)
 }

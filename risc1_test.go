@@ -1,6 +1,8 @@
 package risc1_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -128,8 +130,8 @@ func TestExperimentDispatch(t *testing.T) {
 	if _, err := risc1.Experiment("E99"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(risc1.ExperimentIDs()) != 11 {
-		t.Error("expected 11 experiments")
+	if len(risc1.ExperimentIDs()) != 12 {
+		t.Error("expected 12 experiments")
 	}
 }
 
@@ -139,5 +141,66 @@ func TestCompileErrorSurface(t *testing.T) {
 	}
 	if err := risc1.NewMachine(risc1.MachineConfig{}).LoadAssembly("frob r1"); err == nil {
 		t.Error("bad assembly loaded")
+	}
+}
+
+// parallelSrc spawns one worker; 0+1+2 = 3 under any interleaving thanks to
+// the spinlock.
+const parallelSrc = `
+int total;
+void worker(int k) {
+    lock(0);
+    total += k + 1;
+    unlock(0);
+}
+int main() {
+    int h;
+    h = spawn(worker, 1);
+    worker(0);
+    join(h);
+    putint(total);
+    return 0;
+}`
+
+func TestRunImageSMP(t *testing.T) {
+	img, err := risc1.CompileToImage(parallelSrc, risc1.RISCWindowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := risc1.RunImage(context.Background(), img, risc1.RunOptions{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Console != "3" {
+		t.Errorf("console %q, want 3", info.Console)
+	}
+	if info.SMP == nil || info.SMP.Cores != 2 || info.SMP.Spawns != 1 {
+		t.Fatalf("SMP = %+v, want 2 cores / 1 spawn", info.SMP)
+	}
+	if len(info.SMP.PerCore) != 2 || info.SMP.PerCore[1].Instructions == 0 {
+		t.Errorf("per-core stats %+v: worker core retired nothing", info.SMP.PerCore)
+	}
+
+	// Cores <= 1 keeps the single-core path: no SMP section at all.
+	info, err = risc1.RunImage(context.Background(), img, risc1.RunOptions{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SMP != nil {
+		t.Errorf("single-core run grew an SMP section: %+v", info.SMP)
+	}
+
+	if _, err := risc1.RunImage(context.Background(), img, risc1.RunOptions{Cores: risc1.MaxCores + 1}); !errors.Is(err, risc1.ErrBadCores) {
+		t.Errorf("over-limit cores: %v, want ErrBadCores", err)
+	}
+	if _, err := risc1.RunImage(context.Background(), img, risc1.RunOptions{Cores: -1}); !errors.Is(err, risc1.ErrBadCores) {
+		t.Errorf("negative cores: %v, want ErrBadCores", err)
+	}
+	flat, err := risc1.CompileToImage("int main() { putint(1); return 0; }", risc1.RISCFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := risc1.RunImage(context.Background(), flat, risc1.RunOptions{Cores: 2}); !errors.Is(err, risc1.ErrWindowedOnly) {
+		t.Errorf("flat multi-core: %v, want ErrWindowedOnly", err)
 	}
 }
