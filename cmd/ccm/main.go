@@ -50,7 +50,7 @@ func main() {
 	}
 	fmt.Print(out)
 	if *lintFlag {
-		diags, err := risc1.LintCm(string(src), t)
+		diags, err := risc1.LintCm(string(src), t, risc1.LintOptions{})
 		if err != nil {
 			fatal(err)
 		}

@@ -6,13 +6,16 @@
 //
 // Usage:
 //
-//	risclint [-target windowed|flat|cisc|pipelined] [-lang cm|asm] [-json] [-Werror] file...
+//	risclint [-target windowed|flat|cisc|pipelined|smp] [-lang cm|asm] [-json] [-Werror] file...
 //
 // Cm sources are compiled for the target first; assembly sources are
-// assembled. With -json the findings are printed as one JSON array of
-// {file, diagnostics} objects. The exit status is 1 when any file has an
-// error-severity finding (with -Werror, warnings too), 2 when a file cannot
-// be read, compiled, or assembled.
+// assembled. -target smp lints under the windowed convention with the
+// concurrency passes (smp-race, smp-lock, smp-spawn) forced on — the
+// right target for programs that spawn workers or take locks. With -json
+// the findings are printed as one JSON array of {file, diagnostics}
+// objects. The exit status is 1 when any file has an error-severity
+// finding (with -Werror, warnings too), 2 when a file cannot be read,
+// compiled, or assembled.
 package main
 
 import (
@@ -27,16 +30,16 @@ import (
 )
 
 func main() {
-	target := flag.String("target", "windowed", "machine convention: windowed, flat, cisc or pipelined")
+	target := flag.String("target", "windowed", "machine convention: windowed, flat, cisc, pipelined or smp")
 	lang := flag.String("lang", "", "source language: cm or asm (default: by extension)")
 	asJSON := flag.Bool("json", false, "print findings as JSON")
 	werror := flag.Bool("Werror", false, "treat warnings as fatal")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: risclint [-target windowed|flat|cisc] [-lang cm|asm] [-json] [-Werror] file...")
+		fmt.Fprintln(os.Stderr, "usage: risclint [-target windowed|flat|cisc|smp] [-lang cm|asm] [-json] [-Werror] file...")
 		os.Exit(2)
 	}
-	t, err := parseTarget(*target)
+	t, opts, err := parseTarget(*target)
 	if err != nil {
 		fatal(err)
 	}
@@ -59,9 +62,9 @@ func main() {
 		var diags []risc1.Diagnostic
 		switch languageOf(*lang, file, string(src)) {
 		case "cm":
-			diags, err = risc1.LintCm(string(src), t)
+			diags, err = risc1.LintCm(string(src), t, opts)
 		default:
-			diags, err = risc1.LintAssembly(string(src), t)
+			diags, err = risc1.LintAssembly(string(src), t, opts)
 		}
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", file, err))
@@ -119,20 +122,24 @@ func languageOf(flagLang, file, src string) string {
 	return "asm"
 }
 
-func parseTarget(s string) (risc1.Target, error) {
+func parseTarget(s string) (risc1.Target, risc1.LintOptions, error) {
 	switch s {
 	case "windowed", "risc":
-		return risc1.RISCWindowed, nil
+		return risc1.RISCWindowed, risc1.LintOptions{}, nil
 	case "flat":
-		return risc1.RISCFlat, nil
+		return risc1.RISCFlat, risc1.LintOptions{}, nil
 	case "cisc", "cx":
-		return risc1.CISC, nil
+		return risc1.CISC, risc1.LintOptions{}, nil
 	case "pipelined":
 		// Lints under the windowed conventions: the pipeline target runs
 		// the same generated code, only the timing model differs.
-		return risc1.RISCPipelined, nil
+		return risc1.RISCPipelined, risc1.LintOptions{}, nil
+	case "smp":
+		// The windowed convention with the concurrency passes forced on.
+		return risc1.RISCWindowed, risc1.LintOptions{SMP: true}, nil
 	}
-	return 0, fmt.Errorf("unknown target %q (want windowed, flat, cisc or pipelined)", s)
+	return 0, risc1.LintOptions{}, fmt.Errorf(
+		"unknown target %q (want windowed, flat, cisc, pipelined or smp)", s)
 }
 
 func fatal(err error) {

@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	riscrun [-target windowed|flat|cisc|pipelined] [-policy delayed|squash] [-cores N] [-windows N] [-engine E] [-timeout D] [-max-cycles N] [-stats] [-profile F] prog.cm
+//	riscrun [-target windowed|flat|cisc|pipelined] [-policy delayed|squash] [-cores N] [-race] [-windows N] [-engine E] [-timeout D] [-max-cycles N] [-stats] [-profile F] prog.cm
 //	riscrun [-windows N] [-flat] [-engine E] [-timeout D] [-max-cycles N] [-stats] [-profile F] prog.s
+//
+// -race runs the program under the dynamic race detector (windowed target
+// only): any unsynchronized cross-core accesses to shared words are
+// printed to stderr with core, PC and source line, and make the exit
+// status 1. Combine with -cores to exercise real parallelism.
 //
 // -target pipelined runs windowed code on the cycle-accurate five-stage
 // pipeline model; -stats then adds the measured CPI, stall/flush/forward
@@ -79,6 +84,7 @@ func main() {
 		"abort after this many simulated cycles (0 = machine default); riscd enforces the same default budget")
 	engineFlag := flag.String("engine", "auto", "RISC execution engine: auto, block, step or trace")
 	cores := flag.Int("cores", 1, "shared-memory cores for .cm sources (windowed target only)")
+	race := flag.Bool("race", false, "run under the dynamic race detector (windowed .cm sources); races exit 1")
 	profile := flag.String("profile", "", "write the execution-heat profile as JSON to this file (- for stdout)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -111,6 +117,9 @@ func main() {
 	var info *risc1.RunInfo
 	if strings.HasSuffix(path, ".s") && *cores > 1 {
 		fatal(fmt.Errorf("-cores: assembly sources run single-core; use a .cm source: %w", risc1.ErrWindowedOnly))
+	}
+	if strings.HasSuffix(path, ".s") && *race {
+		fatal(fmt.Errorf("-race: assembly sources run single-core; use a .cm source: %w", risc1.ErrWindowedOnly))
 	}
 	if strings.HasSuffix(path, ".s") {
 		m := risc1.NewMachine(risc1.MachineConfig{Windows: *windows, Flat: *flat, MaxCycles: *maxCycles, Engine: engine})
@@ -154,7 +163,7 @@ func main() {
 		}
 		info, err = risc1.RunImage(ctx, img, risc1.RunOptions{
 			MaxCycles: *maxCycles, Engine: engine, Policy: policy,
-			Profile: *profile != "", Cores: *cores,
+			Profile: *profile != "", Cores: *cores, Race: *race,
 		})
 		if err != nil {
 			fatal(err)
@@ -162,6 +171,13 @@ func main() {
 	}
 
 	fmt.Println(info.Console)
+	raced := *race && len(info.Races) > 0
+	if raced {
+		for _, r := range info.Races {
+			fmt.Fprintf(os.Stderr, "riscrun: race: %s\n", r)
+		}
+		fmt.Fprintf(os.Stderr, "riscrun: %d data race(s) detected\n", len(info.Races))
+	}
 	if *profile != "" {
 		if err := writeProfile(*profile, engine, info); err != nil {
 			fatal(err)
@@ -191,6 +207,9 @@ func main() {
 					i, c.Instructions, c.Cycles, c.ContentionCycles, c.DataReadBytes, c.DataWriteBytes)
 			}
 		}
+	}
+	if raced {
+		os.Exit(1)
 	}
 }
 

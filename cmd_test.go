@@ -233,6 +233,80 @@ func TestRisclintCLI(t *testing.T) {
 	}
 }
 
+// TestRisclintSMPTarget drives the concurrency passes from the CLI: -target
+// smp lints Cm for the windowed machine with the SMP passes forced, the racy
+// corpus program is flagged with its Cm source line, and -Werror gates it.
+func TestRisclintSMPTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests compile the tools")
+	}
+	racy := filepath.Join("internal", "lint", "testdata", "smp", "race_counter.cm")
+	out := runTool(t, "./cmd/risclint", "-target", "smp", racy) // warning only: exit 0
+	if !strings.Contains(out, "[smp-race]") {
+		t.Errorf("racy corpus program not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "race_counter.cm:11") {
+		t.Errorf("race not attributed to the Cm statement:\n%s", out)
+	}
+	stdout, _, code := runToolErr(t, "./cmd/risclint", "-target", "smp", "-Werror", racy)
+	if code != 1 {
+		t.Errorf("-Werror on the racy corpus: exit %d, want 1\n%s", code, stdout)
+	}
+
+	// A sequential program lints clean under -target smp: the forced passes
+	// change eagerness, not verdicts.
+	clean := filepath.Join(t.TempDir(), "clean.cm")
+	if err := os.WriteFile(clean, []byte("int main() { putint(42); return 0; }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out := runTool(t, "./cmd/risclint", "-target", "smp", clean); out != "" {
+		t.Errorf("clean program produced output under -target smp:\n%s", out)
+	}
+}
+
+// TestRiscrunRaceFlag drives the dynamic detector from the CLI: the racy
+// corpus program exits 1 with the races on stderr, the clean parallel
+// kernel exits 0 with its real answer, and .s sources are rejected.
+func TestRiscrunRaceFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests compile the tools")
+	}
+	racy := filepath.Join("internal", "lint", "testdata", "smp", "race_counter.cm")
+	_, stderr, code := runToolErr(t, "./cmd/riscrun", "-race", "-cores", "4", racy)
+	if code != 1 {
+		t.Errorf("riscrun -race on the racy corpus: exit %d, want 1\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "data race(s) detected") {
+		t.Errorf("race summary missing from stderr:\n%s", stderr)
+	}
+
+	clean := filepath.Join(t.TempDir(), "clean.cm")
+	src := `
+int g;
+void w(int k) { lock(0); g = g + k; unlock(0); }
+int main() {
+  int h1; int h2;
+  h1 = spawn(w, 1); h2 = spawn(w, 2);
+  join(h1); join(h2);
+  putint(g);
+  return 0;
+}`
+	if err := os.WriteFile(clean, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out := runTool(t, "./cmd/riscrun", "-race", "-cores", "4", clean); out != "3\n" {
+		t.Errorf("clean run under -race printed %q, want \"3\\n\"", out)
+	}
+
+	s := filepath.Join(t.TempDir(), "p.s")
+	if err := os.WriteFile(s, []byte("main: ret r25,#8\n nop\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := runToolErr(t, "./cmd/riscrun", "-race", s); code == 0 {
+		t.Error("riscrun -race accepted a .s source")
+	}
+}
+
 // TestCompilerLintFlags checks the -lint pass-through on ccm and riscasm:
 // ccm surfaces the analyzer's recursion info on stderr without failing the
 // compile, and riscasm fails on an error-severity hazard.

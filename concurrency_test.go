@@ -1,0 +1,208 @@
+package risc1_test
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"risc1"
+	"risc1/internal/core"
+	"risc1/internal/mem"
+	"risc1/internal/prog"
+)
+
+// corpusHeader is one SMP corpus file's contract: what the static analyzer
+// must say, and what a real execution must do.
+type corpusHeader struct {
+	lintPasses []string // expected "pass severity" pairs
+	dyn        string   // race | clean | lockfault | deadlock | skip
+}
+
+func readCorpusHeader(t *testing.T, src string) corpusHeader {
+	t.Helper()
+	var h corpusHeader
+	sc := bufio.NewScanner(strings.NewReader(src))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		line = strings.TrimSpace(strings.TrimPrefix(line, "//"))
+		switch {
+		case strings.HasPrefix(line, ";lint:"):
+			h.lintPasses = append(h.lintPasses,
+				strings.Join(strings.Fields(strings.TrimPrefix(line, ";lint:")), " "))
+		case strings.HasPrefix(line, ";dyn:"):
+			h.dyn = strings.Fields(strings.TrimPrefix(line, ";dyn:"))[0]
+		}
+	}
+	return h
+}
+
+// TestConcurrencyCorpusTwoSided is the hazard side of the two-sided
+// contract, driven through the public facade: every file in the SMP hazard
+// corpus is flagged by the static concurrency passes, and — where the
+// ";dyn:" header says the defect is observable — a real multi-core
+// execution confirms it: the dynamic race detector reports the race, the
+// lock page raises its typed fault, or the deadlock burns the cycle
+// budget.
+func TestConcurrencyCorpusTwoSided(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("internal", "lint", "testdata", "smp", "*"))
+	if err != nil || len(files) < 10 {
+		t.Fatalf("smp hazard corpus too small: %v (%d files)", err, len(files))
+	}
+	raceConfirmed := 0
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			b, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(b)
+			h := readCorpusHeader(t, src)
+			if len(h.lintPasses) == 0 || h.dyn == "" {
+				t.Fatalf("%s lacks ;lint: or ;dyn: headers", file)
+			}
+
+			// Static side.
+			var diags []risc1.Diagnostic
+			isCm := strings.HasSuffix(file, ".cm")
+			if isCm {
+				diags, err = risc1.LintCm(src, risc1.RISCWindowed, risc1.LintOptions{})
+			} else {
+				diags, err = risc1.LintAssembly(src, risc1.RISCWindowed, risc1.LintOptions{})
+			}
+			if err != nil {
+				t.Fatalf("lint: %v", err)
+			}
+			for _, want := range h.lintPasses {
+				found := false
+				for _, d := range diags {
+					if d.Pass+" "+d.Severity.String() == want {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("static side missed %q: got %v", want, diags)
+				}
+			}
+
+			// Dynamic side.
+			if h.dyn == "skip" || !isCm {
+				return
+			}
+			img, err := risc1.CompileToImage(src, risc1.RISCWindowed)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			opt := risc1.RunOptions{Cores: 4, Race: true}
+			if h.dyn == "deadlock" {
+				opt.MaxCycles = 200_000
+			}
+			info, err := risc1.RunImage(context.Background(), img, opt)
+			switch h.dyn {
+			case "race":
+				if err != nil {
+					t.Fatalf("racy program failed to run: %v", err)
+				}
+				if len(info.Races) == 0 {
+					t.Fatal("dynamic side saw no race")
+				}
+				for _, r := range info.Races {
+					if !r.Prev.Write && !r.Curr.Write {
+						t.Errorf("race %v has no write side", r)
+					}
+				}
+				raceConfirmed++
+			case "clean":
+				if err != nil {
+					t.Fatalf("clean program failed to run: %v", err)
+				}
+				if len(info.Races) != 0 {
+					t.Errorf("clean program raced dynamically: %v", info.Races)
+				}
+			case "lockfault":
+				var lf *mem.LockFault
+				if !errors.As(err, &lf) {
+					t.Fatalf("want a lock-page fault, got: %v", err)
+				}
+			case "deadlock":
+				if !errors.Is(err, core.ErrMaxCycles) {
+					t.Fatalf("want the deadlock to exhaust the cycle budget, got: %v", err)
+				}
+			default:
+				t.Fatalf("unknown ;dyn: kind %q", h.dyn)
+			}
+		})
+	}
+	if raceConfirmed < 4 {
+		t.Errorf("only %d corpus races confirmed dynamically; corpus eroded?", raceConfirmed)
+	}
+}
+
+// TestConcurrencyCleanTwoSided is the clean side of the contract: the
+// shipped parallel kernels produce no concurrency findings statically and
+// run race-free on four cores under the dynamic detector — with the right
+// answers. The sequential benchmark suite, linted with the concurrency
+// passes forced on, must also stay silent: forcing changes eagerness, not
+// verdicts.
+func TestConcurrencyCleanTwoSided(t *testing.T) {
+	for _, b := range prog.Parallel() {
+		diags, err := risc1.LintCm(b.Source, risc1.RISCWindowed, risc1.LintOptions{})
+		if err != nil {
+			t.Fatalf("%s: lint: %v", b.Name, err)
+		}
+		for _, d := range diags {
+			if d.Severity >= risc1.SevWarning {
+				t.Errorf("%s: parallel kernel linted dirty: %s", b.Name, d)
+			}
+		}
+
+		img, err := risc1.CompileToImage(b.Source, risc1.RISCWindowed)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", b.Name, err)
+		}
+		info, err := risc1.RunImage(context.Background(), img,
+			risc1.RunOptions{Cores: 4, Race: true})
+		if err != nil {
+			t.Fatalf("%s on 4 cores under race mode: %v", b.Name, err)
+		}
+		if len(info.Races) != 0 {
+			t.Errorf("%s: clean kernel raced: %v", b.Name, info.Races)
+		}
+		if want := prog.Expected(b.Name); info.Console != want {
+			t.Errorf("%s under race mode: console %q, want %q", b.Name, info.Console, want)
+		}
+	}
+
+	for _, name := range risc1.BenchmarkNames() {
+		src, ok := risc1.BenchmarkSource(name)
+		if !ok {
+			t.Fatalf("benchmark %q has no source", name)
+		}
+		diags, err := risc1.LintCm(src, risc1.RISCWindowed, risc1.LintOptions{SMP: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, d := range diags {
+			if d.Severity >= risc1.SevWarning {
+				t.Errorf("%s: forced concurrency passes found noise: %s", name, d)
+			}
+		}
+	}
+}
+
+// TestRaceRunRequiresWindowed pins the facade contract: the dynamic
+// detector rides the shared-memory machine, which is windowed-only.
+func TestRaceRunRequiresWindowed(t *testing.T) {
+	img, err := risc1.CompileToImage("int main() { putint(1); return 0; }", risc1.RISCFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = risc1.RunImage(context.Background(), img, risc1.RunOptions{Race: true})
+	if !errors.Is(err, risc1.ErrWindowedOnly) {
+		t.Fatalf("flat + race = %v, want ErrWindowedOnly", err)
+	}
+}

@@ -138,7 +138,12 @@ type operand2 struct {
 // item is anything that occupies space in the image.
 type item struct {
 	line int
-	addr uint32
+	// srcLine, when nonzero, overrides line in the image's line table: a
+	// ";@line N" marker redirected attribution to an originating source
+	// line (the Cm compiler stamps its output this way). Diagnostics about
+	// the assembly text itself still use line.
+	srcLine int
+	addr    uint32
 	// one of:
 	inst  *protoInst
 	data  []byte // literal bytes (.byte/.half/.word with numeric values)
@@ -179,6 +184,9 @@ type assembler struct {
 	pc        uint32
 	errs      ErrorList
 	line      int
+	// srcLine carries the current text line's ";@line N" marker (0 = none)
+	// into the items it emits.
+	srcLine int
 }
 
 // Assemble runs both passes over src and returns the linked image.
@@ -213,8 +221,10 @@ func (a *assembler) errorf(format string, args ...any) {
 func (a *assembler) parse(src string) {
 	for n, raw := range strings.Split(src, "\n") {
 		a.line = n + 1
+		a.srcLine = 0
 		line := raw
 		if i := indexOutsideQuotes(line, ";"); i >= 0 {
+			a.srcLine = parseLineMarker(line[i+1:])
 			line = line[:i]
 		}
 		// Strip comments beginning with "//" too, but not inside quotes.
@@ -252,8 +262,24 @@ func (a *assembler) defineLabel(name string) {
 	a.symbols[name] = a.pc
 }
 
+// parseLineMarker recognizes the "@line N" attribution marker in a comment
+// and returns N, or 0 when the comment is ordinary prose.
+func parseLineMarker(comment string) int {
+	s := strings.TrimSpace(comment)
+	if !strings.HasPrefix(s, "@line") {
+		return 0
+	}
+	s = strings.TrimSpace(s[len("@line"):])
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n
+}
+
 func (a *assembler) add(it item) {
 	it.line = a.line
+	it.srcLine = a.srcLine
 	it.addr = a.pc
 	switch {
 	case it.inst != nil:

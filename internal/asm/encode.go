@@ -44,7 +44,11 @@ func (a *assembler) encode() (*Image, error) {
 	for _, it := range a.items {
 		off := it.addr - a.org
 		if size := a.itemSize(it); size > 0 {
-			img.Lines = append(img.Lines, LineSpan{Addr: it.addr, Size: size, Line: it.line})
+			ln := it.line
+			if it.srcLine > 0 {
+				ln = it.srcLine
+			}
+			img.Lines = append(img.Lines, LineSpan{Addr: it.addr, Size: size, Line: ln})
 		}
 		switch {
 		case it.inst != nil:

@@ -134,19 +134,24 @@ type DeclStmt struct {
 }
 
 // ExprStmt evaluates an expression for effect.
-type ExprStmt struct{ X Expr }
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
 
 // IfStmt is if/else.
 type IfStmt struct {
 	Cond Expr
 	Then Stmt
 	Else Stmt // nil if absent
+	Line int
 }
 
 // WhileStmt is a while loop.
 type WhileStmt struct {
 	Cond Expr
 	Body Stmt
+	Line int
 }
 
 // ForStmt is a for loop; any of Init/Cond/Post may be nil.
@@ -155,6 +160,7 @@ type ForStmt struct {
 	Cond Expr
 	Post Expr
 	Body Stmt
+	Line int
 }
 
 // ReturnStmt returns from the enclosing function.

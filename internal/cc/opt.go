@@ -23,9 +23,14 @@ func OptimizeDelaySlots(src string) (string, int) {
 	lines := strings.Split(src, "\n")
 	filled := 0
 	for i := 0; i+2 < len(lines); i++ {
-		x := strings.TrimSpace(lines[i])
-		b := strings.TrimSpace(lines[i+1])
-		nop := strings.TrimSpace(lines[i+2])
+		// Classify on comment-stripped text: the compiler stamps ";@line"
+		// attribution markers on its instructions, and those must neither
+		// defeat the pattern match nor confuse the register extraction.
+		// The swap below moves the raw lines, so a marker travels with
+		// its instruction into the slot.
+		x := stripComment(lines[i])
+		b := stripComment(lines[i+1])
+		nop := stripComment(lines[i+2])
 		if nop != "nop" || !isBranch(b) || !movable(x) {
 			continue
 		}
@@ -40,6 +45,16 @@ func OptimizeDelaySlots(src string) (string, int) {
 		i++ // skip past the branch+slot we just built
 	}
 	return strings.Join(lines, "\n"), filled
+}
+
+// stripComment drops a trailing ";" comment and surrounding space. The
+// generator never emits ";" inside a quoted string on an instruction line,
+// so a plain byte scan suffices here.
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
 }
 
 func mnemonicOf(line string) string {

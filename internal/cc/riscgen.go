@@ -103,12 +103,22 @@ type riscGen struct {
 	usesMul, usesDiv, usesMod bool
 
 	usesSpawn, usesJoin, usesLock, usesUnlock bool
+
+	// curLine is the Cm source line the statement generator is currently
+	// lowering; emit stamps it on each instruction as a ";@line N" marker
+	// that the assembler folds into the image's line table. Zero (runtime
+	// helpers, prologue glue) leaves attribution on the assembly text.
+	curLine int
 }
 
 type tref int
 
 func (g *riscGen) emit(format string, args ...any) {
-	g.body = append(g.body, "\t"+fmt.Sprintf(format, args...))
+	s := "\t" + fmt.Sprintf(format, args...)
+	if g.curLine > 0 {
+		s += fmt.Sprintf(" ;@line %d", g.curLine)
+	}
+	g.body = append(g.body, s)
 }
 
 func (g *riscGen) label(l string) { g.body = append(g.body, l+":") }
@@ -171,6 +181,7 @@ func errorAt(line int, format string, args ...any) error {
 func (g *riscGen) genFunc(fn *FuncDecl) error {
 	g.fn = fn
 	g.body = nil
+	g.curLine = fn.Line
 	g.localReg = map[*VarDecl]uint8{}
 	g.localOff = map[*VarDecl]int{}
 	g.memBytes = 0

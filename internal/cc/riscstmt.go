@@ -14,6 +14,9 @@ func (g *riscGen) genBlock(b *Block) error {
 }
 
 func (g *riscGen) genStmt(s Stmt) error {
+	if ln := stmtLine(s); ln > 0 {
+		g.curLine = ln
+	}
 	switch st := s.(type) {
 	case *Block:
 		return g.genBlock(st)
@@ -45,6 +48,7 @@ func (g *riscGen) genStmt(s Stmt) error {
 			return err
 		}
 		if st.Else != nil {
+			g.curLine = st.Line
 			g.emit("b %s", endL)
 			g.emit("nop")
 			g.label(elseL)
@@ -69,6 +73,7 @@ func (g *riscGen) genStmt(s Stmt) error {
 		if err != nil {
 			return err
 		}
+		g.curLine = st.Line
 		g.emit("b %s", top)
 		g.emit("nop")
 		g.label(end)
@@ -97,6 +102,7 @@ func (g *riscGen) genStmt(s Stmt) error {
 			return err
 		}
 		g.label(post)
+		g.curLine = st.Line
 		if st.Post != nil {
 			t, err := g.genExpr(st.Post)
 			if err != nil {
@@ -136,6 +142,29 @@ func (g *riscGen) genStmt(s Stmt) error {
 		return nil
 	}
 	return errorAt(0, "unknown statement %T", s)
+}
+
+// stmtLine is the source line a statement began on, 0 when unrecorded.
+func stmtLine(s Stmt) int {
+	switch st := s.(type) {
+	case *DeclStmt:
+		return st.Var.Line
+	case *ExprStmt:
+		return st.Line
+	case *IfStmt:
+		return st.Line
+	case *WhileStmt:
+		return st.Line
+	case *ForStmt:
+		return st.Line
+	case *ReturnStmt:
+		return st.Line
+	case *BreakStmt:
+		return st.Line
+	case *ContinueStmt:
+		return st.Line
+	}
+	return 0
 }
 
 // ---------- conditions ----------

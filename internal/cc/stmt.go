@@ -49,7 +49,27 @@ func (p *parser) block() (*Block, error) {
 	return b, nil
 }
 
+// statement parses one statement and stamps it with the source line it
+// began on, so the back ends can attribute the code they emit.
 func (p *parser) statement() (Stmt, error) {
+	line := p.line()
+	s, err := p.bareStatement()
+	if s != nil {
+		switch st := s.(type) {
+		case *ExprStmt:
+			st.Line = line
+		case *IfStmt:
+			st.Line = line
+		case *WhileStmt:
+			st.Line = line
+		case *ForStmt:
+			st.Line = line
+		}
+	}
+	return s, err
+}
+
+func (p *parser) bareStatement() (Stmt, error) {
 	switch {
 	case p.is("{"):
 		return p.block()

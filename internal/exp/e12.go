@@ -117,6 +117,25 @@ func E12SMPScalability(_ *Lab) (*E12Result, error) {
 				report.Num(cell.TrafficBytes),
 				report.Num(cell.Spawns))
 		}
+		// Validation: the widest machine re-runs under the dynamic race
+		// detector, so the table only ever describes executions that were
+		// also checked race-free. (The detector forces the step engine; its
+		// timings are not comparable, so this run is not measured.)
+		widest := E12CoreCounts[len(E12CoreCounts)-1]
+		rm, err := smp.New(img, smp.Config{
+			Cores: widest,
+			Core:  core.Config{SaveStackBytes: 64 << 10},
+			Race:  true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E12: %s race check: %w", b.Name, err)
+		}
+		if err := rm.Run(context.Background()); err != nil {
+			return nil, fmt.Errorf("E12: %s race check on %d cores: %w", b.Name, widest, err)
+		}
+		if races := rm.Races(); len(races) != 0 {
+			return nil, fmt.Errorf("E12: %s on %d cores is racy: %v", b.Name, widest, races)
+		}
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil

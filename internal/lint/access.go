@@ -70,11 +70,12 @@ func (p *program) checkFallsOffEnd() {
 }
 
 // checkMemAccess examines loads and stores whose effective address is fully
-// constant — the (r0)#imm idiom. Negative immediates reach the console
-// device at the top of the address space and are fine; anything else must
-// fall inside the loaded image, and word/halfword accesses must be aligned.
-// Register-based addressing (the common case: gp- and sp-relative) is not
-// statically evaluable and is left to the runtime's fault checks.
+// constant — the (r0)#imm idiom. Negative immediates reach the device
+// window at the top of the address space — the SMP lock and control pages
+// and the console — and are fine; anything else must fall inside the
+// loaded image, and word/halfword accesses must be aligned. Register-based
+// addressing (the common case: gp- and sp-relative) is not statically
+// evaluable and is left to the runtime's fault checks.
 func (p *program) checkMemAccess() {
 	for i := 0; i < p.n; i++ {
 		if !p.executed(i) || !p.ok[i] {
@@ -89,10 +90,10 @@ func (p *program) checkMemAccess() {
 			continue
 		}
 		a := uint32(in.Imm13) // sign-extension wraps negatives to the top of memory
-		if a < mem.ConsoleBase {
+		if a < mem.LockBase {
 			if a < p.org || a >= p.imgEnd {
 				p.reportAt(SevWarning, "mem-access", i,
-					"constant address 0x%08x lies outside the loaded image [0x%08x,0x%08x) and the console device",
+					"constant address 0x%08x lies outside the loaded image [0x%08x,0x%08x) and the device window",
 					a, p.org, p.imgEnd)
 			}
 		}

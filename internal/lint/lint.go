@@ -21,6 +21,15 @@
 //   - unreachable: decodable, unlabeled code that no path reaches but that
 //     directly follows reachable code.
 //   - cfg: control that can run past the end of the code segment.
+//   - smp-race, smp-lock, smp-spawn: the concurrency suite for programs
+//     that use the shared-memory machine's device pages — static lockset
+//     race detection over spawned-worker code, lock discipline
+//     (self-deadlock, release-without-hold, lock-order inversion), and
+//     spawn/join plumbing. These engage automatically when an image visibly
+//     uses the SMP runtime or device pages, and can be forced with
+//     Options.SMP; see concurrency.go for the model and its deliberate
+//     static limits, and internal/smp's dynamic race detector for the
+//     other half of the contract.
 //
 // The passes are tuned to be warning-free on the output of the Cm compiler
 // and on the repository's hand-written examples: anything the code
@@ -125,6 +134,11 @@ type Options struct {
 	// Windows is the register-window count used for spill predictions
 	// (0 = regwin.DefaultWindows, the paper's 8).
 	Windows int
+	// SMP forces the concurrency passes (smp-race, smp-lock, smp-spawn)
+	// on. They engage automatically when the image contains SMP operations
+	// — runtime calls or device-page accesses — so the flag only matters
+	// for declaring intent on images that should have them.
+	SMP bool
 }
 
 // Check analyzes an assembled RISC I image and returns its findings sorted
@@ -144,6 +158,7 @@ func Check(img *asm.Image, opts Options) []Diagnostic {
 	p.checkWindows()
 	p.checkUseBeforeDef()
 	p.checkUnreachable()
+	p.checkConcurrency()
 	sortDiags(p.diags)
 	return p.diags
 }

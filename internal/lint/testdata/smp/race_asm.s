@@ -1,0 +1,28 @@
+;lint: smp-race warning
+;dyn: skip
+; Two workers spawned through the raw device page both read-modify-write a
+; shared word with no lock anywhere — the canonical race, in the
+; assembler's own idiom. The spawn is the store to SPAWNFN (0xFFFFFE0C,
+; (r0)#-500); the argument staging store goes to SPAWNARG ((r0)#-504).
+main:
+	la w,r1
+	stl r1,(r0)#-504	; stage arg (the worker ignores it)
+	stl r1,(r0)#-500	; spawn worker #1
+	ldl (r0)#-500,r2	; handle
+	la w,r1
+	stl r1,(r0)#-504
+	stl r1,(r0)#-500	; spawn worker #2
+	ldl (r0)#-500,r3
+.Lpark:
+	jmpr alw,.Lpark		; static-only corpus entry: never joined, never run
+	nop
+w:
+	la g,r16
+	ldl (r16)#0,r17
+	add r17,#1,r17
+	stl r17,(r16)#0		; unguarded RMW of the shared word
+.Lwpark:
+	jmpr alw,.Lwpark
+	nop
+g:
+	.word 0

@@ -1,0 +1,19 @@
+;lint: smp-spawn warning
+;dyn: skip
+; A spawn fired from a delay slot: the store to SPAWNFN sits in the slot
+; of the taken jump, so the handle read after the transfer lands somewhere
+; the in-flight jump already decided — the reader can be skipped.
+main:
+	la w,r1
+	stl r1,(r0)#-504	; stage arg
+	jmpr alw,.Lnext
+	stl r1,(r0)#-500	; spawn fires while the jump is in flight
+.Lnext:
+	ldl (r0)#-500,r2	; handle read the transfer can bypass
+.Lpark:
+	jmpr alw,.Lpark
+	nop
+w:
+.Lwpark:
+	jmpr alw,.Lwpark
+	nop

@@ -1,0 +1,8 @@
+;lint: smp-lock warning
+;dyn: skip
+; A direct store of 0 to lock word 0 ((r0)#-768 = 0xFFFFFD00) with no
+; acquire on any path to it: a runtime fault on this machine's lock page.
+main:
+	stl r0,(r0)#-768
+	ret r25,#8
+	nop

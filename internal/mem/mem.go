@@ -161,6 +161,10 @@ type Memory struct {
 	// fault, when non-nil, injects failures per its plan.
 	fault *FaultPlan
 
+	// obs, when non-nil, observes completed data accesses and lock-page
+	// transitions (see AccessObserver). The race detector installs one.
+	obs AccessObserver
+
 	// locks backs the test-and-set lock page; smp, when non-nil, backs the
 	// SMP control page (see smpdev.go).
 	locks [LockCount]uint32
@@ -204,6 +208,28 @@ func (m *Memory) consoleAppend(s string) {
 	m.console.WriteString(s)
 }
 
+// AccessObserver receives completed data accesses to RAM plus the
+// synchronization events the SMP device pages expose. Observers see only
+// accesses that succeed (faulting accesses never happened architecturally)
+// and only RAM traffic — console and device-page words are not memory in
+// the data-race sense. The race detector in internal/smp implements this.
+type AccessObserver interface {
+	// ObserveLoad runs after a successful data load of size bytes at addr.
+	ObserveLoad(addr uint32, size int)
+	// ObserveStore runs after a successful data store of size bytes at addr.
+	ObserveStore(addr uint32, size int)
+	// ObserveLock runs when lock word idx transitions: acquired reports a
+	// 0→held transition (test-and-set load that returned 0, or a direct
+	// nonzero store), !acquired a held→0 release.
+	ObserveLock(idx int, acquired bool)
+	// ObserveJoinDone runs when a join-page load for handle h returns 0,
+	// i.e. the polling core has observed the worker's completion.
+	ObserveJoinDone(h uint32)
+}
+
+// SetObserver installs (or, with nil, removes) the access observer.
+func (m *Memory) SetObserver(o AccessObserver) { m.obs = o }
+
 // ResetCounters zeroes the traffic counters without touching RAM contents.
 func (m *Memory) ResetCounters() { m.Reads, m.Writes = 0, 0 }
 
@@ -246,6 +272,9 @@ func (m *Memory) Load8(addr uint32) (uint8, error) {
 		return 0, err
 	}
 	m.Reads++
+	if m.obs != nil {
+		m.obs.ObserveLoad(addr, 1)
+	}
 	return m.ram[addr], nil
 }
 
@@ -262,6 +291,9 @@ func (m *Memory) Load16(addr uint32) (uint16, error) {
 		return 0, err
 	}
 	m.Reads += 2
+	if m.obs != nil {
+		m.obs.ObserveLoad(addr, 2)
+	}
 	return uint16(m.ram[addr])<<8 | uint16(m.ram[addr+1]), nil
 }
 
@@ -281,6 +313,9 @@ func (m *Memory) Load32(addr uint32) (uint32, error) {
 		return 0, err
 	}
 	m.Reads += 4
+	if m.obs != nil {
+		m.obs.ObserveLoad(addr, 4)
+	}
 	return uint32(m.ram[addr])<<24 | uint32(m.ram[addr+1])<<16 |
 		uint32(m.ram[addr+2])<<8 | uint32(m.ram[addr+3]), nil
 }
@@ -324,6 +359,9 @@ func (m *Memory) Store8(addr uint32, v uint8) error {
 	m.Writes++
 	m.ram[addr] = v
 	m.notifyWrite(addr, 1)
+	if m.obs != nil {
+		m.obs.ObserveStore(addr, 1)
+	}
 	return nil
 }
 
@@ -342,6 +380,9 @@ func (m *Memory) Store16(addr uint32, v uint16) error {
 	m.ram[addr] = uint8(v >> 8)
 	m.ram[addr+1] = uint8(v)
 	m.notifyWrite(addr, 2)
+	if m.obs != nil {
+		m.obs.ObserveStore(addr, 2)
+	}
 	return nil
 }
 
@@ -365,6 +406,9 @@ func (m *Memory) Store32(addr uint32, v uint32) error {
 	m.ram[addr+2] = uint8(v >> 8)
 	m.ram[addr+3] = uint8(v)
 	m.notifyWrite(addr, 4)
+	if m.obs != nil {
+		m.obs.ObserveStore(addr, 4)
+	}
 	return nil
 }
 

@@ -1,13 +1,17 @@
 package mem
 
+import "fmt"
+
 // SMP device pages. Two 256-byte pages sit just below the console device:
 //
 //	0xFFFF_FD00  lock page: 64 test-and-set words. A 32-bit load returns the
 //	             word's previous value and atomically sets it to 1; a 32-bit
-//	             store writes the word (store 0 to release). Atomicity comes
-//	             for free from the SMP scheduler: cores interleave only at
-//	             instruction boundaries, and the load's read-modify-write is
-//	             one instruction.
+//	             store writes the word (store 0 to release). Releasing a lock
+//	             that is not held is a defined fault: the store errors with a
+//	             *LockFault, which the CPUs surface like any memory fault.
+//	             Atomicity comes for free from the SMP scheduler: cores
+//	             interleave only at instruction boundaries, and the load's
+//	             read-modify-write is one instruction.
 //	0xFFFF_FE00  control page: core identity and the spawn/join mailbox,
 //	             backed by an SMPController (the smp scheduler). Without a
 //	             controller the page degrades gracefully to single-core
@@ -53,6 +57,20 @@ type SMPController interface {
 // control page for the core about to access this memory view.
 func (m *Memory) SetSMP(c SMPController) { m.smp = c }
 
+// LockFault reports a release (store of 0) to a lock-page word that was not
+// held. Silently accepting such a store would let a buggy guest "unlock" a
+// lock it never took — and mask the double-release bugs the concurrency
+// lint hunts — so the bus makes it a hard fault instead.
+type LockFault struct {
+	Addr uint32 // faulting device address
+	Lock int    // lock index within the page
+}
+
+func (f *LockFault) Error() string {
+	return fmt.Sprintf("mem: release of lock %d at %#08x, which is not held",
+		f.Lock, f.Addr)
+}
+
 // inDevicePages reports whether addr falls in the SMP device window.
 func (m *Memory) inDevicePages(addr uint32) bool {
 	return addr >= LockBase && addr < ConsoleBase
@@ -64,6 +82,9 @@ func (m *Memory) deviceLoad32(addr uint32) (uint32, error) {
 		i := (addr - LockBase) / 4
 		old := m.locks[i]
 		m.locks[i] = 1
+		if old == 0 && m.obs != nil {
+			m.obs.ObserveLock(int(i), true)
+		}
 		return old, nil
 	}
 	switch addr {
@@ -87,7 +108,12 @@ func (m *Memory) deviceLoad32(addr uint32) (uint32, error) {
 		if m.smp == nil {
 			return 0, nil
 		}
-		return m.smp.Running((addr - SMPJoinBase) / 4), nil
+		h := (addr - SMPJoinBase) / 4
+		r := m.smp.Running(h)
+		if r == 0 && m.obs != nil {
+			m.obs.ObserveJoinDone(h)
+		}
+		return r, nil
 	}
 	// Undefined device words read as zero, like a real bus with no card.
 	return 0, nil
@@ -96,7 +122,19 @@ func (m *Memory) deviceLoad32(addr uint32) (uint32, error) {
 func (m *Memory) deviceStore32(addr, v uint32) error {
 	m.Writes += 4
 	if addr >= LockBase && addr < LockBase+4*LockCount {
-		m.locks[(addr-LockBase)/4] = v
+		i := (addr - LockBase) / 4
+		old := m.locks[i]
+		if v == 0 && old == 0 {
+			return &LockFault{Addr: addr, Lock: int(i)}
+		}
+		m.locks[i] = v
+		if m.obs != nil {
+			if v == 0 {
+				m.obs.ObserveLock(int(i), false)
+			} else if old == 0 {
+				m.obs.ObserveLock(int(i), true)
+			}
+		}
 		return nil
 	}
 	switch addr {

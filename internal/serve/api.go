@@ -41,6 +41,10 @@ type RunRequest struct {
 	// cores (0 or 1 = single-core). Requires the "windowed" target and must
 	// not exceed the server's core ceiling; violations are 400s.
 	Cores int `json:"cores,omitempty"`
+	// Race runs the program under the dynamic race detector. Requires the
+	// "windowed" target (the run routes through the shared-memory machine
+	// even at one core); observed races come back in RunResponse.Races.
+	Race bool `json:"race,omitempty"`
 }
 
 // RunResponse is the body of a successful POST /v1/run.
@@ -64,9 +68,15 @@ type RunResponse struct {
 	// SMP carries the shared-memory machine's breakdown — makespan,
 	// contention charges, per-core stats. Present only when Cores > 1.
 	SMP *risc1.SMPInfo `json:"smp,omitempty"`
+	// Races lists the data races the dynamic detector observed. Present
+	// only when the request set Race; an empty list on such a run means
+	// the execution was race-free.
+	Races []risc1.Race `json:"races,omitempty"`
 }
 
-// LintRequest is the body of POST /v1/lint.
+// LintRequest is the body of POST /v1/lint. Target additionally accepts
+// "smp": the windowed convention with the concurrency passes (smp-race,
+// smp-lock, smp-spawn) forced on.
 type LintRequest struct {
 	Source string `json:"source"`
 	Lang   string `json:"lang,omitempty"`

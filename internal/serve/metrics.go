@@ -55,6 +55,11 @@ type metrics struct {
 	smpRuns       uint64
 	smpCores      uint64
 	smpContention uint64
+
+	// Dynamic race-detector counters: /v1/run simulations that asked for
+	// the detector, and the data races it reported across all of them.
+	raceRuns  uint64
+	raceFound uint64
 }
 
 func newMetrics() *metrics {
@@ -152,6 +157,15 @@ func (m *metrics) addSMPStats(si *risc1.SMPInfo) {
 	m.smpRuns++
 	m.smpCores += uint64(si.Cores)
 	m.smpContention += si.ContentionCycles
+	m.mu.Unlock()
+}
+
+// addRaceStats counts one race-detector run and its findings. Call it only
+// for runs that requested the detector.
+func (m *metrics) addRaceStats(races int) {
+	m.mu.Lock()
+	m.raceRuns++
+	m.raceFound += uint64(races)
 	m.mu.Unlock()
 }
 
@@ -280,6 +294,14 @@ func (m *metrics) render(g gauges) string {
 	b.WriteString("# HELP riscd_smp_contention_cycles_total Interconnect-arbitration cycles charged by the contention model.\n")
 	b.WriteString("# TYPE riscd_smp_contention_cycles_total counter\n")
 	fmt.Fprintf(&b, "riscd_smp_contention_cycles_total %d\n", m.smpContention)
+
+	b.WriteString("# HELP riscd_race_runs_total /v1/run simulations under the dynamic race detector.\n")
+	b.WriteString("# TYPE riscd_race_runs_total counter\n")
+	fmt.Fprintf(&b, "riscd_race_runs_total %d\n", m.raceRuns)
+
+	b.WriteString("# HELP riscd_races_found_total Data races reported by the dynamic detector across all runs.\n")
+	b.WriteString("# TYPE riscd_races_found_total counter\n")
+	fmt.Fprintf(&b, "riscd_races_found_total %d\n", m.raceFound)
 
 	b.WriteString("# HELP riscd_lint_findings_total Static-analyzer findings reported by /v1/lint, by severity.\n")
 	b.WriteString("# TYPE riscd_lint_findings_total counter\n")

@@ -329,6 +329,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("cores %d on target %q: %v", req.Cores, req.Target, risc1.ErrWindowedOnly))
 		return
 	}
+	if req.Race && target != risc1.RISCWindowed {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("race detection on target %q: %v", req.Target, risc1.ErrWindowedOnly))
+		return
+	}
 
 	release := s.admit(w, r)
 	if release == nil {
@@ -345,7 +350,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.runCtx(r, req.TimeoutMS)
 	defer cancel()
 	info, err := risc1.RunImage(ctx, img, risc1.RunOptions{
-		MaxCycles: s.budget(req.MaxCycles), Engine: engine, Policy: policy, Cores: req.Cores,
+		MaxCycles: s.budget(req.MaxCycles), Engine: engine, Policy: policy,
+		Cores: req.Cores, Race: req.Race,
 	})
 	s.met.addRun(engine.String())
 	if err != nil {
@@ -357,6 +363,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.met.addTraceStats(info)
 	s.met.addPipelineStats(info.Pipeline)
 	s.met.addSMPStats(info.SMP)
+	if req.Race {
+		s.met.addRaceStats(len(info.Races))
+	}
 	writeJSON(w, http.StatusOK, RunResponse{
 		Console:          info.Console,
 		ConsoleTruncated: info.ConsoleTruncated,
@@ -371,6 +380,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Cached:           hit,
 		Pipeline:         info.Pipeline,
 		SMP:              info.SMP,
+		Races:            info.Races,
 	})
 }
 
@@ -418,7 +428,14 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "source is required")
 		return
 	}
-	target, err := parseTarget(req.Target)
+	// "smp" is a lint-only target: the windowed convention with the
+	// concurrency passes forced on.
+	var lintOpts risc1.LintOptions
+	targetName := req.Target
+	if targetName == "smp" {
+		targetName, lintOpts.SMP = "windowed", true
+	}
+	target, err := parseTarget(targetName)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
@@ -441,7 +458,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, compileErrorBody(err))
 		return
 	}
-	diags := risc1.LintImage(img)
+	diags := risc1.LintImage(img, lintOpts)
 	resp := LintResponse{Diagnostics: diags, Cached: hit}
 	if resp.Diagnostics == nil {
 		resp.Diagnostics = []risc1.Diagnostic{} // JSON: [] rather than null

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"regexp"
 	"runtime"
 	"strconv"
@@ -692,7 +693,7 @@ func TestRunEngineSelection(t *testing.T) {
 	}
 	for i := 1; i < len(engines); i++ {
 		got[i].Cached = got[0].Cached // the image cache hit is the only allowed difference
-		if got[0] != got[i] {
+		if !reflect.DeepEqual(got[0], got[i]) {
 			t.Errorf("engines disagree:\n%s: %+v\n%s: %+v",
 				engines[0], got[0], engines[i], got[i])
 		}
@@ -899,5 +900,128 @@ func TestRunSMP(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+}
+
+// racySrc increments a shared global from two unlocked workers; each loops
+// long enough that the instances always overlap, so the detector flags it
+// under every schedule.
+const racySrc = `
+int counter;
+void w(int k) {
+    int i;
+    i = 0;
+    while (i < 200) {
+        counter = counter + k;
+        i = i + 1;
+    }
+}
+int main() {
+    int h1; int h2;
+    h1 = spawn(w, 1);
+    h2 = spawn(w, 2);
+    join(h1);
+    join(h2);
+    putint(counter);
+    return 0;
+}`
+
+// TestRunRace covers the dynamic race detector on /v1/run: a racy program
+// reports its races with core and line attribution, a locked program
+// reports none, the windowed-only rule holds, and the race counters tick.
+func TestRunRace(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, MaxCores: 4})
+
+	resp, raw := postJSON(t, ts.URL+"/v1/run", RunRequest{Source: racySrc, Cores: 4, Race: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("racy run: status %d: %s", resp.StatusCode, raw)
+	}
+	var out RunResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Races) == 0 {
+		t.Fatalf("racy program reported no races: %s", raw)
+	}
+	for _, r := range out.Races {
+		if r.Prev.Core == r.Curr.Core {
+			t.Errorf("race %+v pairs two accesses from the same core", r)
+		}
+		if r.Prev.Line == 0 || r.Curr.Line == 0 {
+			t.Errorf("race %+v lacks line attribution", r)
+		}
+	}
+
+	// A lock-disciplined program under the same flag: no races, right answer.
+	resp, raw = postJSON(t, ts.URL+"/v1/run", RunRequest{Source: parSrc, Cores: 2, Race: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean run: status %d: %s", resp.StatusCode, raw)
+	}
+	out = RunResponse{}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Console != "3" || len(out.Races) != 0 {
+		t.Fatalf("clean run under race mode: console %q, races %+v", out.Console, out.Races)
+	}
+
+	// The detector rides the shared-memory machine: windowed-only.
+	resp, raw = postJSON(t, ts.URL+"/v1/run", RunRequest{Source: fibSrc, Target: "flat", Race: true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("flat + race: status %d, want 400: %s", resp.StatusCode, raw)
+	}
+	if d := decodeError(t, raw); d.Code != "bad_request" {
+		t.Fatalf("flat + race: code %q, want bad_request", d.Code)
+	}
+
+	_, raw = getBody(t, ts.URL+"/metrics")
+	body := string(raw)
+	for _, want := range []string{
+		"riscd_race_runs_total 2\n",
+		"riscd_races_found_total ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestLintSMPTarget checks /v1/lint's "smp" target: the concurrency passes
+// run forced on windowed code, flag the racy program, and stay quiet on the
+// lock-disciplined one.
+func TestLintSMPTarget(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, raw := postJSON(t, ts.URL+"/v1/lint", LintRequest{Source: racySrc, Target: "smp"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lint smp: status %d: %s", resp.StatusCode, raw)
+	}
+	var out LintResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Warnings == 0 {
+		t.Fatalf("racy program linted clean under target smp: %s", raw)
+	}
+	found := false
+	for _, d := range out.Diagnostics {
+		if d.Pass == "smp-race" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no smp-race diagnostic: %s", raw)
+	}
+
+	resp, raw = postJSON(t, ts.URL+"/v1/lint", LintRequest{Source: parSrc, Target: "smp"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lint smp clean: status %d: %s", resp.StatusCode, raw)
+	}
+	out = LintResponse{}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Warnings != 0 || out.Errors != 0 {
+		t.Fatalf("lock-disciplined program linted dirty under target smp: %s", raw)
 	}
 }

@@ -1,0 +1,286 @@
+package smp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"risc1/internal/asm"
+	"risc1/internal/cc"
+	"risc1/internal/core"
+	"risc1/internal/mem"
+	"risc1/internal/prog"
+)
+
+func compileCm(t *testing.T, src string) *asm.Image {
+	t.Helper()
+	res, err := cc.Compile(src, cc.Options{Target: cc.RISCWindowed, WideData: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	img, err := asm.Assemble(res.Asm)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return img
+}
+
+// racyCounter increments a shared global from two workers with no lock: the
+// canonical data race. Each worker loops long enough that it cannot finish
+// inside one scheduling quantum, so the two instances always overlap in
+// time — on two cores, or as worker-versus-inline-fallback on the spawning
+// core — and the detector must flag the race under every schedule. (A
+// single-statement worker can complete before the second spawn fires; the
+// second instance then reuses the same core and the two genuinely
+// serialize, which is not a race in that execution.)
+const racyCounter = `
+int counter;
+void w(int k) {
+  int i;
+  i = 0;
+  while (i < 200) {
+    counter = counter + k;
+    i = i + 1;
+  }
+}
+int main() {
+  int h1; int h2;
+  h1 = spawn(w, 1);
+  h2 = spawn(w, 2);
+  join(h1);
+  join(h2);
+  putint(counter);
+  return 0;
+}
+`
+
+func TestRaceDetectorFlagsRacyCounter(t *testing.T) {
+	m, err := New(compileCm(t, racyCounter), Config{
+		Cores: 4,
+		Core:  core.Config{SaveStackBytes: 64 << 10},
+		Race:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	races := m.Races()
+	if len(races) == 0 {
+		t.Fatal("racy counter kernel reported no races")
+	}
+	for _, r := range races {
+		if r.Prev.Core == r.Curr.Core {
+			t.Errorf("race %v pairs two accesses from the same core", r)
+		}
+		if !r.Prev.Write && !r.Curr.Write {
+			t.Errorf("race %v has no write side", r)
+		}
+		if r.Prev.Line == 0 || r.Curr.Line == 0 {
+			t.Errorf("race %v lacks line attribution", r)
+		}
+	}
+}
+
+// TestRaceDetectorCleanKernels is the dynamic half of the two-sided
+// contract at this layer: the shipped parallel kernels run race-free, and
+// the detector's forced step engine does not disturb their results.
+func TestRaceDetectorCleanKernels(t *testing.T) {
+	for _, name := range []string{"psum", "pcrunch", "pqsort"} {
+		for _, n := range []int{2, 4} {
+			img := compileKernel(t, name)
+			m, err := New(img, Config{
+				Cores: n,
+				Core:  core.Config{SaveStackBytes: 64 << 10},
+				Race:  true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(context.Background()); err != nil {
+				t.Fatalf("%s on %d cores under race mode: %v", name, n, err)
+			}
+			if got, want := m.Console(), prog.Expected(name); got != want {
+				t.Errorf("%s on %d cores under race mode: console %q, want %q",
+					name, n, got, want)
+			}
+			if races := m.Races(); len(races) != 0 {
+				t.Errorf("%s on %d cores: unexpected races: %v", name, n, races)
+			}
+		}
+	}
+}
+
+// TestLockReleaseWithoutHoldFaults pins the lock-page semantics: storing 0
+// to a lock word that is not held is a defined runtime fault, not a silent
+// no-op.
+func TestLockReleaseWithoutHoldFaults(t *testing.T) {
+	const src = `
+int main() {
+  unlock(3);
+  return 0;
+}
+`
+	m, err := New(compileCm(t, src), Config{
+		Cores: 2,
+		Core:  core.Config{SaveStackBytes: 64 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run(context.Background())
+	if err == nil {
+		t.Fatal("unlock of an unheld lock did not fault")
+	}
+	var ce *CoreError
+	if !errors.As(err, &ce) || ce.Core != 0 {
+		t.Fatalf("fault not attributed to core 0: %v", err)
+	}
+	var lf *mem.LockFault
+	if !errors.As(err, &lf) {
+		t.Fatalf("error chain lacks *mem.LockFault: %v", err)
+	}
+	if lf.Lock != 3 {
+		t.Errorf("faulting lock = %d, want 3", lf.Lock)
+	}
+	// The legal sequence still works: lock then unlock.
+	m2, err := New(compileCm(t, "int main() { lock(3); unlock(3); return 0; }"),
+		Config{Cores: 2, Core: core.Config{SaveStackBytes: 64 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(context.Background()); err != nil {
+		t.Fatalf("lock/unlock pair faulted: %v", err)
+	}
+}
+
+// spawnFallback exercises the inline-call path: on a two-core machine the
+// second spawn finds no parked worker and the runtime calls the fn inline
+// on the spawning core. Arguments are skewed so the spawned worker (20
+// iterations) finishes quickly while the inlined call (2000 iterations)
+// dominates core 0's execution.
+const spawnFallback = `
+int total;
+void w(int n) {
+  int i;
+  i = 0;
+  while (i < n) {
+    lock(0);
+    total = total + 1;
+    unlock(0);
+    i = i + 1;
+  }
+}
+int main() {
+  int h1; int h2;
+  h1 = spawn(w, 20);
+  h2 = spawn(w, 2000);
+  join(h1);
+  join(h2);
+  putint(total);
+  return 0;
+}
+`
+
+func TestSpawnFallbackUnderRaceDetector(t *testing.T) {
+	m, err := New(compileCm(t, spawnFallback), Config{
+		Cores: 2,
+		Core:  core.Config{SaveStackBytes: 64 << 10},
+		Race:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := m.Console(); got != "2020" {
+		t.Errorf("console = %q, want %q", got, "2020")
+	}
+	if m.Spawns() != 1 || m.SpawnFails() != 1 {
+		t.Errorf("spawns = %d, fails = %d; want 1 and 1", m.Spawns(), m.SpawnFails())
+	}
+	if races := m.Races(); len(races) != 0 {
+		t.Errorf("lock-disciplined fallback kernel reported races: %v", races)
+	}
+}
+
+// TestSpawnFallbackMaxCyclesMidInline pins MaxCycles accounting across the
+// inline fallback: the budget keeps ticking through the inlined body, so a
+// limit sized to land inside it aborts there, attributed to the spawning
+// core.
+func TestSpawnFallbackMaxCyclesMidInline(t *testing.T) {
+	m, err := New(compileCm(t, spawnFallback), Config{
+		Cores: 2,
+		Core:  core.Config{SaveStackBytes: 64 << 10, MaxCycles: 5000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run(context.Background())
+	if !errors.Is(err, core.ErrMaxCycles) {
+		t.Fatalf("err = %v, want cycle-limit fault", err)
+	}
+	var ce *CoreError
+	if !errors.As(err, &ce) || ce.Core != 0 {
+		t.Fatalf("cycle limit not attributed to core 0 (the inlining core): %v", err)
+	}
+	// The spawned worker's 20 iterations finish well under the limit; the
+	// only way core 0 can burn 5000 cycles is inside the inlined body.
+	if instr := m.Core(0).Instructions(); instr < 1000 {
+		t.Errorf("core 0 retired only %d instructions before the limit", instr)
+	}
+	if m.SpawnFails() != 1 {
+		t.Errorf("spawn fallback did not happen: fails = %d", m.SpawnFails())
+	}
+}
+
+// FuzzRaceDetector drives the detector across schedules: any core count and
+// quantum must leave the clean kernels race-free with correct output, and
+// must still flag the racy counter on a multi-core machine — the lockset
+// verdict is schedule-independent.
+func FuzzRaceDetector(f *testing.F) {
+	f.Add(uint8(0), uint8(2), uint16(7))
+	f.Add(uint8(1), uint8(4), uint16(64))
+	f.Add(uint8(2), uint8(3), uint16(1))
+	f.Add(uint8(3), uint8(2), uint16(13))
+	f.Fuzz(func(t *testing.T, pick, cores uint8, quantum uint16) {
+		names := []string{"psum", "pcrunch", "pqsort", "racy"}
+		name := names[int(pick)%len(names)]
+		n := 1 + int(cores)%8
+		q := 1 + int(quantum)%256
+		var img *asm.Image
+		var want string
+		if name == "racy" {
+			img = compileCm(t, racyCounter)
+		} else {
+			img = compileKernel(t, name)
+			want = prog.Expected(name)
+		}
+		m, err := New(img, Config{
+			Cores:   n,
+			Quantum: q,
+			Core:    core.Config{SaveStackBytes: 64 << 10},
+			Race:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(context.Background()); err != nil {
+			t.Fatalf("%s on %d cores, quantum %d: %v", name, n, q, err)
+		}
+		if name == "racy" {
+			if n > 1 && m.Spawns() > 0 && len(m.Races()) == 0 {
+				t.Errorf("racy kernel on %d cores, quantum %d: no races", n, q)
+			}
+			return
+		}
+		if got := m.Console(); got != want {
+			t.Errorf("%s on %d cores, quantum %d: console %q, want %q", name, n, q, got, want)
+		}
+		if races := m.Races(); len(races) != 0 {
+			t.Errorf("%s on %d cores, quantum %d: races %v", name, n, q, races)
+		}
+	})
+}

@@ -69,6 +69,11 @@ type Config struct {
 	// Cores > 1, memory is sized so core 0 keeps the same stack and heap
 	// room a single-core machine would have.
 	Core core.Config
+	// Race enables the dynamic race detector (see racedet.go). It forces
+	// the step engine so every access is attributed to its exact PC; the
+	// engines are observationally identical per instruction retired, so
+	// the interleaving being checked is unchanged.
+	Race bool
 }
 
 // CoreStats is one core's share of a run.
@@ -103,6 +108,11 @@ type Machine struct {
 	rounds     uint64
 	spawns     uint64
 	spawnFails uint64
+
+	// img and race back the dynamic race detector when Config.Race is set;
+	// the image's line table maps racy PCs back to source lines.
+	img  *asm.Image
+	race *raceDetector
 }
 
 // coreView is the per-core face the mem SMP control page talks to. Spawn
@@ -151,6 +161,9 @@ func New(img *asm.Image, cfg Config) (*Machine, error) {
 	if cfg.WorkerStackBytes <= 0 {
 		cfg.WorkerStackBytes = DefaultWorkerStackBytes
 	}
+	if cfg.Race {
+		cfg.Core.Engine = core.EngineStep
+	}
 	n := cfg.Cores
 	saveBytes := cfg.Core.SaveStackBytes
 	if saveBytes == 0 {
@@ -180,6 +193,10 @@ func New(img *asm.Image, cfg Config) (*Machine, error) {
 		m.views[i] = &coreView{m: m, id: uint32(i), lastSpawn: 0xFFFF_FFFF}
 	}
 	m.launches[0] = 1
+	if cfg.Race {
+		m.img = img
+		m.race = newRaceDetector(m)
+	}
 	if n == 1 {
 		// Single core: identical layout and (nil-controller) device
 		// behavior to a plain core.RunContext run, by construction.
@@ -239,6 +256,9 @@ func (m *Machine) spawn(fn, arg uint32, caller int) uint32 {
 		}
 		m.launches[k]++
 		m.spawns++
+		if m.race != nil {
+			m.race.onSpawn(caller, k)
+		}
 		return uint32(k)
 	}
 	m.spawnFails++
@@ -253,6 +273,10 @@ func (m *Machine) spawn(fn, arg uint32, caller int) uint32 {
 func (m *Machine) Run(ctx context.Context) error {
 	mmem := m.cores[0].Mem
 	done := ctx.Done()
+	if m.race != nil {
+		mmem.SetObserver(m.race)
+		defer mmem.SetObserver(nil)
+	}
 	roundData := make([]uint64, len(m.cores))
 	for !m.cores[0].Halted() {
 		if done != nil {
@@ -271,6 +295,9 @@ func (m *Machine) Run(ctx context.Context) error {
 			}
 			if len(m.cores) > 1 {
 				mmem.SetSMP(m.views[i])
+			}
+			if m.race != nil {
+				m.race.cur = i
 			}
 			r0, w0 := mmem.Reads, mmem.Writes
 			_, err := c.RunFor(m.cfg.Quantum)
@@ -325,6 +352,15 @@ func (m *Machine) Rounds() uint64 { return m.rounds }
 // found no parked worker and fell back to an inline call.
 func (m *Machine) Spawns() uint64     { return m.spawns }
 func (m *Machine) SpawnFails() uint64 { return m.spawnFails }
+
+// Races returns the data races the detector recorded, in discovery order
+// (at most one per word, capped at raceLimit). Empty without Config.Race.
+func (m *Machine) Races() []Race {
+	if m.race == nil {
+		return nil
+	}
+	return m.race.races
+}
 
 // CoreStats returns each core's share of the run. On a multi-core machine
 // the per-core data-traffic attribution replaces the shared counters a lone

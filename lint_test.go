@@ -31,7 +31,7 @@ func TestLintBenchmarkCorpusClean(t *testing.T) {
 			t.Fatalf("benchmark %q has no source", name)
 		}
 		for _, tt := range lintTargets {
-			diags, err := risc1.LintCm(src, tt.target)
+			diags, err := risc1.LintCm(src, tt.target, risc1.LintOptions{})
 			if err != nil {
 				t.Errorf("%s/%s: %v", name, tt.name, err)
 				continue
@@ -57,7 +57,7 @@ func TestLintRecursiveBenchmarksReported(t *testing.T) {
 		if !ok {
 			t.Fatalf("benchmark %q has no source", name)
 		}
-		diags, err := risc1.LintCm(src, risc1.RISCWindowed)
+		diags, err := risc1.LintCm(src, risc1.RISCWindowed, risc1.LintOptions{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -96,9 +96,9 @@ func TestLintExamplesClean(t *testing.T) {
 			var derr error
 			switch {
 			case strings.Contains(src, "int main"):
-				diags, derr = risc1.LintCm(src, risc1.RISCWindowed)
+				diags, derr = risc1.LintCm(src, risc1.RISCWindowed, risc1.LintOptions{})
 			case strings.Contains(src, "ret r25") || strings.Contains(src, ".entry"):
-				diags, derr = risc1.LintAssembly(src, risc1.RISCWindowed)
+				diags, derr = risc1.LintAssembly(src, risc1.RISCWindowed, risc1.LintOptions{})
 			default:
 				continue // not a program literal
 			}
@@ -132,14 +132,14 @@ f:
 	ret r25,#0
 	nop
 `
-	windowed, err := risc1.LintAssembly(src, risc1.RISCWindowed)
+	windowed, err := risc1.LintAssembly(src, risc1.RISCWindowed, risc1.LintOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if risc1.Count(windowed, risc1.SevWarning) != 1 {
 		t.Errorf("windowed: want 1 warning, got %v", windowed)
 	}
-	flat, err := risc1.LintAssembly(src, risc1.RISCFlat)
+	flat, err := risc1.LintAssembly(src, risc1.RISCFlat, risc1.LintOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -193,7 +193,21 @@ type RunInfo struct {
 	// the machine's makespan (max over cores of executed plus contention
 	// cycles).
 	SMP *SMPInfo
+
+	// Races holds the data races the dynamic detector observed, filled
+	// only when RunOptions.Race is set. Empty means the execution was
+	// race-free under the hybrid lockset/happens-before test; each entry
+	// records the two unsynchronized accesses with core, PC and source
+	// line. Reporting is capped per run, one race per shared word.
+	Races []Race
 }
+
+// Race is one dynamically-observed data race; see internal/smp.
+type Race = smp.Race
+
+// RaceAccess is one side of a Race: which core touched the word, where,
+// and whether it wrote.
+type RaceAccess = smp.RaceAccess
 
 // SMPInfo is the shared-memory machine's execution breakdown.
 type SMPInfo struct {
@@ -356,6 +370,13 @@ type RunOptions struct {
 	// RISCWindowed target — every other target returns ErrWindowedOnly —
 	// and fill RunInfo.SMP. MaxCycles bounds each core individually.
 	Cores int
+	// Race runs the image under the dynamic race detector: a hybrid
+	// lockset/happens-before shadow memory records unsynchronized access
+	// pairs to shared words into RunInfo.Races. It routes the run through
+	// the shared-memory machine (so it requires RISCWindowed, even at one
+	// core) and forces the step engine for exact access attribution —
+	// expect a slower run, not different architectural results.
+	Race bool
 }
 
 // RunImage runs a compiled image to completion on a fresh machine of its
@@ -365,7 +386,7 @@ func RunImage(ctx context.Context, img *Image, opt RunOptions) (*RunInfo, error)
 	if opt.Cores < 0 || opt.Cores > MaxCores {
 		return nil, ErrBadCores
 	}
-	if opt.Cores > 1 {
+	if opt.Cores > 1 || opt.Race {
 		if img.target != RISCWindowed {
 			return nil, ErrWindowedOnly
 		}
@@ -423,8 +444,13 @@ func RunImage(ctx context.Context, img *Image, opt RunOptions) (*RunInfo, error)
 
 // runSMP executes a windowed image on the shared-memory multiprocessor.
 func runSMP(ctx context.Context, img *Image, opt RunOptions) (*RunInfo, error) {
+	cores := opt.Cores
+	if cores < 1 {
+		cores = 1
+	}
 	m, err := smp.New(img.risc, smp.Config{
-		Cores: opt.Cores,
+		Cores: cores,
+		Race:  opt.Race,
 		Core: core.Config{
 			SaveStackBytes: 64 << 10,
 			MaxCycles:      opt.MaxCycles,
@@ -468,6 +494,9 @@ func runSMP(ctx context.Context, img *Image, opt RunOptions) (*RunInfo, error) {
 	info.Cycles = si.ElapsedCycles
 	info.Time = timing.RiscTime(si.ElapsedCycles)
 	info.SMP = si
+	if opt.Race {
+		info.Races = m.Races()
+	}
 	return info, nil
 }
 
@@ -742,38 +771,53 @@ const (
 // Count returns how many diagnostics are at least as severe as min.
 func Count(diags []Diagnostic, min Severity) int { return lint.Count(diags, min) }
 
+// LintOptions tunes the static analysis.
+type LintOptions struct {
+	// SMP forces the concurrency passes (smp-race, smp-lock, smp-spawn)
+	// on windowed images. The passes engage automatically when the image
+	// contains SMP operations — spawn/join/lock runtime calls or direct
+	// device-page accesses — so the flag only matters for declaring
+	// intent: with it set, an image meant to be concurrent is analyzed as
+	// such even if the analysis finds no SMP operations to anchor on.
+	SMP bool
+}
+
 // LintImage statically analyzes a compiled or assembled image: CFG
 // construction honoring the delayed-transfer semantics, then the dataflow
 // passes of package lint (delay-slot hazards, branch targets,
 // register-window depth, use-before-def, constant memory accesses,
-// unreachable code). CISC images get the subset of checks that translate to
-// the CX machine. The result is sorted by address; it is empty for a clean
-// image.
-func LintImage(img *Image) []Diagnostic {
+// unreachable code, and — on images that use the shared-memory runtime —
+// the concurrency lockset/race passes). CISC images get the subset of
+// checks that translate to the CX machine. The result is sorted by
+// address; it is empty for a clean image.
+func LintImage(img *Image, opts LintOptions) []Diagnostic {
 	if img.target == CISC {
 		return lint.CheckCISC(img.cisc)
 	}
-	return lint.Check(img.risc, lint.Options{Flat: img.target == RISCFlat})
+	return lint.Check(img.risc, lint.Options{
+		Flat: img.target == RISCFlat,
+		SMP:  opts.SMP,
+	})
 }
 
 // LintCm compiles a Cm program for the given target and lints the result —
 // the convenience behind ccm's -lint flag.
-func LintCm(source string, target Target) ([]Diagnostic, error) {
+func LintCm(source string, target Target, opts LintOptions) ([]Diagnostic, error) {
 	img, err := CompileToImage(source, target)
 	if err != nil {
 		return nil, err
 	}
-	return LintImage(img), nil
+	return LintImage(img, opts), nil
 }
 
 // LintAssembly assembles machine-level source for the given target and
 // lints the result — the convenience behind riscasm's -lint flag.
-func LintAssembly(source string, target Target) ([]Diagnostic, error) {
+func LintAssembly(source string, target Target, opts LintOptions) ([]Diagnostic, error) {
 	img, err := AssembleToImage(source, target)
 	if err != nil {
 		return nil, err
 	}
-	return LintImage(img), nil
+	return LintImage(img, opts), nil
 }
 
 // BenchmarkNames lists the benchmark suite.
