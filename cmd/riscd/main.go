@@ -1,15 +1,17 @@
 // Riscd serves the risc1 simulators over HTTP/JSON: POST /v1/run compiles
 // (or assembles) and executes a program on any of the three machines under
-// server-enforced cycle and wall-clock budgets, POST /v1/disasm returns the
-// encoded listing, GET /v1/benchmarks lists the suite, GET
-// /v1/experiments/{id} renders a paper table, and GET /metrics exposes
-// Prometheus counters. Requests beyond pool+queue capacity are shed with
-// 429 + Retry-After.
+// server-enforced cycle and wall-clock budgets, POST /v1/run/stream does the
+// same but emits Server-Sent Events live (console chunks, sampled stats
+// frames, one terminal result), POST /v1/disasm returns the encoded listing,
+// GET /v1/benchmarks lists the suite, GET /v1/experiments/{id} renders a
+// paper table, and GET /metrics exposes Prometheus counters. Requests beyond
+// pool+queue capacity are shed with 429 + an adaptive Retry-After.
 //
 // Usage:
 //
 //	riscd [-addr :8049] [-workers N] [-queue N] [-max-cycles N]
-//	      [-max-cores N] [-timeout D] [-cache N] [-drain D]
+//	      [-max-cores N] [-timeout D] [-cache N] [-cache-shards N]
+//	      [-stream-interval D] [-drain D]
 //
 // On SIGINT/SIGTERM the server drains: /healthz flips to 503, new work is
 // refused, in-flight runs get the drain grace to finish and are then
@@ -41,20 +43,24 @@ func main() {
 	maxCores := flag.Int("max-cores", serve.DefaultMaxCores, "shared-memory core ceiling per run (negative disables multi-core)")
 	timeout := flag.Duration("timeout", serve.DefaultTimeout, "per-run wall-clock deadline ceiling")
 	cache := flag.Int("cache", serve.DefaultCacheEntries, "compiled-image cache entries (negative disables)")
+	cacheShards := flag.Int("cache-shards", serve.DefaultCacheShards, "lock stripes in the compiled-image cache")
+	streamInterval := flag.Duration("stream-interval", serve.DefaultStreamInterval, "stats-frame sampling interval on /v1/run/stream")
 	drain := flag.Duration("drain", 5*time.Second, "shutdown grace before in-flight runs are canceled")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: riscd [-addr A] [-workers N] [-queue N] [-max-cycles N] [-max-cores N] [-timeout D] [-cache N] [-drain D]")
+		fmt.Fprintln(os.Stderr, "usage: riscd [-addr A] [-workers N] [-queue N] [-max-cycles N] [-max-cores N] [-timeout D] [-cache N] [-cache-shards N] [-stream-interval D] [-drain D]")
 		os.Exit(2)
 	}
 
 	s := serve.New(serve.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		MaxCycles:    *maxCycles,
-		MaxCores:     *maxCores,
-		Timeout:      *timeout,
-		CacheEntries: *cache,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxCycles:      *maxCycles,
+		MaxCores:       *maxCores,
+		Timeout:        *timeout,
+		CacheEntries:   *cache,
+		CacheShards:    *cacheShards,
+		StreamInterval: *streamInterval,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,111 @@
+// Riscload replays realistic traffic mixes against a running riscd and
+// reports the serving-capacity numbers: latency percentiles, throughput,
+// shed rate and cache hit rate per mix. It is the load half of the
+// serving-layer perf gate — CI spawns a riscd, points riscload at it, and
+// fails the build when the capacity assertions regress.
+//
+// Usage:
+//
+//	riscload [-url http://127.0.0.1:8049] [-c N] [-d D] [-mix a,b,...]
+//	         [-out BENCH_serve.json] [-history BENCH_serve_history.jsonl]
+//	         [-gate] [-list]
+//
+// Mixes run sequentially, each with -c closed-loop workers for -d. -out
+// writes the full report as JSON; -history appends the same report as one
+// JSONL line, growing the longitudinal record across commits. -gate
+// evaluates the capacity assertions (every mix answers, hot hit rate >= 0.9,
+// hot p50 <= cold p50) and exits 1 on violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"risc1/internal/loadgen"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8049", "base URL of the riscd under test")
+	concurrency := flag.Int("c", 8, "closed-loop workers per mix")
+	duration := flag.Duration("d", 10*time.Second, "duration per mix")
+	mixFlag := flag.String("mix", "", "comma-separated mix names (empty = all)")
+	out := flag.String("out", "", "write the report as JSON to this file")
+	history := flag.String("history", "", "append the report as one JSONL line to this file")
+	gate := flag.Bool("gate", false, "evaluate capacity assertions; exit 1 on violation")
+	list := flag.Bool("list", false, "list known mixes and exit")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: riscload [-url U] [-c N] [-d D] [-mix a,b,...] [-out F] [-history F] [-gate] [-list]")
+		os.Exit(2)
+	}
+	if *list {
+		for _, name := range loadgen.Mixes() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	opts := loadgen.Options{BaseURL: *url, Concurrency: *concurrency, Duration: *duration}
+	if *mixFlag != "" {
+		opts.Mixes = strings.Split(*mixFlag, ",")
+	}
+	rep, err := loadgen.Run(opts)
+	if err != nil {
+		log.Fatalf("riscload: %v", err)
+	}
+
+	fmt.Printf("riscload: %s, %d workers, %gs per mix\n\n",
+		rep.BaseURL, rep.Concurrency, rep.DurationS)
+	fmt.Printf("%-8s %8s %6s %6s %6s %9s %9s %9s %9s %7s %6s\n",
+		"mix", "requests", "ok", "shed", "err", "p50ms", "p90ms", "p99ms", "rps", "shed%", "hit%")
+	for _, m := range rep.Mixes {
+		hit := "n/a"
+		if m.CacheHitRate >= 0 {
+			hit = fmt.Sprintf("%.1f", 100*m.CacheHitRate)
+		}
+		fmt.Printf("%-8s %8d %6d %6d %6d %9.2f %9.2f %9.2f %9.1f %7.1f %6s\n",
+			m.Name, m.Requests, m.OK, m.Shed, m.Errors,
+			m.P50MS, m.P90MS, m.P99MS, m.ThroughputRPS, 100*m.ShedRate, hit)
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("riscload: %v", err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			log.Fatalf("riscload: %v", err)
+		}
+	}
+	if *history != "" {
+		line, err := json.Marshal(rep)
+		if err != nil {
+			log.Fatalf("riscload: %v", err)
+		}
+		f, err := os.OpenFile(*history, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatalf("riscload: %v", err)
+		}
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			log.Fatalf("riscload: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("riscload: %v", err)
+		}
+	}
+
+	if *gate {
+		if violations := loadgen.Gate(rep); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "riscload: GATE FAIL: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("\nriscload: capacity gate passed")
+	}
+}

@@ -125,6 +125,12 @@ type CPU struct {
 	rec       bool    // recording a missed instruction's bytes
 	recN      uint8
 	recBuf    [maxInstBytes]uint8
+
+	// Progress, when non-nil, is called at RunContext batch boundaries —
+	// at most once per runBatch instructions — with the instruction and
+	// microcycle counters retired so far. It runs on the simulation
+	// goroutine; keep it cheap.
+	Progress func(instructions, cycles uint64)
 }
 
 // maxInstBytes bounds one CX instruction: opcode plus three operand
@@ -230,6 +236,9 @@ func (c *CPU) RunContext(ctx context.Context) error {
 			if err := c.Step(); err != nil {
 				return err
 			}
+		}
+		if c.Progress != nil {
+			c.Progress(c.stat.Instructions, c.stat.Cycles)
 		}
 	}
 	return nil

@@ -228,6 +228,14 @@ type CPU struct {
 	// Trace, when non-nil, is called after every executed instruction
 	// with its address and decoded form (before the PC advances).
 	Trace func(pc uint32, inst isa.Inst)
+
+	// Progress, when non-nil, is called at RunContext batch boundaries —
+	// at most once per runBatch instructions — with the instruction and
+	// cycle counters retired so far. Unlike Trace it does not force the
+	// step oracle: the compiled engines surface at batch boundaries
+	// anyway, so the hook costs one call per batch. It runs on the
+	// simulation goroutine; keep it cheap.
+	Progress func(instructions, cycles uint64)
 }
 
 // New builds a CPU. Call Load before stepping.
@@ -417,6 +425,9 @@ func (c *CPU) RunContext(ctx context.Context) error {
 		}
 		if _, err := c.runSlice(runBatch, useBlocks, useTraces); err != nil {
 			return err
+		}
+		if c.Progress != nil {
+			c.Progress(c.stat.Instructions, c.stat.Cycles)
 		}
 	}
 	return nil

@@ -1,0 +1,483 @@
+// Package loadgen is riscload's engine: it replays realistic traffic mixes
+// against a running riscd and reduces what happened to the numbers a
+// capacity decision needs — latency percentiles, throughput, shed rate and
+// cache hit rate, per mix.
+//
+// Each mix isolates one serving regime the daemon must survive: cold
+// compile-heavy traffic (every request misses the image cache), cache-hot
+// rerun traffic (the steady state the LRU exists for), fault-heavy guests
+// (the error path must not be slower than the happy path), analyzer
+// traffic, multi-core SMP runs, and streaming watchers. Mixes run
+// sequentially so each gets the whole worker pool and its /metrics deltas
+// are attributable; within a mix, a fixed number of workers issue requests
+// back to back for the configured duration — closed-loop load, so measured
+// throughput is the server's, not the generator's arrival schedule.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures one riscload session.
+type Options struct {
+	// BaseURL locates the riscd under test, e.g. http://127.0.0.1:8080.
+	BaseURL string
+	// Concurrency is the number of closed-loop workers per mix.
+	Concurrency int
+	// Duration is how long each mix runs.
+	Duration time.Duration
+	// Mixes selects by name; empty means every known mix.
+	Mixes []string
+}
+
+// MixResult is the capacity summary of one mix.
+type MixResult struct {
+	Name     string `json:"name"`
+	Desc     string `json:"desc"`
+	Requests int    `json:"requests"`
+	// OK counts requests the server answered as the mix expects — for the
+	// fault mix that is the typed 422, not a 200.
+	OK     int `json:"ok"`
+	Shed   int `json:"shed"` // 429s: load the server refused by design
+	Errors int `json:"errors"`
+
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	ShedRate      float64 `json:"shed_rate"`
+	// CacheHitRate is the image-cache hit rate over this mix's window,
+	// from /metrics deltas (-1 when the scrape failed).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// Report is the full session result, the schema of BENCH_serve.json.
+type Report struct {
+	Timestamp   string      `json:"timestamp"`
+	BaseURL     string      `json:"base_url"`
+	Concurrency int         `json:"concurrency"`
+	DurationS   float64     `json:"duration_s"` // per mix
+	Mixes       []MixResult `json:"mixes"`
+}
+
+// outcome classifies one request against its mix's expectation.
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeShed
+	outcomeError
+)
+
+// mix is one traffic pattern: issue fires a single request and classifies
+// the answer. seq is unique across the mix, which is how the cold mix
+// defeats the cache.
+type mix struct {
+	name  string
+	desc  string
+	issue func(c *http.Client, baseURL string, seq int64) outcome
+}
+
+// Source programs for the mixes. Sized so one request is a few milliseconds
+// of simulation — long enough to exercise the pool, short enough that a
+// smoke run finishes inside CI.
+const (
+	// hotSrc and coldSrcPattern run the identical simulation; cold splices
+	// a per-request constant into the source so every request is a distinct
+	// image. Same guest work on both sides is what makes the hot-vs-cold
+	// p50 comparison a measurement of the cache, not of the programs.
+	hotSrc = `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { putint(fib(12)); return 0; }`
+
+	coldSrcPattern = `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { putint(fib(12) + %d); return 0; }`
+
+	// faultAsm stores misaligned: a guest bug the server must answer with a
+	// typed 422, cheaply.
+	faultAsm = "main: stl r0,(r0)#2\n ret r25,#8\n nop\n"
+
+	// lintAsm carries a delay-slot hazard so the analyzer has a finding.
+	lintAsm = "main:\n callr r25,f\n stl r9,(r0)#-252\n ret r25,#8\n nop\nf:\n ret r25,#0\n nop\n"
+
+	smpSrc = `
+int total;
+void worker(int k) {
+    lock(0);
+    total += k + 1;
+    unlock(0);
+}
+int main() {
+    int h1; int h2;
+    h1 = spawn(worker, 0);
+    h2 = spawn(worker, 1);
+    join(h1);
+    join(h2);
+    putint(total);
+    return 0;
+}`
+
+	streamSrc = `
+int main() {
+    int i;
+    i = 0;
+    while (i < 20000) {
+        if (i - (i / 1000) * 1000 == 0) putint(i);
+        i = i + 1;
+    }
+    return 0;
+}`
+)
+
+// postJSON posts a body and returns the status plus drained response.
+func postJSON(c *http.Client, url string, body any) (int, []byte, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, out, nil
+}
+
+// expectStatus builds the classifier shared by the buffered-endpoint mixes.
+func expectStatus(url string, want int, body func(seq int64) any) func(*http.Client, string, int64) outcome {
+	return func(c *http.Client, baseURL string, seq int64) outcome {
+		status, _, err := postJSON(c, baseURL+url, body(seq))
+		switch {
+		case err != nil:
+			return outcomeError
+		case status == http.StatusTooManyRequests:
+			return outcomeShed
+		case status == want:
+			return outcomeOK
+		}
+		return outcomeError
+	}
+}
+
+// runBody is the minimal /v1/run request shape riscload speaks. Kept local:
+// the load generator is a client and must not grow compile-time knowledge
+// of server internals beyond the wire format.
+type runBody struct {
+	Source string `json:"source"`
+	Lang   string `json:"lang,omitempty"`
+	Cores  int    `json:"cores,omitempty"`
+}
+
+type lintBody struct {
+	Source string `json:"source"`
+	Lang   string `json:"lang,omitempty"`
+}
+
+// Mixes returns the known traffic patterns in their canonical order.
+func Mixes() []string {
+	out := make([]string, len(allMixes))
+	for i, m := range allMixes {
+		out[i] = m.name
+	}
+	return out
+}
+
+var allMixes = []mix{
+	{
+		name: "cold",
+		desc: "compile-heavy: every request is distinct source, all cache misses",
+		issue: expectStatus("/v1/run", http.StatusOK, func(seq int64) any {
+			return runBody{Source: fmt.Sprintf(coldSrcPattern, seq)}
+		}),
+	},
+	{
+		name: "hot",
+		desc: "cache-hot rerun: identical source, the compile-once run-many steady state",
+		issue: expectStatus("/v1/run", http.StatusOK, func(int64) any {
+			return runBody{Source: hotSrc}
+		}),
+	},
+	{
+		name: "fault",
+		desc: "fault-heavy: guest bugs answered with typed 422s",
+		issue: expectStatus("/v1/run", http.StatusUnprocessableEntity, func(int64) any {
+			return runBody{Source: faultAsm, Lang: "asm"}
+		}),
+	},
+	{
+		name: "lint",
+		desc: "analyzer traffic: delay-slot hazard findings",
+		issue: expectStatus("/v1/lint", http.StatusOK, func(int64) any {
+			return lintBody{Source: lintAsm, Lang: "asm"}
+		}),
+	},
+	{
+		name: "smp",
+		desc: "multi-core runs on the shared-memory machine",
+		issue: expectStatus("/v1/run", http.StatusOK, func(int64) any {
+			return runBody{Source: smpSrc, Cores: 2}
+		}),
+	},
+	{
+		name:  "stream",
+		desc:  "streaming watchers: SSE consumed to the terminal event",
+		issue: issueStream,
+	},
+}
+
+// issueStream opens /v1/run/stream and drains it; success is a terminal
+// "result" event after at least one console chunk.
+func issueStream(c *http.Client, baseURL string, seq int64) outcome {
+	raw, _ := json.Marshal(runBody{Source: streamSrc})
+	resp, err := c.Post(baseURL+"/v1/run/stream", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return outcomeError
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		return outcomeShed
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return outcomeError
+	}
+	br := bufio.NewReader(resp.Body)
+	var event string
+	sawConsole, sawResult := false, false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			break
+		}
+		line = strings.TrimRight(line, "\n")
+		if strings.HasPrefix(line, "event: ") {
+			event = strings.TrimPrefix(line, "event: ")
+			switch event {
+			case "console":
+				sawConsole = true
+			case "result":
+				sawResult = true
+			}
+		}
+	}
+	if sawResult && sawConsole {
+		return outcomeOK
+	}
+	return outcomeError
+}
+
+// cacheCounters scrapes the image-cache hit/miss totals from /metrics.
+func cacheCounters(c *http.Client, baseURL string) (hits, misses float64, err error) {
+	resp, err := c.Get(baseURL + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, 0, err
+	}
+	text := string(raw)
+	get := func(name string) (float64, error) {
+		m := regexp.MustCompile(`(?m)^` + name + ` (\S+)$`).FindStringSubmatch(text)
+		if m == nil {
+			return 0, fmt.Errorf("metric %s not found", name)
+		}
+		return strconv.ParseFloat(m[1], 64)
+	}
+	if hits, err = get("riscd_image_cache_hits_total"); err != nil {
+		return 0, 0, err
+	}
+	if misses, err = get("riscd_image_cache_misses_total"); err != nil {
+		return 0, 0, err
+	}
+	return hits, misses, nil
+}
+
+// percentile reads the p-th percentile from an ascending-sorted sample set
+// (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// runMix drives one mix with opts.Concurrency closed-loop workers.
+func runMix(m mix, opts Options, client *http.Client) MixResult {
+	res := MixResult{Name: m.name, Desc: m.desc, CacheHitRate: -1}
+
+	hits0, misses0, scrapeErr := cacheCounters(client, opts.BaseURL)
+
+	var mu sync.Mutex
+	var latencies []float64 // milliseconds, ok requests only
+	var seq atomic.Int64
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(opts.Duration)
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				out := m.issue(client, opts.BaseURL, seq.Add(1))
+				ms := float64(time.Since(start).Microseconds()) / 1000
+				mu.Lock()
+				res.Requests++
+				switch out {
+				case outcomeOK:
+					res.OK++
+					latencies = append(latencies, ms)
+				case outcomeShed:
+					res.Shed++
+				default:
+					res.Errors++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	sort.Float64s(latencies)
+	res.P50MS = percentile(latencies, 0.50)
+	res.P90MS = percentile(latencies, 0.90)
+	res.P99MS = percentile(latencies, 0.99)
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	if len(latencies) > 0 {
+		res.MeanMS = sum / float64(len(latencies))
+	}
+	res.ThroughputRPS = float64(res.OK) / opts.Duration.Seconds()
+	if res.Requests > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Requests)
+	}
+	if scrapeErr == nil {
+		if hits1, misses1, err := cacheCounters(client, opts.BaseURL); err == nil {
+			dh, dm := hits1-hits0, misses1-misses0
+			if dh+dm > 0 {
+				res.CacheHitRate = dh / (dh + dm)
+			}
+		}
+	}
+	return res
+}
+
+// Run executes the selected mixes sequentially and assembles the report.
+func Run(opts Options) (*Report, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("base URL is required")
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 10 * time.Second
+	}
+	selected := allMixes
+	if len(opts.Mixes) > 0 {
+		byName := map[string]mix{}
+		for _, m := range allMixes {
+			byName[m.name] = m
+		}
+		selected = nil
+		for _, name := range opts.Mixes {
+			m, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown mix %q (want one of %s)",
+					name, strings.Join(Mixes(), ", "))
+			}
+			selected = append(selected, m)
+		}
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	// Fail fast when riscd is not there at all.
+	resp, err := client.Get(opts.BaseURL + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("riscd unreachable: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("riscd unhealthy: %d from /healthz", resp.StatusCode)
+	}
+
+	rep := &Report{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		BaseURL:     opts.BaseURL,
+		Concurrency: opts.Concurrency,
+		DurationS:   opts.Duration.Seconds(),
+	}
+	for _, m := range selected {
+		rep.Mixes = append(rep.Mixes, runMix(m, opts, client))
+	}
+	return rep, nil
+}
+
+// Gate evaluates the capacity assertions CI enforces and returns the
+// violations, empty when the report passes:
+//
+//   - every mix completed at least one expected-answer request;
+//   - the hot mix's cache hit rate is at least 0.9 (the compile-once
+//     run-many steady state actually engaged);
+//   - the hot mix's p50 does not exceed the cold mix's p50 (skipping the
+//     compiler must not be slower than paying it).
+func Gate(rep *Report) []string {
+	var violations []string
+	byName := map[string]MixResult{}
+	for _, m := range rep.Mixes {
+		byName[m.Name] = m
+		if m.OK == 0 {
+			violations = append(violations,
+				fmt.Sprintf("mix %s: no request got its expected answer (%d requests, %d shed, %d errors)",
+					m.Name, m.Requests, m.Shed, m.Errors))
+		}
+	}
+	hot, hasHot := byName["hot"]
+	if hasHot && hot.CacheHitRate >= 0 && hot.CacheHitRate < 0.9 {
+		violations = append(violations,
+			fmt.Sprintf("mix hot: cache hit rate %.2f, want >= 0.90", hot.CacheHitRate))
+	}
+	if cold, ok := byName["cold"]; ok && hasHot && hot.OK > 0 && cold.OK > 0 && hot.P50MS > cold.P50MS {
+		violations = append(violations,
+			fmt.Sprintf("hot p50 %.2fms exceeds cold p50 %.2fms: cache hits slower than compiles",
+				hot.P50MS, cold.P50MS))
+	}
+	return violations
+}

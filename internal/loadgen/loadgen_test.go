@@ -1,0 +1,123 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"risc1/internal/serve"
+)
+
+// TestRunAllMixes drives every mix against an in-process riscd for a short
+// window and checks the report shape: every mix present, every mix got at
+// least one expected answer, percentiles ordered, cache hit rate sensible,
+// and the capacity gate passing — the same assertions CI's smoke run makes.
+func TestRunAllMixes(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{Workers: 4, QueueDepth: 64}))
+	defer ts.Close()
+
+	rep, err := Run(Options{
+		BaseURL:     ts.URL,
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mixes) != len(Mixes()) {
+		t.Fatalf("report has %d mixes, want %d", len(rep.Mixes), len(Mixes()))
+	}
+	for i, m := range rep.Mixes {
+		if m.Name != Mixes()[i] {
+			t.Errorf("mix %d = %q, want %q", i, m.Name, Mixes()[i])
+		}
+		if m.OK == 0 {
+			t.Errorf("mix %s: no expected answers (%d requests, %d shed, %d errors)",
+				m.Name, m.Requests, m.Shed, m.Errors)
+		}
+		if m.Errors > 0 {
+			t.Errorf("mix %s: %d unexpected errors", m.Name, m.Errors)
+		}
+		if m.P50MS > m.P90MS || m.P90MS > m.P99MS {
+			t.Errorf("mix %s: percentiles out of order: p50 %.2f p90 %.2f p99 %.2f",
+				m.Name, m.P50MS, m.P90MS, m.P99MS)
+		}
+		if m.OK > 0 && (m.P50MS <= 0 || m.ThroughputRPS <= 0) {
+			t.Errorf("mix %s: empty latency/throughput: %+v", m.Name, m)
+		}
+	}
+	byName := map[string]MixResult{}
+	for _, m := range rep.Mixes {
+		byName[m.Name] = m
+	}
+	// The cold mix defeats the cache by construction; the hot mix lives on
+	// it after the first request.
+	if cold := byName["cold"]; cold.CacheHitRate > 0.1 {
+		t.Errorf("cold mix hit rate %.2f, want ~0", cold.CacheHitRate)
+	}
+	if hot := byName["hot"]; hot.CacheHitRate >= 0 && hot.CacheHitRate < 0.9 {
+		t.Errorf("hot mix hit rate %.2f, want >= 0.9", hot.CacheHitRate)
+	}
+	if violations := Gate(rep); len(violations) != 0 {
+		t.Errorf("gate violations on a healthy server: %v", violations)
+	}
+}
+
+// TestRunSelectsMixes checks -mix style selection and unknown-name errors.
+func TestRunSelectsMixes(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{Workers: 2}))
+	defer ts.Close()
+
+	rep, err := Run(Options{
+		BaseURL:     ts.URL,
+		Concurrency: 2,
+		Duration:    100 * time.Millisecond,
+		Mixes:       []string{"fault", "hot"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mixes) != 2 || rep.Mixes[0].Name != "fault" || rep.Mixes[1].Name != "hot" {
+		t.Fatalf("selected mixes wrong: %+v", rep.Mixes)
+	}
+
+	if _, err := Run(Options{BaseURL: ts.URL, Mixes: []string{"nope"}}); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
+
+// TestRunUnreachable pins the fail-fast contract when no riscd answers.
+func TestRunUnreachable(t *testing.T) {
+	if _, err := Run(Options{BaseURL: "http://127.0.0.1:1", Duration: time.Second}); err == nil {
+		t.Error("unreachable riscd did not error")
+	}
+}
+
+// TestGateViolations checks each capacity assertion trips on a bad report.
+func TestGateViolations(t *testing.T) {
+	rep := &Report{Mixes: []MixResult{
+		{Name: "cold", OK: 10, P50MS: 5},
+		{Name: "hot", OK: 10, P50MS: 9, CacheHitRate: 0.5},
+		{Name: "fault", OK: 0, Requests: 4, Errors: 4},
+	}}
+	violations := Gate(rep)
+	if len(violations) != 3 {
+		t.Fatalf("violations = %v, want 3 (dead mix, low hit rate, hot slower than cold)", violations)
+	}
+}
+
+// TestPercentile pins the nearest-rank arithmetic.
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{{0.50, 5}, {0.90, 9}, {0.99, 10}, {1.0, 10}} {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("p%.0f = %v, want %v", tc.p*100, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty set percentile = %v, want 0", got)
+	}
+}

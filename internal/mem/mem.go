@@ -145,6 +145,7 @@ type Memory struct {
 	console      strings.Builder
 	consoleLimit int  // bytes the console retains before dropping output
 	consoleTrunc bool // some console output was dropped at the limit
+	consoleSink  func(chunk string)
 
 	// Reads counts data loads, Writes data stores, in bytes, for the
 	// memory-traffic experiments (E5, E9). Fetch traffic is counted by
@@ -197,10 +198,22 @@ func (m *Memory) SetConsoleLimit(n int) {
 	m.consoleLimit = n
 }
 
+// SetConsoleSink registers fn (or, with nil, removes it) to receive every
+// console rendering as the guest emits it, before the retained buffer's
+// limit is applied. The sink sees chunks the buffer drops at its cap — that
+// is the point: a streaming consumer can deliver unbounded console output
+// live while the server retains only DefaultConsoleLimit bytes. The sink
+// runs on the simulation goroutine; keep it cheap or apply backpressure
+// deliberately.
+func (m *Memory) SetConsoleSink(fn func(chunk string)) { m.consoleSink = fn }
+
 // consoleAppend buffers s, dropping it (and marking truncation) once the
 // buffer is full. A rendering that straddles the limit is dropped whole, so
 // the console never ends mid-number.
 func (m *Memory) consoleAppend(s string) {
+	if m.consoleSink != nil {
+		m.consoleSink(s)
+	}
 	if m.console.Len()+len(s) > m.consoleLimit {
 		m.consoleTrunc = true
 		return

@@ -74,6 +74,52 @@ type RunResponse struct {
 	Races []risc1.Race `json:"races,omitempty"`
 }
 
+// StreamStart is the first event on a /v1/run/stream response, emitted as
+// soon as the run is admitted and compiled — before any simulation output,
+// which is what makes the stream observably live.
+type StreamStart struct {
+	// Cached reports the compiled image came from the server's LRU.
+	Cached bool `json:"cached"`
+	// IntervalMS is the server-controlled stats-frame sampling interval.
+	IntervalMS int64 `json:"interval_ms"`
+}
+
+// StreamConsole carries one chunk of guest console output, forwarded as the
+// guest writes it. Unlike the buffered RunResponse.Console, the stream
+// carries everything — chunks past the server's 1 MiB retention cap are
+// still forwarded (the terminal event's ConsoleTruncated then reports that
+// the buffered copy, not the stream, was cut).
+type StreamConsole struct {
+	Chunk string `json:"chunk"`
+}
+
+// StreamStats is a sampled progress frame: cumulative counters at some
+// batch boundary, emitted at most once per server sampling interval.
+type StreamStats struct {
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+}
+
+// StreamResult is the terminal event of a successful streamed run: a
+// RunResponse minus Console, which has already been delivered chunk by
+// chunk. A failed run ends with an "error" event carrying an ErrorDetail
+// instead.
+type StreamResult struct {
+	ConsoleTruncated bool                `json:"console_truncated,omitempty"`
+	Instructions     uint64              `json:"instructions"`
+	Cycles           uint64              `json:"cycles"`
+	SimNS            int64               `json:"sim_ns"`
+	CodeBytes        int                 `json:"code_bytes"`
+	Calls            uint64              `json:"calls"`
+	MaxCallDepth     int                 `json:"max_call_depth"`
+	WindowOverflows  uint64              `json:"window_overflows,omitempty"`
+	WindowUnderflows uint64              `json:"window_underflows,omitempty"`
+	Cached           bool                `json:"cached"`
+	Pipeline         *risc1.PipelineInfo `json:"pipeline,omitempty"`
+	SMP              *risc1.SMPInfo      `json:"smp,omitempty"`
+	Races            []risc1.Race        `json:"races,omitempty"`
+}
+
 // LintRequest is the body of POST /v1/lint. Target additionally accepts
 // "smp": the windowed convention with the concurrency passes (smp-race,
 // smp-lock, smp-spawn) forced on.

@@ -33,6 +33,16 @@ type metrics struct {
 	runs      map[string]uint64 // execution engine → /v1/run simulations started
 	lintFound map[string]uint64 // severity → findings reported by /v1/lint
 
+	// runEWMA is the recent mean wall-clock latency of run-endpoint
+	// requests, as an exponentially weighted moving average (α=0.2, so
+	// roughly the last dozen runs dominate). It feeds the adaptive
+	// Retry-After hint: unlike latSum/latCount it forgets, which matters
+	// when traffic shifts from cache-hot microbenchmarks to cold matmuls.
+	runEWMA float64
+
+	// streamEvents counts events emitted on /v1/run/stream, by event type.
+	streamEvents map[string]uint64
+
 	// Trace-tier counters across all /v1/run simulations: superblocks
 	// compiled, guarded side exits taken, and traces dropped by stores
 	// into their code.
@@ -69,6 +79,7 @@ func newMetrics() *metrics {
 		runs:      map[string]uint64{},
 		lintFound: map[string]uint64{},
 
+		streamEvents: map[string]uint64{},
 		pipelineRuns: map[string]uint64{},
 	}
 }
@@ -91,6 +102,31 @@ func (m *metrics) observe(endpoint string, status int, d time.Duration) {
 	}
 	m.latSum += secs
 	m.latCount++
+	if endpoint == "/v1/run" || endpoint == "/v1/run/stream" {
+		if m.runEWMA == 0 {
+			m.runEWMA = secs
+		} else {
+			m.runEWMA = 0.2*secs + 0.8*m.runEWMA
+		}
+	}
+}
+
+// recentRunSeconds reports the EWMA of run-endpoint latency; zero until the
+// first run endpoint request completes.
+func (m *metrics) recentRunSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runEWMA
+}
+
+// addStreamEvents counts events emitted on one /v1/run/stream response.
+func (m *metrics) addStreamEvents(kind string, n uint64) {
+	if n == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.streamEvents[kind] += n
+	m.mu.Unlock()
 }
 
 // addLintFindings counts the analyzer's findings by severity.
@@ -172,11 +208,13 @@ func (m *metrics) addRaceStats(races int) {
 // gauges are sampled at render time so /metrics always reflects the live
 // queue and pool state rather than a counter updated on a schedule.
 type gauges struct {
-	queueDepth   int
-	inflight     int
-	cacheHits    uint64
-	cacheMisses  uint64
-	cacheEntries int
+	queueDepth    int
+	inflight      int
+	streamsActive int
+	cacheHits     uint64
+	cacheMisses   uint64
+	cacheEntries  int
+	cacheShards   []shardStat
 }
 
 // render writes the Prometheus text exposition. Output is deterministic
@@ -233,6 +271,37 @@ func (m *metrics) render(g gauges) string {
 	b.WriteString("# HELP riscd_image_cache_entries Compiled images currently cached.\n")
 	b.WriteString("# TYPE riscd_image_cache_entries gauge\n")
 	fmt.Fprintf(&b, "riscd_image_cache_entries %d\n", g.cacheEntries)
+
+	b.WriteString("# HELP riscd_image_cache_shard_hits_total Compiled-image cache hits, by lock stripe.\n")
+	b.WriteString("# TYPE riscd_image_cache_shard_hits_total counter\n")
+	for i, sh := range g.cacheShards {
+		fmt.Fprintf(&b, "riscd_image_cache_shard_hits_total{shard=\"%d\"} %d\n", i, sh.hits)
+	}
+	b.WriteString("# HELP riscd_image_cache_shard_misses_total Compiled-image cache misses, by lock stripe.\n")
+	b.WriteString("# TYPE riscd_image_cache_shard_misses_total counter\n")
+	for i, sh := range g.cacheShards {
+		fmt.Fprintf(&b, "riscd_image_cache_shard_misses_total{shard=\"%d\"} %d\n", i, sh.misses)
+	}
+	b.WriteString("# HELP riscd_image_cache_shard_entries Compiled images currently cached, by lock stripe.\n")
+	b.WriteString("# TYPE riscd_image_cache_shard_entries gauge\n")
+	for i, sh := range g.cacheShards {
+		fmt.Fprintf(&b, "riscd_image_cache_shard_entries{shard=\"%d\"} %d\n", i, sh.entries)
+	}
+
+	b.WriteString("# HELP riscd_stream_active Streaming runs with an open /v1/run/stream connection.\n")
+	b.WriteString("# TYPE riscd_stream_active gauge\n")
+	fmt.Fprintf(&b, "riscd_stream_active %d\n", g.streamsActive)
+
+	b.WriteString("# HELP riscd_stream_events_total Events emitted on /v1/run/stream, by event type.\n")
+	b.WriteString("# TYPE riscd_stream_events_total counter\n")
+	kinds := make([]string, 0, len(m.streamEvents))
+	for k := range m.streamEvents {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "riscd_stream_events_total{type=%q} %d\n", k, m.streamEvents[k])
+	}
 
 	b.WriteString("# HELP riscd_runs_total Simulations executed for /v1/run, by execution engine.\n")
 	b.WriteString("# TYPE riscd_runs_total counter\n")

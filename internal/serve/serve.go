@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"strings"
@@ -44,10 +45,30 @@ const (
 	// suite across all three targets is ~40 images; 256 leaves room for
 	// many distinct user programs before anything hot is evicted.
 	DefaultCacheEntries = 256
+	// DefaultCacheShards is how many lock stripes the image LRU splits
+	// into. Eight independent locks keep cache lookups off the serialization
+	// path for worker pools up to well past that size (a lookup holds its
+	// stripe for tens of nanoseconds), while keeping per-shard LRU lists
+	// long enough that striping does not meaningfully change eviction.
+	DefaultCacheShards = 8
+	// DefaultStreamInterval is how often /v1/run/stream samples a stats
+	// frame. 100ms is fast enough to feel live and slow enough that frame
+	// traffic never competes with console output.
+	DefaultStreamInterval = 100 * time.Millisecond
 	// maxBodyBytes caps a request body; the largest suite benchmark is
 	// ~4 KiB of source, so 1 MiB is generous.
 	maxBodyBytes = 1 << 20
 )
+
+// Experimenter renders one experiment table by ID. *risc1.Lab implements it
+// with an in-process singleflight run cache; the interface is the
+// horizontal-scale-out seam — multiple riscd processes behind a load
+// balancer can inject an implementation that shares one lab (or partitions
+// experiment IDs across processes) instead of each duplicating every
+// simulation.
+type Experimenter interface {
+	Experiment(id string) (string, error)
+}
 
 // Config sizes a Server.
 type Config struct {
@@ -68,9 +89,21 @@ type Config struct {
 	// CacheEntries sizes the compiled-image LRU (default
 	// DefaultCacheEntries; negative disables caching).
 	CacheEntries int
+	// CacheShards is how many lock stripes the image LRU splits into
+	// (default DefaultCacheShards; 1 gives the single-lock layout, which
+	// the parallel cache benchmark uses as its baseline).
+	CacheShards int
 	// MaxCores caps RunRequest.Cores (default DefaultMaxCores; never above
 	// risc1.MaxCores). Negative disables multi-core runs entirely.
 	MaxCores int
+	// StreamInterval is the sampling interval for /v1/run/stream stats
+	// frames (default DefaultStreamInterval). Server-controlled so a
+	// client cannot ask for a frame per instruction.
+	StreamInterval time.Duration
+	// Lab serves GET /v1/experiments/{id} (default a fresh risc1.NewLab()).
+	// Injectable so scaled-out deployments can share or partition one lab
+	// across processes instead of duplicating every simulation per process.
+	Lab Experimenter
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +127,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries < 0 {
 		c.CacheEntries = 0
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = DefaultCacheShards
+	}
+	if c.StreamInterval <= 0 {
+		c.StreamInterval = DefaultStreamInterval
+	}
+	if c.Lab == nil {
+		c.Lab = risc1.NewLab()
 	}
 	if c.MaxCores == 0 {
 		c.MaxCores = DefaultMaxCores
@@ -119,9 +161,16 @@ type Server struct {
 	// a worker slot frees.
 	slots  chan struct{}
 	active chan struct{}
+	// queued counts requests that hold a slot ticket but are still waiting
+	// for a worker. It is the authoritative queue depth: deriving it from
+	// len(slots)-len(active) races, because a request takes the two tickets
+	// in separate steps.
+	queued atomic.Int64
+	// streams counts /v1/run/stream connections currently open.
+	streams atomic.Int64
 
 	cache    *imageCache
-	lab      *risc1.Lab
+	lab      Experimenter
 	met      *metrics
 	draining atomic.Bool
 
@@ -139,12 +188,13 @@ func New(cfg Config) *Server {
 		mux:    http.NewServeMux(),
 		slots:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		active: make(chan struct{}, cfg.Workers),
-		cache:  newImageCache(cfg.CacheEntries),
-		lab:    risc1.NewLab(),
+		cache:  newImageCache(cfg.CacheEntries, cfg.CacheShards),
+		lab:    cfg.Lab,
 		met:    newMetrics(),
 	}
 	s.baseCtx, s.cancelRuns = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/run/stream", s.handleRunStream)
 	s.mux.HandleFunc("POST /v1/disasm", s.handleDisasm)
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
@@ -174,14 +224,23 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush passes streaming support through the wrapper; without it the SSE
+// endpoint would see a non-Flusher and refuse to stream.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // endpointLabel collapses parameterized paths so metrics cardinality stays
 // bounded no matter what clients request.
 func endpointLabel(path string) string {
 	switch {
 	case strings.HasPrefix(path, "/v1/experiments/"):
 		return "/v1/experiments/{id}"
-	case path == "/v1/run", path == "/v1/disasm", path == "/v1/lint",
-		path == "/v1/benchmarks", path == "/healthz", path == "/metrics":
+	case path == "/v1/run", path == "/v1/run/stream", path == "/v1/disasm",
+		path == "/v1/lint", path == "/v1/benchmarks", path == "/healthz",
+		path == "/metrics":
 		return path
 	}
 	return "other"
@@ -207,14 +266,22 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
 	select {
 	case s.slots <- struct{}{}:
 	default:
-		// Full pool and full queue: shed now. Retry-After is a best-effort
-		// hint — one server timeout from now the queue has surely moved.
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.Timeout.Seconds())+1))
+		// Full pool and full queue: shed now, with an adaptive hint about
+		// when capacity is likely to exist again.
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "overloaded",
 			fmt.Sprintf("worker pool (%d) and queue (%d) are full",
 				s.cfg.Workers, s.cfg.QueueDepth))
 		return nil
 	}
+	// Fast path: a worker is free, no queueing happened.
+	select {
+	case s.active <- struct{}{}:
+		return func() { <-s.active; <-s.slots }
+	default:
+	}
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
 	select {
 	case s.active <- struct{}{}:
 		return func() { <-s.active; <-s.slots }
@@ -227,6 +294,30 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
 		writeError(w, http.StatusServiceUnavailable, "shutting_down", "server is draining")
 		return nil
 	}
+}
+
+// retryAfterSeconds estimates when a shed client should come back: the work
+// ahead of it (the current queue plus itself) spread across the worker pool,
+// each unit taking the recent mean run latency. The estimate is floored at
+// one second and capped at the server timeout + 1 — the static hint this
+// replaces — so a backlog of slow runs never invites a retry sooner than the
+// queue could possibly drain, and a cold histogram (no runs observed yet)
+// falls back to the cap.
+func (s *Server) retryAfterSeconds() int {
+	ceiling := int(s.cfg.Timeout.Seconds()) + 1
+	mean := s.met.recentRunSeconds()
+	if mean <= 0 {
+		return ceiling
+	}
+	waves := float64(s.queued.Load()+1) / float64(s.cfg.Workers)
+	est := int(math.Ceil(waves * mean))
+	if est < 1 {
+		est = 1
+	}
+	if est > ceiling {
+		est = ceiling
+	}
+	return est
 }
 
 // decode reads a JSON body with the size cap applied.
@@ -289,51 +380,90 @@ func (s *Server) budget(requested uint64) uint64 {
 	return s.cfg.MaxCycles
 }
 
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	var req RunRequest
-	if err := decode(w, r, &req); err != nil {
+// runParams is a validated RunRequest, shared by the buffered and streaming
+// run endpoints so the two cannot drift on what they accept.
+type runParams struct {
+	req    RunRequest
+	target risc1.Target
+	lang   string
+	engine risc1.Engine
+	policy risc1.Policy
+}
+
+// parseRun decodes and validates a run request. On failure it has already
+// written the 400 and returns false.
+func (s *Server) parseRun(w http.ResponseWriter, r *http.Request) (runParams, bool) {
+	var p runParams
+	if err := decode(w, r, &p.req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
-		return
+		return p, false
 	}
+	req := &p.req
 	if strings.TrimSpace(req.Source) == "" {
 		writeError(w, http.StatusBadRequest, "bad_request", "source is required")
-		return
+		return p, false
 	}
-	target, err := parseTarget(req.Target)
-	if err != nil {
+	var err error
+	if p.target, err = parseTarget(req.Target); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
-		return
+		return p, false
 	}
-	lang, err := parseLang(req.Lang)
-	if err != nil {
+	if p.lang, err = parseLang(req.Lang); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
-		return
+		return p, false
 	}
-	engine, err := risc1.ParseEngine(req.Engine)
-	if err != nil {
+	if p.engine, err = risc1.ParseEngine(req.Engine); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
-		return
+		return p, false
 	}
-	policy, err := risc1.ParsePolicy(req.Policy)
-	if err != nil {
+	if p.policy, err = risc1.ParsePolicy(req.Policy); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
-		return
+		return p, false
 	}
 	if req.Cores < 0 || req.Cores > s.cfg.MaxCores {
 		writeError(w, http.StatusBadRequest, "bad_request",
 			fmt.Sprintf("cores %d: %v (server ceiling %d)", req.Cores, risc1.ErrBadCores, s.cfg.MaxCores))
-		return
+		return p, false
 	}
-	if req.Cores > 1 && target != risc1.RISCWindowed {
+	if req.Cores > 1 && p.target != risc1.RISCWindowed {
 		writeError(w, http.StatusBadRequest, "bad_request",
 			fmt.Sprintf("cores %d on target %q: %v", req.Cores, req.Target, risc1.ErrWindowedOnly))
-		return
+		return p, false
 	}
-	if req.Race && target != risc1.RISCWindowed {
+	if req.Race && p.target != risc1.RISCWindowed {
 		writeError(w, http.StatusBadRequest, "bad_request",
 			fmt.Sprintf("race detection on target %q: %v", req.Target, risc1.ErrWindowedOnly))
+		return p, false
+	}
+	return p, true
+}
+
+// runOptions builds the facade options for a validated request.
+func (s *Server) runOptions(p runParams) risc1.RunOptions {
+	return risc1.RunOptions{
+		MaxCycles: s.budget(p.req.MaxCycles), Engine: p.engine, Policy: p.policy,
+		Cores: p.req.Cores, Race: p.req.Race,
+	}
+}
+
+// recordRunInfo feeds one successful run's counters into /metrics.
+func (s *Server) recordRunInfo(p runParams, info *risc1.RunInfo) {
+	s.met.addSimInstructions(info.Instructions)
+	s.met.addTraceStats(info)
+	s.met.addPipelineStats(info.Pipeline)
+	s.met.addSMPStats(info.SMP)
+	if p.req.Race {
+		s.met.addRaceStats(len(info.Races))
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.parseRun(w, r)
+	if !ok {
 		return
 	}
+	req := p.req
+	target, lang, engine := p.target, p.lang, p.engine
 
 	release := s.admit(w, r)
 	if release == nil {
@@ -349,23 +479,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.runCtx(r, req.TimeoutMS)
 	defer cancel()
-	info, err := risc1.RunImage(ctx, img, risc1.RunOptions{
-		MaxCycles: s.budget(req.MaxCycles), Engine: engine, Policy: policy,
-		Cores: req.Cores, Race: req.Race,
-	})
+	info, err := risc1.RunImage(ctx, img, s.runOptions(p))
 	s.met.addRun(engine.String())
 	if err != nil {
 		status, body := runErrorStatus(err)
 		writeJSON(w, status, body)
 		return
 	}
-	s.met.addSimInstructions(info.Instructions)
-	s.met.addTraceStats(info)
-	s.met.addPipelineStats(info.Pipeline)
-	s.met.addSMPStats(info.SMP)
-	if req.Race {
-		s.met.addRaceStats(len(info.Races))
-	}
+	s.recordRunInfo(p, info)
 	writeJSON(w, http.StatusOK, RunResponse{
 		Console:          info.Console,
 		ConsoleTruncated: info.ConsoleTruncated,
@@ -531,17 +652,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses, entries := s.cache.stats()
-	inflight := len(s.active)
-	queued := len(s.slots) - inflight
-	if queued < 0 {
-		queued = 0
-	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, s.met.render(gauges{
-		queueDepth:   queued,
-		inflight:     inflight,
-		cacheHits:    hits,
-		cacheMisses:  misses,
-		cacheEntries: entries,
+		queueDepth:    int(s.queued.Load()),
+		inflight:      len(s.active),
+		streamsActive: int(s.streams.Load()),
+		cacheHits:     hits,
+		cacheMisses:   misses,
+		cacheEntries:  entries,
+		cacheShards:   s.cache.shardStats(),
 	}))
 }

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -529,6 +531,47 @@ func TestExperimentEndpoint(t *testing.T) {
 	}
 }
 
+// stubLab is an Experimenter that answers instantly with a canned table,
+// or an error when told to fail — the injection seam that lets serving
+// tests avoid real benchmark sweeps.
+type stubLab struct {
+	table string
+	err   error
+}
+
+func (l *stubLab) Experiment(id string) (string, error) {
+	if l.err != nil {
+		return "", l.err
+	}
+	return l.table + " (" + id + ")", nil
+}
+
+// TestInjectedLab proves Config.Lab substitutes the experiment backend:
+// responses come from the stub, and a failing stub maps to a typed 500.
+func TestInjectedLab(t *testing.T) {
+	_, ts := newTestServer(t, Config{Lab: &stubLab{table: "stub table"}})
+	resp, raw := getBody(t, ts.URL+"/v1/experiments/E4")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d\n%s", resp.StatusCode, raw)
+	}
+	var e ExperimentResponse
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Table != "stub table (E4)" {
+		t.Errorf("table = %q, want the stub's answer", e.Table)
+	}
+
+	_, ts = newTestServer(t, Config{Lab: &stubLab{err: errors.New("lab exploded")}})
+	resp, raw = getBody(t, ts.URL+"/v1/experiments/E4")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failing lab: status %d, want 500\n%s", resp.StatusCode, raw)
+	}
+	if d := decodeError(t, raw); d.Code != "internal" {
+		t.Errorf("code = %q, want internal", d.Code)
+	}
+}
+
 // TestHealthzAndMetrics smoke-checks the operational endpoints.
 func TestHealthzAndMetrics(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
@@ -616,8 +659,33 @@ func TestConcurrentTrafficAndLeaks(t *testing.T) {
 			for i := 0; i < 15; i++ {
 				// Cycle through more sources than cache entries so the
 				// LRU evicts under concurrent access.
-				src := fmt.Sprintf(
-					"int main() { putint(%d); return 0; }", (g*15+i)%6)
+				want := fmt.Sprint((g*15 + i) % 6)
+				src := fmt.Sprintf("int main() { putint(%s); return 0; }", want)
+				// Every third request takes the streaming path, so the SSE
+				// writer, the monitor hooks and the buffered path all race
+				// over the same pool, cache and metrics.
+				if i%3 == 2 {
+					resp := postStream(t, context.Background(), ts.URL, RunRequest{Source: src})
+					if resp.StatusCode == http.StatusTooManyRequests {
+						resp.Body.Close()
+						shed.add(1)
+						continue
+					}
+					if resp.StatusCode != http.StatusOK {
+						resp.Body.Close()
+						other.add(1)
+						t.Errorf("stream status %d", resp.StatusCode)
+						continue
+					}
+					events := readAllSSE(t, resp.Body)
+					resp.Body.Close()
+					if last := events[len(events)-1]; last.name != "result" {
+						t.Errorf("stream terminal event %q: %s", last.name, last.data)
+					} else {
+						ok.add(1)
+					}
+					continue
+				}
 				resp, raw := postJSON(t, ts.URL+"/v1/run", RunRequest{Source: src})
 				switch resp.StatusCode {
 				case http.StatusOK:
@@ -625,7 +693,7 @@ func TestConcurrentTrafficAndLeaks(t *testing.T) {
 					var run RunResponse
 					if err := json.Unmarshal(raw, &run); err != nil {
 						t.Error(err)
-					} else if want := fmt.Sprint((g*15 + i) % 6); run.Console != want {
+					} else if run.Console != want {
 						t.Errorf("console = %q, want %q", run.Console, want)
 					}
 				case http.StatusTooManyRequests:

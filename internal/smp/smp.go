@@ -113,6 +113,11 @@ type Machine struct {
 	// the image's line table maps racy PCs back to source lines.
 	img  *asm.Image
 	race *raceDetector
+
+	// Progress, when non-nil, is called after every scheduling round with
+	// the machine-wide instruction total and makespan cycles so far. It
+	// runs on the scheduler goroutine; keep it cheap.
+	Progress func(instructions, cycles uint64)
 }
 
 // coreView is the per-core face the mem SMP control page talks to. Spawn
@@ -328,6 +333,13 @@ func (m *Machine) Run(ctx context.Context) error {
 					m.contention[i] += total - d
 				}
 			}
+		}
+		if m.Progress != nil {
+			var instrs uint64
+			for _, c := range m.cores {
+				instrs += c.Instructions()
+			}
+			m.Progress(instrs, m.Elapsed())
 		}
 	}
 	if len(m.cores) > 1 {

@@ -35,6 +35,7 @@ import (
 	"risc1/internal/exp"
 	"risc1/internal/isa"
 	"risc1/internal/lint"
+	"risc1/internal/mem"
 	"risc1/internal/pipeline"
 	"risc1/internal/prog"
 	"risc1/internal/smp"
@@ -377,6 +378,42 @@ type RunOptions struct {
 	// core) and forces the step engine for exact access attribution —
 	// expect a slower run, not different architectural results.
 	Race bool
+	// Monitor, when non-nil, observes the run while it is in flight —
+	// the seam the riscd streaming API is built on. It never changes
+	// architectural results; a run with a Monitor retires the same
+	// instructions and prints the same console as one without.
+	Monitor *RunMonitor
+}
+
+// RunMonitor observes a run in flight. Both callbacks run on the simulation
+// goroutine: a callback that blocks stalls the guest program, which is how a
+// streaming consumer applies backpressure deliberately. Either field may be
+// nil.
+type RunMonitor struct {
+	// Console receives each console rendering (one putc byte or one putint
+	// decimal string) as the guest emits it, including output the retained
+	// console buffer drops at its cap — live consumers see everything even
+	// when RunInfo.Console is truncated.
+	Console func(chunk string)
+	// Progress is called periodically — at run-batch boundaries on the
+	// single-core machines, after each scheduling round on the SMP
+	// machine — with the instruction and cycle counters retired so far.
+	Progress func(instructions, cycles uint64)
+}
+
+// install arms the monitor's callbacks on one machine's memory and progress
+// hook. setProgress receives a nil-able hook so machines without the monitor
+// stay zero-overhead.
+func (mon *RunMonitor) install(m *mem.Memory, setProgress func(func(uint64, uint64))) {
+	if mon == nil {
+		return
+	}
+	if mon.Console != nil {
+		m.SetConsoleSink(mon.Console)
+	}
+	if mon.Progress != nil {
+		setProgress(mon.Progress)
+	}
 }
 
 // RunImage runs a compiled image to completion on a fresh machine of its
@@ -397,6 +434,7 @@ func RunImage(ctx context.Context, img *Image, opt RunOptions) (*RunInfo, error)
 		if err := m.Load(img.cisc); err != nil {
 			return nil, err
 		}
+		opt.Monitor.install(m.Mem, func(f func(uint64, uint64)) { m.Progress = f })
 		if err := m.RunContext(ctx); err != nil {
 			return nil, err
 		}
@@ -410,6 +448,8 @@ func RunImage(ctx context.Context, img *Image, opt RunOptions) (*RunInfo, error)
 		if err := pm.Load(img.risc); err != nil {
 			return nil, err
 		}
+		cpu := pm.CPU()
+		opt.Monitor.install(cpu.Mem, func(f func(uint64, uint64)) { cpu.Progress = f })
 		if err := pm.RunContext(ctx); err != nil {
 			return nil, err
 		}
@@ -431,6 +471,7 @@ func RunImage(ctx context.Context, img *Image, opt RunOptions) (*RunInfo, error)
 	if err := m.Load(img.risc); err != nil {
 		return nil, err
 	}
+	opt.Monitor.install(m.Mem, func(f func(uint64, uint64)) { m.Progress = f })
 	if err := m.RunContext(ctx); err != nil {
 		return nil, err
 	}
@@ -460,6 +501,7 @@ func runSMP(ctx context.Context, img *Image, opt RunOptions) (*RunInfo, error) {
 	if err != nil {
 		return nil, err
 	}
+	opt.Monitor.install(m.Core(0).Mem, func(f func(uint64, uint64)) { m.Progress = f })
 	if err := m.Run(ctx); err != nil {
 		return nil, err
 	}
